@@ -1,0 +1,40 @@
+# protoclust build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench eval fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Regenerates every benchmark, including one run per paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates Tables I/II, Figures 2/3, and the coverage comparison.
+eval:
+	$(GO) run ./cmd/evaltables -all
+
+# Short fuzzing pass over the hardened parsers and segmenters.
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzReader -fuzztime 10s ./internal/pcap/
+	$(GO) test -run XXX -fuzz FuzzExtractPayload -fuzztime 10s ./internal/pcap/
+	$(GO) test -run XXX -fuzz FuzzSegmentMessage -fuzztime 10s ./internal/segment/nemesys/
+	$(GO) test -run XXX -fuzz FuzzSegment -fuzztime 10s ./internal/segment/csp/
+	$(GO) test -run XXX -fuzz FuzzSegment -fuzztime 10s ./internal/segment/netzob/
+	$(GO) test -run XXX -fuzz FuzzDissimilarity -fuzztime 10s ./internal/canberra/
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

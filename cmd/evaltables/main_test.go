@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunNothingSelected(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Error("no selection should error")
+	}
+}
+
+func TestRunFigure2CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the NTP-1000 trace")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-figure", "2"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dissimilarity,ecdf,smoothed") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(out, "# Figure 2") {
+		t.Error("comment header missing")
+	}
+}
+
+func TestRunFigure2SVG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the NTP-1000 trace")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-figure", "2", "-svg"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Error("SVG output missing")
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "3"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "NTP timestamp A") {
+		t.Error("Figure 3 output missing")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, &strings.Builder{}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the seed sweep")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-robustness"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Robustness") || !strings.Contains(out, "ntp") {
+		t.Errorf("robustness output incomplete:\n%s", out)
+	}
+}
+
+func TestRunTable1CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 1000-message traces")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-table", "1", "-csv"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "protocol,messages,fields") {
+		t.Error("CSV header missing")
+	}
+}

@@ -1,0 +1,177 @@
+// Command protoclust clusters the message field data types of an
+// unknown binary protocol from a pcap trace or a built-in generator,
+// printing the inferred pseudo data types.
+//
+// Usage:
+//
+//	protoclust -pcap capture.pcap -port 123 -segmenter nemesys
+//	protoclust -proto ntp -n 1000 -segmenter truth -dump 5 -semantics
+//
+// With -pcap, UDP/TCP payloads are extracted (optionally filtered to a
+// port) and analyzed without any ground truth; with -proto, a synthetic
+// trace is generated and the result is additionally scored against the
+// known dissection.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"protoclust"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "protoclust:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("protoclust", flag.ContinueOnError)
+	var (
+		pcapPath  = fs.String("pcap", "", "pcap file to analyze")
+		truthPath = fs.String("truth", "", "with -pcap: ground-truth sidecar json (as written by tracegen) to score against")
+		port      = fs.Int("port", 0, "with -pcap: keep only payloads to/from this port")
+		proto     = fs.String("proto", "", "generate a built-in trace instead: "+strings.Join(protoclust.Protocols(), ", "))
+		n         = fs.Int("n", 1000, "with -proto: number of messages")
+		seed      = fs.Int64("seed", 1, "with -proto: generator seed")
+		segmenter = fs.String("segmenter", protoclust.SegmenterNEMESYS, "segmenter: truth, nemesys, netzob, csp")
+		samples   = fs.Int("samples", 4, "sample values printed per cluster")
+		verbose   = fs.Bool("v", false, "print every unique value per cluster")
+		dump      = fs.Int("dump", 0, "annotated hex dump of the first N messages (bytes colored by cluster)")
+		noColor   = fs.Bool("no-color", false, "with -dump: plain tags instead of ANSI colors")
+		semFlag   = fs.Bool("semantics", false, "deduce and print cluster semantics")
+		msgTypes  = fs.Bool("msgtype", false, "cluster whole messages into message types first")
+		asJSON    = fs.Bool("json", false, "emit the analysis as JSON instead of text")
+		compFlag  = fs.Bool("composition", false, "with ground truth: print cluster composition by true type")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		tr  *protoclust.Trace
+		err error
+	)
+	switch {
+	case *pcapPath != "" && *proto != "":
+		return fmt.Errorf("use either -pcap or -proto, not both")
+	case *pcapPath != "":
+		f, err2 := os.Open(*pcapPath)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		filter := func(src, dst string, payload []byte) bool {
+			if *port == 0 {
+				return true
+			}
+			p := ":" + strconv.Itoa(*port)
+			return strings.HasSuffix(src, p) || strings.HasSuffix(dst, p)
+		}
+		tr, err = protoclust.ReadPCAP(f, filter)
+		if err == nil && *truthPath != "" {
+			tf, err2 := os.Open(*truthPath)
+			if err2 != nil {
+				return err2
+			}
+			err = protoclust.AttachTruth(tr, tf)
+			tf.Close()
+		}
+	case *proto != "":
+		tr, err = protoclust.GenerateTrace(*proto, *n, *seed)
+	default:
+		return fmt.Errorf("one of -pcap or -proto is required")
+	}
+	if err != nil {
+		return err
+	}
+	if !*asJSON {
+		fmt.Fprintf(stdout, "trace: %d messages, %d bytes\n", len(tr.Messages), tr.TotalBytes())
+	}
+
+	opts := protoclust.DefaultOptions()
+	opts.Segmenter = *segmenter
+
+	if *msgTypes {
+		mt, err := protoclust.ClusterMessageTypes(tr, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "message types (eps=%.3f): %d types, %d unmatched\n",
+			mt.Epsilon, len(mt.Types), len(mt.Noise))
+		for i, group := range mt.Types {
+			fmt.Fprintf(stdout, "    type %d: %d messages, e.g. %x…\n",
+				i, len(group), group[0].Data[:minInt(8, len(group[0].Data))])
+		}
+		fmt.Fprintln(stdout)
+	}
+	analysis, err := protoclust.Analyze(tr, opts)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(analysis.Report(*samples))
+	}
+
+	fmt.Fprintf(stdout, "auto-configured DBSCAN: eps=%.3f min_samples=%d (unique segments: %d)\n",
+		analysis.Epsilon(), analysis.MinSamples(), analysis.UniqueSegments())
+	fmt.Fprintf(stdout, "coverage: %.1f%% of trace bytes\n\n", analysis.Coverage()*100)
+
+	for _, pt := range analysis.PseudoTypes() {
+		fmt.Fprintf(stdout, "pseudo data type %d: %d segments, %d distinct values\n",
+			pt.ID, len(pt.Segments), len(pt.UniqueValues))
+		limit := *samples
+		if *verbose {
+			limit = len(pt.UniqueValues)
+		}
+		for _, v := range pt.SampleValues(limit) {
+			fmt.Fprintf(stdout, "    %s\n", v)
+		}
+	}
+	fmt.Fprintf(stdout, "\nnoise: %d segments\n", len(analysis.Noise()))
+
+	if *semFlag {
+		fmt.Fprintln(stdout, "\ndeduced cluster semantics:")
+		for _, d := range analysis.DeduceSemantics() {
+			fmt.Fprintf(stdout, "    type %2d: %-13s (confidence %.2f, %s)\n", d.ClusterID, d.Label, d.Confidence, d.Detail)
+		}
+	}
+
+	if *compFlag {
+		fmt.Fprintln(stdout)
+		if err := analysis.WriteClusterComposition(stdout); err != nil {
+			return err
+		}
+	}
+
+	if *dump > 0 {
+		fmt.Fprintln(stdout)
+		if err := analysis.WriteClusterDump(stdout, *dump, !*noColor); err != nil {
+			return err
+		}
+	}
+
+	if *proto != "" || *truthPath != "" {
+		m := analysis.Evaluate()
+		fmt.Fprintf(stdout, "\nevaluation vs. ground truth: P=%.2f R=%.2f F1/4=%.2f\n",
+			m.Precision, m.Recall, m.FScore)
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

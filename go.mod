@@ -1,0 +1,3 @@
+module protoclust
+
+go 1.22

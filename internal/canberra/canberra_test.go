@@ -1,0 +1,262 @@
+package canberra
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceErrors(t *testing.T) {
+	if _, err := Distance([]byte{1}, []byte{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Distance(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []byte
+		want float64
+	}{
+		{"identical", []byte{1, 2, 3}, []byte{1, 2, 3}, 0},
+		{"zeros", []byte{0, 0}, []byte{0, 0}, 0},
+		{"oneVsZero", []byte{1}, []byte{0}, 1},
+		{"maxDiff", []byte{255, 255}, []byte{0, 0}, 2},
+		{"half", []byte{1}, []byte{3}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Distance(tt.x, tt.y)
+			if err != nil {
+				t.Fatalf("Distance: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Distance = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizedDistanceRange(t *testing.T) {
+	d, err := NormalizedDistance([]byte{255, 0, 255}, []byte{0, 255, 0})
+	if err != nil {
+		t.Fatalf("NormalizedDistance: %v", err)
+	}
+	if d != 1 {
+		t.Errorf("fully different bytes: d = %v, want 1", d)
+	}
+}
+
+func TestDissimilarityIdentity(t *testing.T) {
+	s := []byte{10, 20, 30, 40}
+	d, err := Dissimilarity(s, s)
+	if err != nil {
+		t.Fatalf("Dissimilarity: %v", err)
+	}
+	if d != 0 {
+		t.Errorf("D(s,s) = %v, want 0", d)
+	}
+}
+
+func TestDissimilarityEqualLengthMatchesNormalized(t *testing.T) {
+	s := []byte{1, 2, 3}
+	u := []byte{3, 2, 1}
+	want, err := NormalizedDistance(s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Dissimilarity(s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("equal-length dissimilarity = %v, want normalized distance %v", got, want)
+	}
+}
+
+func TestDissimilaritySubsequence(t *testing.T) {
+	// s appears verbatim inside t: dmin = 0, so D = pf·(|t|-|s|)/|t|.
+	s := []byte{5, 6, 7}
+	u := []byte{1, 2, 5, 6, 7, 9}
+	got, err := Dissimilarity(s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultPenalty * 3.0 / 6.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("contained segment: D = %v, want %v", got, want)
+	}
+}
+
+func TestDissimilarityEmptyErrors(t *testing.T) {
+	if _, err := Dissimilarity(nil, []byte{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty s err = %v, want ErrEmpty", err)
+	}
+	if _, err := Dissimilarity([]byte{1}, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty t err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestDissimilarityPenaltyZero(t *testing.T) {
+	// pf = 0 ignores the length mismatch entirely when content matches.
+	s := []byte{9, 9}
+	u := []byte{9, 9, 1, 2, 3, 4}
+	got, err := DissimilarityPenalty(s, u, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("pf=0 contained: D = %v, want 0", got)
+	}
+}
+
+func TestDissimilarityPenaltyNegativeClamped(t *testing.T) {
+	s := []byte{9, 9}
+	u := []byte{9, 9, 1}
+	got, err := DissimilarityPenalty(s, u, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("negative pf must clamp to 0, got D = %v", got)
+	}
+}
+
+func TestDissimilarityMonotonicInPenalty(t *testing.T) {
+	s := []byte{1, 2, 3}
+	u := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	prev := -1.0
+	for _, pf := range []float64{0, 0.1, 0.3, 0.5, 1} {
+		d, err := DissimilarityPenalty(s, u, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < prev {
+			t.Errorf("dissimilarity not monotone in pf: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDissimilaritySharedPrefixCloserThanComplement(t *testing.T) {
+	// Two NTP-style timestamps sharing an epoch prefix must be closer to
+	// each other than a timestamp is to its bitwise complement — the
+	// core assumption behind clustering by dissimilarity. (Note the
+	// random least-significant bytes still contribute near-maximal
+	// per-byte dissimilarity; that is exactly the Figure 3 effect.)
+	tsA := []byte{0xd2, 0x3d, 0x19, 0x03, 0xb3, 0xfc, 0xda, 0xb1}
+	tsB := []byte{0xd2, 0x3d, 0x19, 0x7a, 0x01, 0x58, 0x10, 0x62}
+	comp := make([]byte, len(tsA))
+	for i, b := range tsA {
+		comp[i] = ^b
+	}
+	dts, err := Dissimilarity(tsA, tsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcomp, err := Dissimilarity(tsA, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dts >= dcomp {
+		t.Errorf("timestamp pair (%v) not closer than timestamp-complement (%v)", dts, dcomp)
+	}
+}
+
+// Property: symmetry D(s,t) == D(t,s).
+func TestSymmetryProperty(t *testing.T) {
+	f := func(s, u []byte) bool {
+		if len(s) == 0 || len(u) == 0 {
+			return true
+		}
+		a, err1 := Dissimilarity(s, u)
+		b, err2 := Dissimilarity(u, s)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: range [0, 1].
+func TestRangeProperty(t *testing.T) {
+	f := func(s, u []byte) bool {
+		if len(s) == 0 || len(u) == 0 {
+			return true
+		}
+		d, err := Dissimilarity(s, u)
+		return err == nil && d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identity of indiscernibles in one direction — D(s,s) == 0.
+func TestIdentityProperty(t *testing.T) {
+	f := func(s []byte) bool {
+		if len(s) == 0 {
+			return true
+		}
+		d, err := Dissimilarity(s, s)
+		return err == nil && d == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raw distance is bounded by the vector length.
+func TestDistanceBoundProperty(t *testing.T) {
+	f := func(pair [][2]byte) bool {
+		if len(pair) == 0 {
+			return true
+		}
+		x := make([]byte, len(pair))
+		y := make([]byte, len(pair))
+		for i, p := range pair {
+			x[i], y[i] = p[0], p[1]
+		}
+		d, err := Distance(x, y)
+		return err == nil && d >= 0 && d <= float64(len(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDissimilarityEqualLength(b *testing.B) {
+	s := make([]byte, 8)
+	u := make([]byte, 8)
+	for i := range s {
+		s[i] = byte(i * 31)
+		u[i] = byte(i * 17)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dissimilarity(s, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDissimilaritySliding(b *testing.B) {
+	s := make([]byte, 8)
+	u := make([]byte, 64)
+	for i := range u {
+		u[i] = byte(i * 7)
+	}
+	for i := range s {
+		s[i] = byte(i * 31)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dissimilarity(s, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

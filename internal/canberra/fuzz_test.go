@@ -1,0 +1,38 @@
+package canberra
+
+import "testing"
+
+// FuzzDissimilarity checks the metric's contract on arbitrary inputs:
+// symmetric, bounded to [0,1], zero on identity.
+func FuzzDissimilarity(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{0}, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 255}, []byte{1})
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) == 0 || len(b) == 0 {
+			return
+		}
+		d1, err := Dissimilarity(a, b)
+		if err != nil {
+			t.Fatalf("Dissimilarity(%x,%x): %v", a, b, err)
+		}
+		d2, err := Dissimilarity(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("asymmetric: %v vs %v", d1, d2)
+		}
+		if d1 < 0 || d1 > 1 {
+			t.Fatalf("out of range: %v", d1)
+		}
+		self, err := Dissimilarity(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if self != 0 {
+			t.Fatalf("D(a,a) = %v", self)
+		}
+	})
+}

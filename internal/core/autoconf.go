@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"protoclust/internal/dissim"
+	"protoclust/internal/ecdf"
+	"protoclust/internal/kneedle"
+	"protoclust/internal/spline"
+	"protoclust/internal/vecmath"
+)
+
+// AutoConfig is the outcome of the ε auto-configuration (Algorithm 1),
+// including the diagnostic curve behind Figure 2.
+type AutoConfig struct {
+	// Epsilon is the selected DBSCAN ε.
+	Epsilon float64
+	// MinSamples is DBSCAN's min_samples (round(ln n)).
+	MinSamples int
+	// K is the selected nearest-neighbor rank k' whose ECDF had the
+	// sharpest knee.
+	K int
+	// FromKnee reports whether ε came from a detected knee (true) or
+	// from the quantile fallback (false).
+	FromKnee bool
+	// Curve is the ECDF of the selected Ê_k: sorted k-NN dissimilarities
+	// (X), step values (Y), and the B-spline smoothed values (Smoothed).
+	Curve CurveData
+}
+
+// CurveData carries the (x, y) series of an ECDF and its smoothing, for
+// reports and Figure 2.
+type CurveData struct {
+	X        []float64
+	Y        []float64
+	Smoothed []float64
+	// KneeIndex is the index of the selected knee in X, or -1.
+	KneeIndex int
+}
+
+// ErrTooFewSegments is returned when fewer than three unique segments
+// are available — no meaningful density estimate exists.
+var ErrTooFewSegments = errors.New("core: need at least three unique segments")
+
+// fallbackQuantile is the k-NN distance quantile used when no knee is
+// detected.
+const fallbackQuantile = 0.6
+
+// kneeProminenceShare discards knees whose Kneedle difference value is
+// below this share of the curve's most prominent knee — faint bends in
+// the sparse ECDF tail would otherwise masquerade as the rightmost knee.
+const kneeProminenceShare = 0.33
+
+// Configure runs the ε auto-configuration of Algorithm 1 on the full
+// dissimilarity population.
+func Configure(m *dissim.Matrix, p Params) (*AutoConfig, error) {
+	return configure(m, p, math.Inf(1))
+}
+
+// configure implements Algorithm 1, considering only k-NN distances
+// strictly below cut (math.Inf(1) for the full population; the
+// 60 %-guard re-runs with cut = d_κ, realising Ê'_k of Section III-E).
+func configure(m *dissim.Matrix, p Params, cut float64) (*AutoConfig, error) {
+	n := m.Len()
+	if n < 3 {
+		return nil, fmt.Errorf("%w (have %d)", ErrTooFewSegments, n)
+	}
+
+	// For each k build the ECDF of k-NN distances (below cut), smooth
+	// it, and detect its knees. The per-k sharpness δB̂_k is the
+	// prominence of its sharpest knee; faint tail wiggles are discarded
+	// by the prominence filter before the rightmost knee is selected.
+	type kCurve struct {
+		k        int
+		xs       []float64      // sorted k-NN dissimilarities
+		ys       []float64      // ECDF steps
+		smoothed []float64      // B-spline smoothed ECDF
+		knees    []kneedle.Knee // prominent knees, ascending x
+		sharp    float64        // sharpness: max knee prominence
+		gap      float64        // fallback sharpness: largest step gap
+	}
+	var curves []kCurve
+	table, err := m.KNNTable(kMax(n))
+	if err != nil {
+		return nil, fmt.Errorf("core: k-NN distances: %w", err)
+	}
+	for k := 2; k <= kMax(n); k++ {
+		knn := table[k-1]
+		xs := make([]float64, 0, len(knn))
+		for _, d := range knn {
+			if d < cut {
+				xs = append(xs, d)
+			}
+		}
+		if len(xs) < 3 {
+			continue
+		}
+		sort.Float64s(xs)
+		e, err := ecdf.New(xs)
+		if err != nil {
+			return nil, fmt.Errorf("core: ecdf: %w", err)
+		}
+		c := kCurve{k: k, xs: xs}
+		c.gap, _ = e.MaxStepGap()
+		c.ys = make([]float64, len(xs))
+		for i := range c.ys {
+			c.ys[i] = float64(i+1) / float64(len(xs))
+		}
+		c.smoothed = spline.Smooth(xs, c.ys, p.SplineSmoothness)
+		knees, err := kneedle.Find(xs, c.smoothed, kneedle.ConcaveIncreasing, p.KneedleSensitivity)
+		if err != nil && !errors.Is(err, kneedle.ErrDomain) && !errors.Is(err, kneedle.ErrTooShort) {
+			return nil, fmt.Errorf("core: kneedle: %w", err)
+		}
+		c.knees = kneedle.FilterProminent(knees, kneeProminenceShare)
+		for _, kn := range c.knees {
+			if kn.Prominence > c.sharp {
+				c.sharp = kn.Prominence
+			}
+		}
+		curves = append(curves, c)
+	}
+	if len(curves) == 0 {
+		return nil, fmt.Errorf("%w after trimming", ErrTooFewSegments)
+	}
+
+	// k' = argmax_k δB̂_k: the k whose ECDF has the sharpest knee. When
+	// no curve has a knee, fall back to the largest raw distance gap.
+	best := curves[0]
+	for _, c := range curves[1:] {
+		if c.sharp > best.sharp || (best.sharp == 0 && c.sharp == 0 && c.gap > best.gap) {
+			best = c
+		}
+	}
+
+	ac := &AutoConfig{
+		MinSamples: minSamples(n),
+		K:          best.k,
+		Curve: CurveData{
+			X:         best.xs,
+			Y:         best.ys,
+			Smoothed:  best.smoothed,
+			KneeIndex: -1,
+		},
+	}
+
+	// The rightmost prominent knee's distance becomes ε.
+	if k, ok := kneedle.Rightmost(best.knees); ok && k.X > 0 {
+		ac.Epsilon = k.X
+		ac.FromKnee = true
+		ac.Curve.KneeIndex = k.Index
+		return ac, nil
+	}
+
+	// Fallback: no knee detected (e.g. nearly uniform distances). Use a
+	// fixed quantile of the k-NN distances so clustering can proceed.
+	ac.Epsilon = vecmath.Percentile(best.xs, fallbackQuantile*100)
+	if ac.Epsilon <= 0 {
+		// All candidate distances are zero — pick the smallest positive
+		// pairwise dissimilarity, or give up.
+		pos := math.Inf(1)
+		for _, d := range m.UpperTriangle() {
+			if d > 0 && d < pos {
+				pos = d
+			}
+		}
+		if math.IsInf(pos, 1) {
+			return nil, errors.New("core: all segments identical; nothing to cluster")
+		}
+		ac.Epsilon = pos
+	}
+	return ac, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"protoclust/internal/canberra"
+	"protoclust/internal/dissim"
+	"protoclust/internal/netmsg"
+)
+
+// poolFromValues builds a dissimilarity matrix over the given byte
+// values.
+func poolFromValues(t *testing.T, values [][]byte) (*dissim.Pool, *dissim.Matrix) {
+	t.Helper()
+	var segs []netmsg.Segment
+	for _, v := range values {
+		m := &netmsg.Message{Data: v}
+		segs = append(segs, netmsg.Segment{Msg: m, Offset: 0, Length: len(v)})
+	}
+	pool := dissim.NewPool(segs)
+	matrix, err := dissim.Compute(pool, canberra.DefaultPenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, matrix
+}
+
+// bimodalValues builds two dense value modes separated by a wide gap,
+// the canonical single-knee population.
+func bimodalValues(rng *rand.Rand, perMode int) [][]byte {
+	var values [][]byte
+	for i := 0; i < perMode; i++ {
+		// Mode A: low bytes with small jitter.
+		values = append(values, []byte{0x10, byte(rng.Intn(6)), 0x20, byte(rng.Intn(6))})
+		// Mode B: high bytes with small jitter.
+		values = append(values, []byte{0xe0, byte(0xe0 + rng.Intn(6)), 0xf0, byte(0xf0 + rng.Intn(6))})
+	}
+	return values
+}
+
+func TestConfigureTooFewSegments(t *testing.T) {
+	_, m := poolFromValues(t, [][]byte{{1, 2}, {3, 4}})
+	if _, err := Configure(m, DefaultParams()); !errors.Is(err, ErrTooFewSegments) {
+		t.Errorf("err = %v, want ErrTooFewSegments", err)
+	}
+}
+
+func TestConfigureFindsSeparatingEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, m := poolFromValues(t, bimodalValues(rng, 60))
+	cfg, err := Configure(m, DefaultParams())
+	if err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	// The two modes are ~0.8 apart in Canberra terms while intra-mode
+	// distances are small; ε must fall in between.
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 0.5 {
+		t.Errorf("epsilon = %v, want within the inter-mode gap (0, 0.5)", cfg.Epsilon)
+	}
+	if !cfg.FromKnee {
+		t.Error("expected a knee-derived epsilon on a bimodal population")
+	}
+	if cfg.Curve.KneeIndex < 0 {
+		t.Error("knee index not recorded")
+	}
+}
+
+func TestConfigureCurveSeriesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, m := poolFromValues(t, bimodalValues(rng, 40))
+	cfg, err := Configure(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Curve
+	if len(c.X) != len(c.Y) || len(c.Y) != len(c.Smoothed) {
+		t.Fatalf("series lengths differ: %d/%d/%d", len(c.X), len(c.Y), len(c.Smoothed))
+	}
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] < c.X[i-1] {
+			t.Fatal("curve X not sorted")
+		}
+		if c.Y[i] < c.Y[i-1] {
+			t.Fatal("ECDF not monotone")
+		}
+	}
+	if cfg.FromKnee && c.X[c.KneeIndex] != cfg.Epsilon {
+		t.Errorf("knee X %v != epsilon %v", c.X[c.KneeIndex], cfg.Epsilon)
+	}
+}
+
+func TestConfigureTrimmedYieldsSmallerEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Three modes → at least two knees; trimming below the first ε must
+	// surface a smaller one.
+	var values [][]byte
+	for i := 0; i < 50; i++ {
+		values = append(values, []byte{0x08, byte(rng.Intn(4)), 0x08, byte(rng.Intn(4))})
+		values = append(values, []byte{0x70, byte(0x70 + rng.Intn(4)), 0x77, byte(rng.Intn(4))})
+		values = append(values, []byte{0xe8, byte(0xe8 + rng.Intn(4)), 0xef, byte(0xe8 + rng.Intn(4))})
+	}
+	_, m := poolFromValues(t, values)
+	p := DefaultParams()
+	cfg, err := Configure(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := configure(m, p, cfg.Epsilon)
+	if err != nil {
+		t.Fatalf("trimmed configure: %v", err)
+	}
+	if cfg2.Epsilon >= cfg.Epsilon {
+		t.Errorf("trimmed epsilon %v not below original %v", cfg2.Epsilon, cfg.Epsilon)
+	}
+}
+
+func TestConfigureTrimBelowEverythingFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, m := poolFromValues(t, bimodalValues(rng, 20))
+	if _, err := configure(m, DefaultParams(), 1e-12); !errors.Is(err, ErrTooFewSegments) {
+		t.Errorf("err = %v, want ErrTooFewSegments after total trim", err)
+	}
+}
+
+func TestConfigureFallbackOnUniformDistances(t *testing.T) {
+	// Values spread so that k-NN distances are nearly uniform: no sharp
+	// knee. Configure must still return a usable epsilon via fallback.
+	var values [][]byte
+	for i := 0; i < 40; i++ {
+		values = append(values, []byte{byte(i * 6), byte(255 - i*6), byte(i * 3), byte(i)})
+	}
+	_, m := poolFromValues(t, values)
+	cfg, err := Configure(m, DefaultParams())
+	if err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if cfg.Epsilon <= 0 {
+		t.Errorf("fallback epsilon = %v, want positive", cfg.Epsilon)
+	}
+}
+
+func TestMinSamplesScalesWithLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, m := poolFromValues(t, bimodalValues(rng, 80))
+	cfg, err := Configure(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinSamples != minSamples(m.Len()) {
+		t.Errorf("MinSamples = %d, want %d", cfg.MinSamples, minSamples(m.Len()))
+	}
+}
+
+func TestConfigureKInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	_, m := poolFromValues(t, bimodalValues(rng, 60))
+	cfg, err := Configure(m, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K < 2 || cfg.K > kMax(m.Len()) {
+		t.Errorf("k = %d outside [2, %d]", cfg.K, kMax(m.Len()))
+	}
+}

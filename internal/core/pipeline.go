@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"protoclust/internal/dbscan"
+	"protoclust/internal/dissim"
+	"protoclust/internal/netmsg"
+)
+
+// Cluster is one pseudo data type: a group of segments judged to carry
+// the same (unknown) field data type.
+type Cluster struct {
+	// ID is a stable, 0-based cluster identifier.
+	ID int
+	// UniqueIndexes are the pool indices of the unique segment values in
+	// this cluster.
+	UniqueIndexes []int
+	// Segments holds every concrete segment occurrence in the cluster.
+	Segments []netmsg.Segment
+}
+
+// Size returns the number of unique segment values in the cluster.
+func (c *Cluster) Size() int { return len(c.UniqueIndexes) }
+
+// Result is the outcome of the full pseudo-data-type clustering
+// pipeline.
+type Result struct {
+	// Clusters are the refined pseudo data types.
+	Clusters []Cluster
+	// Noise holds all segment occurrences DBSCAN classified as noise.
+	Noise []netmsg.Segment
+	// Excluded holds the one-byte segments never admitted to clustering.
+	Excluded []netmsg.Segment
+	// Pool is the deduplicated segment population.
+	Pool *dissim.Pool
+	// Matrix is the pairwise dissimilarity matrix over Pool.
+	Matrix *dissim.Matrix
+	// Config records the (final) automatic DBSCAN configuration.
+	Config AutoConfig
+	// Reconfigured reports whether the >60 %-cluster guard re-ran the ε
+	// selection (Section III-E).
+	Reconfigured bool
+	// MergedFrom and SplitInto record how many raw DBSCAN clusters went
+	// into refinement and how many came out, for diagnostics.
+	MergedFrom int
+}
+
+// runClusterer applies the configured density clusterer: DBSCAN by
+// default, OPTICS with DBSCAN-equivalent extraction, or HDBSCAN (which
+// ignores ε and derives its hierarchy from minPts alone).
+func runClusterer(m dbscan.Matrix, eps float64, minPts int, p Params) (*dbscan.Result, error) {
+	switch p.Clusterer {
+	case "", "dbscan":
+		return dbscan.Cluster(m, eps, minPts)
+	case "optics":
+		order, err := dbscan.OPTICS(m, 1, minPts)
+		if err != nil {
+			return nil, err
+		}
+		return dbscan.ExtractDBSCAN(order, m.Len(), eps), nil
+	case "hdbscan":
+		return dbscan.HDBSCAN(m, minPts, minPts)
+	default:
+		return nil, fmt.Errorf("core: unknown clusterer %q", p.Clusterer)
+	}
+}
+
+// ClusterSegments runs the entire pipeline of Section III on a set of
+// segments: dedup → dissimilarity matrix → ε auto-configuration →
+// DBSCAN → 60 %-guard → refinement.
+func ClusterSegments(segs []netmsg.Segment, p Params) (*Result, error) {
+	pool := dissim.NewPool(segs)
+	if pool.Size() < 3 {
+		return nil, fmt.Errorf("%w (pool has %d)", ErrTooFewSegments, pool.Size())
+	}
+	m, err := dissim.Compute(pool, p.Penalty)
+	if err != nil {
+		return nil, fmt.Errorf("core: dissimilarity matrix: %w", err)
+	}
+	return ClusterPool(pool, m, p)
+}
+
+// ClusterPool runs the pipeline on an already-prepared pool and matrix
+// (used by benchmarks that sweep parameters over one matrix).
+func ClusterPool(pool *dissim.Pool, m *dissim.Matrix, p Params) (*Result, error) {
+	var (
+		cfg *AutoConfig
+		err error
+	)
+	if p.FixedEpsilon > 0 {
+		cfg = &AutoConfig{Epsilon: p.FixedEpsilon, MinSamples: minSamples(pool.Size())}
+	} else {
+		cfg, err = Configure(m, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := runClusterer(m, cfg.Epsilon, cfg.MinSamples, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: clusterer: %w", err)
+	}
+
+	// Section III-E: a single dominant cluster signals an ε that spans
+	// multiple knees; repeat the whole auto-configuration once on the
+	// population trimmed below the detected knee (Ê'_k) and recluster
+	// with the new, smaller ε.
+	reconfigured := false
+	if p.FixedEpsilon <= 0 {
+		if share, _ := res.LargestClusterShare(); share > p.LargeClusterShare {
+			if cfg2, err2 := configure(m, p, cfg.Epsilon); err2 == nil && cfg2.Epsilon < cfg.Epsilon {
+				if res2, err3 := runClusterer(m, cfg2.Epsilon, cfg2.MinSamples, p); err3 == nil {
+					cfg = cfg2
+					res = res2
+					reconfigured = true
+				}
+			}
+		}
+	}
+
+	rawClusters, noiseIdx := res.Clusters()
+
+	clusters := rawClusters
+	if !p.DisableRefinement {
+		clusters = mergeClusters(clusters, m, p)
+		clusters = splitClusters(clusters, func(i int) int { return len(pool.Occurrences[i]) }, p)
+	}
+
+	out := &Result{
+		Pool:         pool,
+		Matrix:       m,
+		Config:       *cfg,
+		Reconfigured: reconfigured,
+		Excluded:     pool.Excluded,
+		MergedFrom:   len(rawClusters),
+	}
+	for id, c := range clusters {
+		cl := Cluster{ID: id, UniqueIndexes: c}
+		for _, idx := range c {
+			cl.Segments = append(cl.Segments, pool.Occurrences[idx]...)
+		}
+		out.Clusters = append(out.Clusters, cl)
+	}
+	for _, idx := range noiseIdx {
+		out.Noise = append(out.Noise, pool.Occurrences[idx]...)
+	}
+	return out, nil
+}
+
+// CoveredBytes returns the number of message bytes the analysis can make
+// a statement about: every byte of every clustered segment occurrence,
+// plus excluded one-byte segments whose value recurs in the trace (the
+// paper re-incorporates those by frequency analysis, Section III-C).
+func (r *Result) CoveredBytes() int {
+	var n int
+	for _, c := range r.Clusters {
+		for _, s := range c.Segments {
+			n += s.Length
+		}
+	}
+	counts := make(map[byte]int)
+	for _, s := range r.Excluded {
+		if s.Length == 1 {
+			counts[s.Bytes()[0]]++
+		}
+	}
+	for _, s := range r.Excluded {
+		if s.Length == 1 && counts[s.Bytes()[0]] > 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+// Package dbscan implements Density-Based Spatial Clustering of
+// Applications with Noise (Ester, Kriegel, Sander, Xu; KDD 1996) over a
+// precomputed dissimilarity matrix.
+//
+// The paper clusters unique message segments whose pairwise Canberra
+// dissimilarities serve as affinities; DBSCAN is chosen because it needs
+// no target cluster count, makes no shape assumptions, and treats
+// outliers as noise (Section III-E).
+package dbscan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Noise is the label assigned to points that belong to no cluster.
+const Noise = -1
+
+// Matrix provides pairwise dissimilarities between n points. Dist must
+// be symmetric with Dist(i,i) == 0.
+type Matrix interface {
+	// Len returns the number of points.
+	Len() int
+	// Dist returns the dissimilarity between points i and j.
+	Dist(i, j int) float64
+}
+
+// Result holds a clustering outcome.
+type Result struct {
+	// Labels maps each point index to its cluster ID (0-based) or Noise.
+	Labels []int
+	// NumClusters is the number of clusters found (noise excluded).
+	NumClusters int
+}
+
+// Errors returned by Cluster.
+var (
+	ErrEmpty     = errors.New("dbscan: empty matrix")
+	ErrBadEps    = errors.New("dbscan: eps must be positive")
+	ErrBadMinPts = errors.New("dbscan: minPts must be at least 1")
+)
+
+// Cluster runs DBSCAN with radius eps and density threshold minPts
+// (minimum neighborhood size, including the point itself, for a point to
+// be a core point). The clustering is deterministic: points are seeded
+// in index order.
+func Cluster(m Matrix, eps float64, minPts int) (*Result, error) {
+	n := m.Len()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEps, eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadMinPts, minPts)
+	}
+
+	const unvisited = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+
+	// neighbors returns all points within eps of p (including p).
+	neighbors := func(p int, buf []int) []int {
+		buf = buf[:0]
+		for q := 0; q < n; q++ {
+			if m.Dist(p, q) <= eps {
+				buf = append(buf, q)
+			}
+		}
+		return buf
+	}
+
+	var (
+		cluster = 0
+		nbuf    = make([]int, 0, n)
+		queue   = make([]int, 0, n)
+	)
+	for p := 0; p < n; p++ {
+		if labels[p] != unvisited {
+			continue
+		}
+		nbuf = neighbors(p, nbuf)
+		if len(nbuf) < minPts {
+			labels[p] = Noise
+			continue
+		}
+		// Start a new cluster and expand it breadth-first.
+		labels[p] = cluster
+		queue = append(queue[:0], nbuf...)
+		for head := 0; head < len(queue); head++ {
+			q := queue[head]
+			if labels[q] == Noise {
+				labels[q] = cluster // border point reached from a core
+				continue
+			}
+			if labels[q] != unvisited {
+				continue
+			}
+			labels[q] = cluster
+			qn := neighbors(q, make([]int, 0, minPts))
+			if len(qn) >= minPts {
+				queue = append(queue, qn...)
+			}
+		}
+		cluster++
+	}
+
+	return &Result{Labels: labels, NumClusters: cluster}, nil
+}
+
+// Clusters groups point indices by cluster label. The returned slice has
+// NumClusters entries; noise points are returned separately.
+func (r *Result) Clusters() (clusters [][]int, noise []int) {
+	clusters = make([][]int, r.NumClusters)
+	for i, lab := range r.Labels {
+		if lab == Noise {
+			noise = append(noise, i)
+			continue
+		}
+		clusters[lab] = append(clusters[lab], i)
+	}
+	return clusters, noise
+}
+
+// LargestClusterShare returns the fraction of non-noise points contained
+// in the most populous cluster, and the total count of non-noise points.
+// A share of 0 is returned when everything is noise.
+//
+// Section III-E's guard re-runs ε selection when this share exceeds 0.6.
+func (r *Result) LargestClusterShare() (share float64, nonNoise int) {
+	if r.NumClusters == 0 {
+		return 0, 0
+	}
+	counts := make([]int, r.NumClusters)
+	for _, lab := range r.Labels {
+		if lab != Noise {
+			counts[lab]++
+			nonNoise++
+		}
+	}
+	if nonNoise == 0 {
+		return 0, 0
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / float64(nonNoise), nonNoise
+}
+
+// DenseMatrix is a Matrix backed by a flat, symmetric slice. Entries
+// are stored as float32: dissimilarities live in [0, 1] and heuristic
+// segmentation can produce tens of thousands of unique segments, where
+// float64 storage would double the footprint for no analytic benefit.
+type DenseMatrix struct {
+	n    int
+	data []float32 // row-major n×n
+}
+
+var _ Matrix = (*DenseMatrix)(nil)
+
+// NewDenseMatrix allocates an n×n zero matrix.
+func NewDenseMatrix(n int) *DenseMatrix {
+	return &DenseMatrix{n: n, data: make([]float32, n*n)}
+}
+
+// Len returns the number of points.
+func (d *DenseMatrix) Len() int { return d.n }
+
+// Dist returns the stored dissimilarity between i and j.
+func (d *DenseMatrix) Dist(i, j int) float64 { return float64(d.data[i*d.n+j]) }
+
+// Set stores a symmetric dissimilarity between i and j.
+func (d *DenseMatrix) Set(i, j int, v float64) {
+	d.data[i*d.n+j] = float32(v)
+	d.data[j*d.n+i] = float32(v)
+}

@@ -1,0 +1,284 @@
+package dbscan
+
+import (
+	"math"
+	"sort"
+)
+
+// HDBSCAN clusters a precomputed dissimilarity matrix with the
+// hierarchical density-based algorithm of Campello, Moulavi, and Sander
+// (PAKDD 2013): mutual-reachability graph → minimum spanning tree →
+// single-linkage hierarchy → condensed tree (minClusterSize) →
+// stability-maximizing cluster selection.
+//
+// The paper names HDBSCAN as one of the alternatives that "suffer from
+// the same [over-classification] effect" as DBSCAN (Section III-F);
+// this implementation backs that comparison.
+func HDBSCAN(m Matrix, minPts, minClusterSize int) (*Result, error) {
+	n := m.Len()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if minPts < 1 || minClusterSize < 2 {
+		return nil, ErrBadMinPts
+	}
+	if n < minClusterSize {
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = Noise
+		}
+		return &Result{Labels: labels}, nil
+	}
+
+	// Core distances: distance to the minPts-th neighbor (self counts).
+	core := make([]float64, n)
+	buf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			buf[j] = m.Dist(i, j)
+		}
+		sort.Float64s(buf)
+		k := minPts
+		if k > n-1 {
+			k = n - 1
+		}
+		core[i] = buf[k]
+	}
+	mreach := func(a, b int) float64 {
+		return math.Max(m.Dist(a, b), math.Max(core[a], core[b]))
+	}
+
+	// Prim's MST over the mutual reachability graph.
+	type edge struct {
+		a, b int
+		w    float64
+	}
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	from := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	from[0] = -1
+	edges := make([]edge, 0, n-1)
+	for iter := 0; iter < n; iter++ {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (best == -1 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		if from[best] >= 0 {
+			edges = append(edges, edge{a: from[best], b: best, w: dist[best]})
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if w := mreach(best, i); w < dist[i] {
+					dist[i] = w
+					from[i] = best
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+
+	// Single-linkage dendrogram via union-find: nodes 0..n-1 are leaves,
+	// n..2n-2 are merges.
+	parent := make([]int, 2*n-1)
+	size := make([]int, 2*n-1)
+	birth := make([]float64, 2*n-1) // merge distance creating the node
+	childL := make([]int, 2*n-1)
+	childR := make([]int, 2*n-1)
+	for i := range parent {
+		parent[i] = i
+		childL[i], childR[i] = -1, -1
+	}
+	for i := 0; i < n; i++ {
+		size[i] = 1
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	next := n
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		node := next
+		next++
+		parent[ra], parent[rb], parent[node] = node, node, node
+		size[node] = size[ra] + size[rb]
+		birth[node] = e.w
+		childL[node], childR[node] = ra, rb
+	}
+	root := next - 1
+
+	// Condense the dendrogram: clusters smaller than minClusterSize fall
+	// out of their parent. pointFall[p] records the condensed cluster a
+	// point last belonged to and the lambda at which it left.
+	type condensed struct {
+		parent    int
+		birthL    float64
+		deathL    float64
+		stability float64
+		selected  bool
+		childIDs  []int
+	}
+	clusters := []condensed{{parent: -1, birthL: 0}}
+	pointFall := make([]int, n)
+	pointLambda := make([]float64, n)
+
+	lambdaOf := func(d float64) float64 {
+		if d <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / d
+	}
+
+	// collectLeaves gathers the leaf points under a dendrogram node.
+	var collectLeaves func(node int, out *[]int)
+	collectLeaves = func(node int, out *[]int) {
+		if node < n {
+			*out = append(*out, node)
+			return
+		}
+		collectLeaves(childL[node], out)
+		collectLeaves(childR[node], out)
+	}
+
+	// fallOut records every point under node as leaving cluster cid at
+	// lambda lam.
+	fallOut := func(node, cid int, lam float64) {
+		var pts []int
+		collectLeaves(node, &pts)
+		for _, p := range pts {
+			pointFall[p] = cid
+			pointLambda[p] = lam
+		}
+	}
+
+	// walk descends the dendrogram assigning condensed cluster ids.
+	var walk func(node, cid int)
+	walk = func(node, cid int) {
+		if node < n {
+			pointFall[node] = cid
+			pointLambda[node] = math.Inf(1) // singleton persists to the end
+			return
+		}
+		lam := lambdaOf(birth[node])
+		l, r := childL[node], childR[node]
+		bigL := size[l] >= minClusterSize
+		bigR := size[r] >= minClusterSize
+		switch {
+		case bigL && bigR:
+			// True split: two new condensed clusters are born here.
+			idL := len(clusters)
+			clusters = append(clusters, condensed{parent: cid, birthL: lam})
+			idR := len(clusters)
+			clusters = append(clusters, condensed{parent: cid, birthL: lam})
+			clusters[cid].childIDs = append(clusters[cid].childIDs, idL, idR)
+			clusters[cid].deathL = lam
+			walk(l, idL)
+			walk(r, idR)
+		case bigL && !bigR:
+			fallOut(r, cid, lam)
+			walk(l, cid)
+		case !bigL && bigR:
+			fallOut(l, cid, lam)
+			walk(r, cid)
+		default:
+			// The cluster dissolves entirely at this level.
+			fallOut(l, cid, lam)
+			fallOut(r, cid, lam)
+			if clusters[cid].deathL == 0 {
+				clusters[cid].deathL = lam
+			}
+		}
+	}
+	walk(root, 0)
+
+	// Stabilities: Σ_points (λ_leave − λ_birth) per cluster, where a
+	// point leaves at its fall-out lambda or the cluster's split lambda.
+	for p := 0; p < n; p++ {
+		cid := pointFall[p]
+		lam := pointLambda[p]
+		if math.IsInf(lam, 1) {
+			// Point persisted to a singleton; credit it until the
+			// cluster's death (or a large lambda when unknown).
+			lam = clusters[cid].deathL
+			if lam == 0 {
+				lam = lambdaOf(edges[len(edges)-1].w) // tightest scale seen
+			}
+		}
+		clusters[cid].stability += lam - clusters[cid].birthL
+	}
+
+	// Select clusters bottom-up by stability (excess of mass). The root
+	// pseudo-cluster is never selected.
+	orderIDs := make([]int, len(clusters))
+	for i := range orderIDs {
+		orderIDs[i] = i
+	}
+	sort.Slice(orderIDs, func(i, j int) bool { return orderIDs[i] > orderIDs[j] })
+	subtree := make([]float64, len(clusters))
+	for _, id := range orderIDs {
+		c := &clusters[id]
+		var childSum float64
+		for _, ch := range c.childIDs {
+			childSum += subtree[ch]
+		}
+		if id == 0 {
+			subtree[id] = childSum
+			continue
+		}
+		if len(c.childIDs) == 0 || c.stability >= childSum {
+			c.selected = true
+			subtree[id] = c.stability
+			// Deselect descendants.
+			var deselect func(int)
+			deselect = func(x int) {
+				for _, ch := range clusters[x].childIDs {
+					clusters[ch].selected = false
+					deselect(ch)
+				}
+			}
+			deselect(id)
+		} else {
+			subtree[id] = childSum
+		}
+	}
+
+	// A trace that never splits leaves only the root pseudo-cluster;
+	// that is the single-cluster case (hdbscan's allow_single_cluster).
+	if len(clusters) == 1 {
+		clusters[0].selected = true
+	}
+
+	// Assignment: climb from each point's fall-out cluster to the first
+	// selected ancestor.
+	labels := make([]int, n)
+	labelOf := make(map[int]int)
+	numClusters := 0
+	for p := 0; p < n; p++ {
+		cid := pointFall[p]
+		for cid > 0 && !clusters[cid].selected {
+			cid = clusters[cid].parent
+		}
+		if cid < 0 || !clusters[cid].selected {
+			labels[p] = Noise
+			continue
+		}
+		lab, ok := labelOf[cid]
+		if !ok {
+			lab = numClusters
+			labelOf[cid] = lab
+			numClusters++
+		}
+		labels[p] = lab
+	}
+	return &Result{Labels: labels, NumClusters: numClusters}, nil
+}

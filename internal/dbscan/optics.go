@@ -1,0 +1,198 @@
+package dbscan
+
+import (
+	"container/heap"
+	"math"
+)
+
+// OPTICSPoint is one entry of the OPTICS ordering: the point index and
+// its reachability distance (math.Inf(1) for points that start a new
+// density component).
+type OPTICSPoint struct {
+	// Index is the point's index in the input matrix.
+	Index int
+	// Reachability is the OPTICS reachability distance.
+	Reachability float64
+	// CoreDistance is the point's core distance at the generating
+	// radius (+Inf when the point is not core).
+	CoreDistance float64
+}
+
+// OPTICS computes the OPTICS cluster ordering (Ankerst, Breunig,
+// Kriegel, Sander; SIGMOD 1999) over a precomputed dissimilarity
+// matrix, with the generating distance bounded by maxEps (use 1 for
+// normalized dissimilarities).
+//
+// The paper notes that OPTICS and HDBSCAN suffer from the same
+// over-classification effect as DBSCAN (Section III-F); this
+// implementation backs the ablation comparing the clusterers.
+func OPTICS(m Matrix, maxEps float64, minPts int) ([]OPTICSPoint, error) {
+	n := m.Len()
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if maxEps <= 0 {
+		return nil, ErrBadEps
+	}
+	if minPts < 1 {
+		return nil, ErrBadMinPts
+	}
+
+	processed := make([]bool, n)
+	reach := make([]float64, n)
+	for i := range reach {
+		reach[i] = math.Inf(1)
+	}
+	order := make([]OPTICSPoint, 0, n)
+
+	// coreDistance returns the distance to the (minPts-1)-th nearest
+	// neighbor within maxEps, or +Inf when the point is not core.
+	coreDistance := func(p int) float64 {
+		var ds []float64
+		for q := 0; q < n; q++ {
+			if d := m.Dist(p, q); d <= maxEps {
+				ds = append(ds, d)
+			}
+		}
+		if len(ds) < minPts {
+			return math.Inf(1)
+		}
+		// Selection of the minPts-th smallest (including self at 0).
+		for i := 0; i < minPts; i++ {
+			minIdx := i
+			for j := i + 1; j < len(ds); j++ {
+				if ds[j] < ds[minIdx] {
+					minIdx = j
+				}
+			}
+			ds[i], ds[minIdx] = ds[minIdx], ds[i]
+		}
+		return ds[minPts-1]
+	}
+
+	for start := 0; start < n; start++ {
+		if processed[start] {
+			continue
+		}
+		processed[start] = true
+		order = append(order, OPTICSPoint{
+			Index:        start,
+			Reachability: math.Inf(1),
+			CoreDistance: coreDistance(start),
+		})
+
+		seeds := &reachHeap{}
+		update := func(p int) {
+			cd := coreDistance(p)
+			if math.IsInf(cd, 1) {
+				return
+			}
+			for q := 0; q < n; q++ {
+				if processed[q] {
+					continue
+				}
+				d := m.Dist(p, q)
+				if d > maxEps {
+					continue
+				}
+				newReach := math.Max(cd, d)
+				if newReach < reach[q] {
+					reach[q] = newReach
+					heap.Push(seeds, reachItem{idx: q, reach: newReach})
+				}
+			}
+		}
+		update(start)
+		for seeds.Len() > 0 {
+			item := heap.Pop(seeds).(reachItem)
+			q := item.idx
+			if processed[q] {
+				continue
+			}
+			if item.reach > reach[q] {
+				continue // stale heap entry
+			}
+			processed[q] = true
+			order = append(order, OPTICSPoint{
+				Index:        q,
+				Reachability: reach[q],
+				CoreDistance: coreDistance(q),
+			})
+			update(q)
+		}
+	}
+	return order, nil
+}
+
+// ExtractDBSCAN derives a DBSCAN-equivalent clustering from an OPTICS
+// ordering at radius eps ≤ the generating distance, following the
+// original paper's ExtractDBSCAN-Clustering: a point whose reachability
+// exceeds eps starts a new cluster if it is core at eps, and is noise
+// otherwise; all subsequent points with reachability ≤ eps join the
+// open cluster.
+func ExtractDBSCAN(order []OPTICSPoint, n int, eps float64) *Result {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	cluster := -1
+	for _, p := range order {
+		if p.Reachability > eps {
+			if p.CoreDistance <= eps {
+				cluster++
+				labels[p.Index] = cluster
+			}
+			continue
+		}
+		if cluster < 0 {
+			cluster = 0
+		}
+		labels[p.Index] = cluster
+	}
+	// Drop empty and singleton clusters back to noise and compact the
+	// label space.
+	counts := make(map[int]int)
+	for _, lab := range labels {
+		if lab != Noise {
+			counts[lab]++
+		}
+	}
+	remap := make(map[int]int)
+	next := 0
+	for i, lab := range labels {
+		if lab == Noise {
+			continue
+		}
+		if counts[lab] < 2 {
+			labels[i] = Noise
+			continue
+		}
+		if _, ok := remap[lab]; !ok {
+			remap[lab] = next
+			next++
+		}
+		labels[i] = remap[lab]
+	}
+	return &Result{Labels: labels, NumClusters: next}
+}
+
+// reachItem is a seed-heap entry.
+type reachItem struct {
+	idx   int
+	reach float64
+}
+
+// reachHeap is a min-heap over reachability distances.
+type reachHeap []reachItem
+
+func (h reachHeap) Len() int            { return len(h) }
+func (h reachHeap) Less(i, j int) bool  { return h[i].reach < h[j].reach }
+func (h reachHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reachHeap) Push(x interface{}) { *h = append(*h, x.(reachItem)) }
+func (h *reachHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,299 @@
+// Package dissect parses Wireshark/tshark dissection output into the
+// ground-truth field model, so recorded traces can be evaluated exactly
+// the way the paper does ("As the source of the ground truth, we parse
+// the Wireshark dissectors' output for each message", Section IV-A).
+//
+// Input format: `tshark -T jsonraw` — each packet carries a
+// `_source.layers` object where every dissected field name has a
+// sibling "<name>_raw" array [hex, byteOffset, byteLength, bitmask,
+// type]. The parser extracts the leaf fields of one protocol layer,
+// converts offsets to be payload-relative, resolves overlaps in favour
+// of the innermost (leaf) fields, and fills gaps so the fields tile the
+// layer — the invariant netmsg ground truth requires.
+package dissect
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"protoclust/internal/netmsg"
+)
+
+// TypeHint maps a tshark field name (e.g. "ntp.xmt") and its byte
+// length to a ground-truth type label. A nil hint falls back to
+// HeuristicType.
+type TypeHint func(name string, length int) netmsg.FieldType
+
+// Dissection is one packet's parsed layer.
+type Dissection struct {
+	// LayerStart is the layer's byte offset within the frame.
+	LayerStart int
+	// LayerLength is the layer's byte length.
+	LayerLength int
+	// Fields are payload-relative, sorted, non-overlapping, gap-free.
+	Fields []netmsg.Field
+}
+
+// Errors returned by ParseTShark.
+var (
+	ErrNoPackets = errors.New("dissect: no packets in input")
+	ErrNoLayer   = errors.New("dissect: protocol layer not found")
+)
+
+// ParseTShark reads `tshark -T jsonraw` output and extracts the named
+// protocol layer (e.g. "ntp", "dns") of every packet that carries it.
+// Packets without the layer are skipped; an error is returned when no
+// packet carries it at all.
+func ParseTShark(r io.Reader, protocol string, hint TypeHint) ([]Dissection, error) {
+	if hint == nil {
+		hint = HeuristicType
+	}
+	var packets []struct {
+		Source struct {
+			Layers map[string]json.RawMessage `json:"layers"`
+		} `json:"_source"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&packets); err != nil {
+		return nil, fmt.Errorf("dissect: parse json: %w", err)
+	}
+	if len(packets) == 0 {
+		return nil, ErrNoPackets
+	}
+
+	var out []Dissection
+	for _, pkt := range packets {
+		layerRaw, okRaw := pkt.Source.Layers[protocol+"_raw"]
+		layerObj, okObj := pkt.Source.Layers[protocol]
+		if !okObj {
+			continue
+		}
+		d := Dissection{LayerStart: 0, LayerLength: -1}
+		if okRaw {
+			if start, length, ok := parseRawEntry(layerRaw); ok {
+				d.LayerStart = start
+				d.LayerLength = length
+			}
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(layerObj, &obj); err != nil {
+			continue // text layers etc.
+		}
+		var leaves []rawField
+		collectLeaves(obj, &leaves)
+		d.Fields = assembleFields(leaves, d.LayerStart, d.LayerLength, hint)
+		if len(d.Fields) > 0 {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoLayer, protocol)
+	}
+	return out, nil
+}
+
+// rawField is one "<name>_raw" entry before overlap resolution.
+type rawField struct {
+	name   string
+	offset int
+	length int
+	depth  int
+}
+
+// parseRawEntry decodes a _raw array: [hex, offset, length, mask, type].
+func parseRawEntry(raw json.RawMessage) (offset, length int, ok bool) {
+	var arr []json.Number
+	// The first element is a hex string; decode generically.
+	var generic []interface{}
+	if err := json.Unmarshal(raw, &generic); err != nil || len(generic) < 3 {
+		return 0, 0, false
+	}
+	_ = arr
+	off, ok1 := asInt(generic[1])
+	l, ok2 := asInt(generic[2])
+	if !ok1 || !ok2 || l < 0 {
+		return 0, 0, false
+	}
+	return off, l, true
+}
+
+func asInt(v interface{}) (int, bool) {
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int(f), true
+}
+
+// collectLeaves walks a layer object depth-first, recording every
+// field that has positional raw data.
+func collectLeaves(obj map[string]json.RawMessage, out *[]rawField) {
+	collectLeavesDepth(obj, out, 0)
+}
+
+func collectLeavesDepth(obj map[string]json.RawMessage, out *[]rawField, depth int) {
+	for key, val := range obj {
+		if strings.HasSuffix(key, "_raw") {
+			name := strings.TrimSuffix(key, "_raw")
+			if off, l, ok := parseRawEntry(val); ok && l > 0 {
+				*out = append(*out, rawField{name: name, offset: off, length: l, depth: depth})
+			}
+			continue
+		}
+		// Recurse into subtrees (field groups).
+		var sub map[string]json.RawMessage
+		if err := json.Unmarshal(val, &sub); err == nil {
+			collectLeavesDepth(sub, out, depth+1)
+		}
+	}
+}
+
+// assembleFields resolves overlaps (innermost/smallest fields win),
+// converts to layer-relative offsets, and fills gaps so the result
+// tiles the layer.
+func assembleFields(leaves []rawField, layerStart, layerLength int, hint TypeHint) []netmsg.Field {
+	if len(leaves) == 0 {
+		return nil
+	}
+	// Deeper (more specific) fields first; then smaller; then leftmost.
+	sort.Slice(leaves, func(i, j int) bool {
+		if leaves[i].depth != leaves[j].depth {
+			return leaves[i].depth > leaves[j].depth
+		}
+		if leaves[i].length != leaves[j].length {
+			return leaves[i].length < leaves[j].length
+		}
+		return leaves[i].offset < leaves[j].offset
+	})
+
+	end := layerStart + layerLength
+	if layerLength < 0 {
+		// Unknown layer extent: derive from the fields.
+		end = 0
+		for _, lf := range leaves {
+			if lf.offset+lf.length > end {
+				end = lf.offset + lf.length
+			}
+		}
+		layerStart = leaves[0].offset
+		for _, lf := range leaves {
+			if lf.offset < layerStart {
+				layerStart = lf.offset
+			}
+		}
+	}
+
+	// Greedy claim: a field takes its byte range unless already claimed.
+	claimed := make([]bool, end-layerStart)
+	var picked []rawField
+	for _, lf := range leaves {
+		lo, hi := lf.offset-layerStart, lf.offset+lf.length-layerStart
+		if lo < 0 || hi > len(claimed) {
+			continue
+		}
+		free := true
+		for i := lo; i < hi; i++ {
+			if claimed[i] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			claimed[i] = true
+		}
+		picked = append(picked, lf)
+	}
+
+	sort.Slice(picked, func(i, j int) bool { return picked[i].offset < picked[j].offset })
+	var fields []netmsg.Field
+	pos := 0
+	for _, lf := range picked {
+		rel := lf.offset - layerStart
+		if rel > pos {
+			fields = append(fields, netmsg.Field{
+				Name: "gap", Offset: pos, Length: rel - pos, Type: netmsg.TypeUnknown,
+			})
+		}
+		fields = append(fields, netmsg.Field{
+			Name:   lf.name,
+			Offset: rel,
+			Length: lf.length,
+			Type:   hint(lf.name, lf.length),
+		})
+		pos = rel + lf.length
+	}
+	if pos < len(claimed) {
+		fields = append(fields, netmsg.Field{
+			Name: "gap", Offset: pos, Length: len(claimed) - pos, Type: netmsg.TypeUnknown,
+		})
+	}
+	return fields
+}
+
+// HeuristicType guesses a ground-truth type label from the tshark field
+// name and length: the suffix conventions Wireshark dissectors use are
+// stable enough for evaluation labels.
+func HeuristicType(name string, length int) netmsg.FieldType {
+	lower := strings.ToLower(name)
+	switch {
+	case strings.Contains(lower, "time") || strings.Contains(lower, "stamp"):
+		return netmsg.TypeTimestamp
+	case strings.Contains(lower, "addr") && length == 4:
+		return netmsg.TypeIPv4
+	case strings.Contains(lower, "addr") && length == 6:
+		return netmsg.TypeMACAddr
+	case strings.Contains(lower, "flag"):
+		return netmsg.TypeFlags
+	case strings.Contains(lower, "id"):
+		return netmsg.TypeID
+	case strings.Contains(lower, "name") || strings.Contains(lower, "str") || strings.Contains(lower, "host"):
+		return netmsg.TypeChars
+	case strings.Contains(lower, "checksum") || strings.Contains(lower, "crc"):
+		return netmsg.TypeChecksum
+	case strings.Contains(lower, "type") || strings.Contains(lower, "opcode") || strings.Contains(lower, "code"):
+		return netmsg.TypeEnum
+	case length == 1:
+		return netmsg.TypeUint8
+	case length == 2:
+		return netmsg.TypeUint16
+	case length == 4:
+		return netmsg.TypeUint32
+	case length == 8:
+		return netmsg.TypeUint64
+	default:
+		return netmsg.TypeBytes
+	}
+}
+
+// ApplyToTrace attaches parsed dissections to a trace's messages by
+// index (dissections[i] describes tr.Messages[i]) and validates the
+// tiling against each message length. Dissections whose extent does not
+// match the payload are rejected.
+func ApplyToTrace(tr *netmsg.Trace, ds []Dissection) error {
+	if len(ds) != len(tr.Messages) {
+		return fmt.Errorf("dissect: %d dissections for %d messages", len(ds), len(tr.Messages))
+	}
+	for i, d := range ds {
+		m := tr.Messages[i]
+		total := 0
+		for _, f := range d.Fields {
+			total += f.Length
+		}
+		if total != len(m.Data) {
+			return fmt.Errorf("dissect: message %d: fields cover %d of %d bytes", i, total, len(m.Data))
+		}
+		m.Fields = d.Fields
+		if err := m.ValidateFields(); err != nil {
+			m.Fields = nil
+			return fmt.Errorf("dissect: message %d: %w", i, err)
+		}
+	}
+	return nil
+}

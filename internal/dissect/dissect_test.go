@@ -1,0 +1,214 @@
+package dissect
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"protoclust/internal/netmsg"
+)
+
+// sampleJSON is a minimal tshark -T jsonraw extract: two NTP packets
+// with a few fields, including a nested group and an overlapping parent
+// field (ntp.flags covering the same byte as its bit subfields' parent).
+const sampleJSON = `[
+  {
+    "_source": {
+      "layers": {
+        "frame": {},
+        "ntp": {
+          "ntp.flags": "0x23",
+          "ntp.flags_raw": ["23", 42, 1, 0, 26],
+          "ntp.stratum": "3",
+          "ntp.stratum_raw": ["03", 43, 1, 0, 26],
+          "ntp.rootdelay": "0.06",
+          "ntp.rootdelay_raw": ["00001a40", 44, 4, 0, 26],
+          "ntp.xmt": "Jun 1, 2011",
+          "ntp.xmt_raw": ["d173a7385a25e0cb", 48, 8, 0, 26]
+        },
+        "ntp_raw": ["2303...", 42, 14, 0, 1]
+      }
+    }
+  },
+  {
+    "_source": {
+      "layers": {
+        "ntp": {
+          "ntp.flags_tree": {
+            "ntp.flags.li": "0",
+            "ntp.flags.li_raw": ["23", 42, 1, 192, 26],
+            "ntp.flags.mode": "3",
+            "ntp.flags.mode_raw": ["23", 42, 1, 7, 26]
+          },
+          "ntp.flags_raw": ["23", 42, 1, 0, 26],
+          "ntp.stratum": "3",
+          "ntp.stratum_raw": ["03", 43, 1, 0, 26],
+          "ntp.rootdelay_raw": ["00001a40", 44, 4, 0, 26],
+          "ntp.xmt_raw": ["d173a7385a25e0cb", 48, 8, 0, 26]
+        },
+        "ntp_raw": ["2303...", 42, 14, 0, 1]
+      }
+    }
+  }
+]`
+
+func TestParseTShark(t *testing.T) {
+	ds, err := ParseTShark(strings.NewReader(sampleJSON), "ntp", nil)
+	if err != nil {
+		t.Fatalf("ParseTShark: %v", err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("dissections = %d, want 2", len(ds))
+	}
+	d := ds[0]
+	if d.LayerStart != 42 || d.LayerLength != 14 {
+		t.Errorf("layer extent = %d+%d, want 42+14", d.LayerStart, d.LayerLength)
+	}
+	// Fields must tile the 14-byte layer.
+	pos := 0
+	for _, f := range d.Fields {
+		if f.Offset != pos {
+			t.Fatalf("field %s at %d, want %d", f.Name, f.Offset, pos)
+		}
+		pos = f.End()
+	}
+	if pos != 14 {
+		t.Errorf("fields cover %d of 14 bytes", pos)
+	}
+	// Specific fields present with payload-relative offsets.
+	byName := make(map[string]netmsg.Field)
+	for _, f := range d.Fields {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["ntp.xmt"]; !ok || f.Offset != 6 || f.Length != 8 {
+		t.Errorf("ntp.xmt = %+v", f)
+	}
+	// The heuristic cannot know "xmt" is a timestamp; it falls back to
+	// the length-based label (a custom TypeHint refines this).
+	if f := byName["ntp.xmt"]; f.Type != netmsg.TypeUint64 {
+		t.Errorf("ntp.xmt type = %v, want uint64 (length heuristic)", f.Type)
+	}
+}
+
+func TestParseTSharkOverlapResolution(t *testing.T) {
+	// The second packet carries bit subfields of ntp.flags sharing byte
+	// 42; exactly one field may claim the byte, and deeper (subfield)
+	// entries win over the parent.
+	ds, err := ParseTShark(strings.NewReader(sampleJSON), "ntp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds[1]
+	claims := 0
+	for _, f := range d.Fields {
+		if f.Offset == 0 && f.Length == 1 {
+			claims++
+			if !strings.HasPrefix(f.Name, "ntp.flags") {
+				t.Errorf("byte 0 claimed by %s", f.Name)
+			}
+		}
+	}
+	if claims != 1 {
+		t.Errorf("byte 0 claimed by %d fields, want exactly 1", claims)
+	}
+}
+
+func TestParseTSharkNoLayer(t *testing.T) {
+	if _, err := ParseTShark(strings.NewReader(sampleJSON), "dns", nil); !errors.Is(err, ErrNoLayer) {
+		t.Errorf("err = %v, want ErrNoLayer", err)
+	}
+}
+
+func TestParseTSharkEmpty(t *testing.T) {
+	if _, err := ParseTShark(strings.NewReader("[]"), "ntp", nil); !errors.Is(err, ErrNoPackets) {
+		t.Errorf("err = %v, want ErrNoPackets", err)
+	}
+	if _, err := ParseTShark(strings.NewReader("not json"), "ntp", nil); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestParseTSharkCustomHint(t *testing.T) {
+	hint := func(name string, length int) netmsg.FieldType {
+		if name == "ntp.xmt" {
+			return netmsg.TypeBytes
+		}
+		return netmsg.TypeUnknown
+	}
+	ds, err := ParseTShark(strings.NewReader(sampleJSON), "ntp", hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ds[0].Fields {
+		if f.Name == "ntp.xmt" && f.Type != netmsg.TypeBytes {
+			t.Errorf("custom hint ignored: %v", f.Type)
+		}
+	}
+}
+
+func TestHeuristicType(t *testing.T) {
+	tests := []struct {
+		name   string
+		length int
+		want   netmsg.FieldType
+	}{
+		{"ntp.xmt_timestamp", 8, netmsg.TypeTimestamp},
+		{"ip.src_addr", 4, netmsg.TypeIPv4},
+		{"eth.src_addr", 6, netmsg.TypeMACAddr},
+		{"dns.flags", 2, netmsg.TypeFlags},
+		{"dns.id", 2, netmsg.TypeID},
+		{"dhcp.hostname", 9, netmsg.TypeChars},
+		{"udp.checksum", 2, netmsg.TypeChecksum},
+		{"smb.opcode", 1, netmsg.TypeEnum},
+		{"x.a", 1, netmsg.TypeUint8},
+		{"x.b", 2, netmsg.TypeUint16},
+		{"x.c", 4, netmsg.TypeUint32},
+		{"x.d", 8, netmsg.TypeUint64},
+		{"x.e", 13, netmsg.TypeBytes},
+	}
+	for _, tt := range tests {
+		if got := HeuristicType(tt.name, tt.length); got != tt.want {
+			t.Errorf("HeuristicType(%s,%d) = %v, want %v", tt.name, tt.length, got, tt.want)
+		}
+	}
+}
+
+func TestApplyToTrace(t *testing.T) {
+	ds, err := ParseTShark(strings.NewReader(sampleJSON), "ntp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &netmsg.Trace{Messages: []*netmsg.Message{
+		{Data: make([]byte, 14)},
+		{Data: make([]byte, 14)},
+	}}
+	if err := ApplyToTrace(tr, ds); err != nil {
+		t.Fatalf("ApplyToTrace: %v", err)
+	}
+	for i, m := range tr.Messages {
+		if m.Fields == nil {
+			t.Errorf("message %d has no fields", i)
+		}
+		if err := m.ValidateFields(); err != nil {
+			t.Errorf("message %d: %v", i, err)
+		}
+	}
+}
+
+func TestApplyToTraceMismatch(t *testing.T) {
+	ds, err := ParseTShark(strings.NewReader(sampleJSON), "ntp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &netmsg.Trace{Messages: []*netmsg.Message{{Data: make([]byte, 5)}}}
+	if err := ApplyToTrace(tr, ds); err == nil {
+		t.Error("count mismatch should error")
+	}
+	tr = &netmsg.Trace{Messages: []*netmsg.Message{
+		{Data: make([]byte, 5)}, // wrong length
+		{Data: make([]byte, 14)},
+	}}
+	if err := ApplyToTrace(tr, ds); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,244 @@
+// Package dissim builds the pairwise dissimilarity matrix over unique
+// message segments (Section III-C): segments are interpreted as byte
+// vectors, one-byte segments are excluded, duplicate values are
+// considered only once, and the Canberra dissimilarity of every
+// remaining pair is stored in a matrix D that drives DBSCAN and the ε
+// auto-configuration.
+package dissim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"protoclust/internal/canberra"
+	"protoclust/internal/dbscan"
+	"protoclust/internal/netmsg"
+)
+
+// MinSegmentLength is the shortest segment admitted to clustering;
+// coincidental similarity of arbitrary single bytes prevents meaningful
+// analysis of shorter ones (Section III-C).
+const MinSegmentLength = 2
+
+// Pool is the deduplicated set of unique segments prepared for
+// clustering.
+type Pool struct {
+	// Unique holds one representative segment per distinct byte value,
+	// sorted by value for determinism.
+	Unique []netmsg.Segment
+	// Occurrences maps each index in Unique to every concrete segment
+	// carrying that value (including the representative itself).
+	Occurrences [][]netmsg.Segment
+	// Excluded holds segments shorter than MinSegmentLength, which take
+	// no part in clustering but can be re-incorporated by frequency
+	// analysis later.
+	Excluded []netmsg.Segment
+}
+
+// NewPool deduplicates segments by byte value and filters out those
+// shorter than MinSegmentLength.
+func NewPool(segs []netmsg.Segment) *Pool {
+	p := &Pool{}
+	groups := make(map[string][]netmsg.Segment)
+	for _, s := range segs {
+		if s.Length < MinSegmentLength {
+			p.Excluded = append(p.Excluded, s)
+			continue
+		}
+		key := string(s.Bytes())
+		groups[key] = append(groups[key], s)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p.Unique = make([]netmsg.Segment, len(keys))
+	p.Occurrences = make([][]netmsg.Segment, len(keys))
+	for i, k := range keys {
+		p.Unique[i] = groups[k][0]
+		p.Occurrences[i] = groups[k]
+	}
+	return p
+}
+
+// Size returns the number of unique segments (the paper's n).
+func (p *Pool) Size() int { return len(p.Unique) }
+
+// TotalOccurrences returns the number of concrete (non-excluded)
+// segments behind the pool.
+func (p *Pool) TotalOccurrences() int {
+	var n int
+	for _, occ := range p.Occurrences {
+		n += len(occ)
+	}
+	return n
+}
+
+// Matrix stores the pairwise Canberra dissimilarities between the
+// pool's unique segments.
+type Matrix struct {
+	dense *dbscan.DenseMatrix
+}
+
+var _ dbscan.Matrix = (*Matrix)(nil)
+
+// ErrEmptyPool is returned when a matrix is requested for a pool with no
+// unique segments.
+var ErrEmptyPool = errors.New("dissim: empty segment pool")
+
+// ErrPoolTooLarge is returned when the unique-segment population would
+// need an unreasonably large dense matrix; callers should deduplicate
+// harder, split the trace by message type first, or truncate it.
+var ErrPoolTooLarge = errors.New("dissim: segment pool too large for a dense matrix")
+
+// MaxUniqueSegments bounds the dense-matrix population: n² float32
+// entries; 30k uniques ≈ 3.6 GB.
+const MaxUniqueSegments = 30000
+
+// Compute fills the dissimilarity matrix for the pool using the given
+// Canberra length-mismatch penalty factor (canberra.DefaultPenalty for
+// the paper's configuration). Rows are computed concurrently.
+func Compute(pool *Pool, penalty float64) (*Matrix, error) {
+	n := pool.Size()
+	if n == 0 {
+		return nil, ErrEmptyPool
+	}
+	if n > MaxUniqueSegments {
+		return nil, fmt.Errorf("%w: %d unique segments (max %d)", ErrPoolTooLarge, n, MaxUniqueSegments)
+	}
+	dense := dbscan.NewDenseMatrix(n)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	rows := make(chan int, n)
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				si := pool.Unique[i].Bytes()
+				for j := i + 1; j < n; j++ {
+					d, err := canberra.DissimilarityPenalty(si, pool.Unique[j].Bytes(), penalty)
+					if err != nil {
+						mu.Lock()
+						if firstEr == nil {
+							firstEr = fmt.Errorf("dissim: pair (%d,%d): %w", i, j, err)
+						}
+						mu.Unlock()
+						return
+					}
+					dense.Set(i, j, d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return &Matrix{dense: dense}, nil
+}
+
+// Len returns the number of unique segments.
+func (m *Matrix) Len() int { return m.dense.Len() }
+
+// Dist returns the dissimilarity between unique segments i and j.
+func (m *Matrix) Dist(i, j int) float64 { return m.dense.Dist(i, j) }
+
+// KNNDistances returns, for every unique segment, the dissimilarity to
+// its k-th nearest neighbor (k ≥ 1, self excluded). This is the sample
+// population for the ECDF Ê_k of Algorithm 1.
+func (m *Matrix) KNNDistances(k int) ([]float64, error) {
+	tab, err := m.KNNTable(k)
+	if err != nil {
+		return nil, err
+	}
+	return tab[k-1], nil
+}
+
+// KNNTable returns the k-NN dissimilarities for every k in [1, kmax] at
+// once: table[k-1][i] is segment i's distance to its k-th nearest
+// neighbor. One sort per row serves all k, which is what Algorithm 1's
+// loop over k needs.
+func (m *Matrix) KNNTable(kmax int) ([][]float64, error) {
+	n := m.Len()
+	if kmax < 1 || kmax > n-1 {
+		return nil, fmt.Errorf("dissim: k = %d out of range [1, %d]", kmax, n-1)
+	}
+	table := make([][]float64, kmax)
+	for k := range table {
+		table[k] = make([]float64, n)
+	}
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	rows := make(chan int, n)
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := make([]float64, 0, n-1)
+			for i := range rows {
+				row = row[:0]
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					row = append(row, m.Dist(i, j))
+				}
+				sort.Float64s(row)
+				for k := 0; k < kmax; k++ {
+					table[k][i] = row[k]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return table, nil
+}
+
+// PairwiseWithin returns all pairwise dissimilarities among the given
+// unique-segment indices (used by cluster refinement for per-cluster
+// statistics).
+func (m *Matrix) PairwiseWithin(idx []int) []float64 {
+	if len(idx) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(idx)*(len(idx)-1)/2)
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			out = append(out, m.Dist(idx[a], idx[b]))
+		}
+	}
+	return out
+}
+
+// UpperTriangle returns every pairwise dissimilarity once.
+func (m *Matrix) UpperTriangle() []float64 {
+	n := m.Len()
+	out := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, m.Dist(i, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+// Package ecdf implements empirical cumulative distribution functions
+// (ECDFs) over one-dimensional samples.
+//
+// The paper's ε auto-configuration (Algorithm 1) builds ECDFs of k-NN
+// dissimilarities; this package provides the step function itself, its
+// evaluation, sampling on an even grid, and trimming (used by the 60 %
+// guard, which repeats the knee search on Ê'_k = Ê_k({d < d_κ})).
+package ecdf
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrEmpty is returned when an ECDF is constructed from no samples.
+var ErrEmpty = errors.New("ecdf: no samples")
+
+// F is an empirical cumulative distribution function: an evenly spaced
+// step function jumping by 1/n at each of the n sorted sample values.
+type F struct {
+	// sorted holds the sample values in ascending order.
+	sorted []float64
+}
+
+// New builds an ECDF from the given samples. The input is copied.
+func New(samples []float64) (*F, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	cp := append([]float64(nil), samples...)
+	sort.Float64s(cp)
+	return &F{sorted: cp}, nil
+}
+
+// N returns the number of samples underlying the ECDF.
+func (f *F) N() int { return len(f.sorted) }
+
+// Eval returns Ê(x), the fraction of samples ≤ x.
+func (f *F) Eval(x float64) float64 {
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x;
+	// we need the count of values <= x, i.e. the first index > x.
+	idx := sort.Search(len(f.sorted), func(i int) bool { return f.sorted[i] > x })
+	return float64(idx) / float64(len(f.sorted))
+}
+
+// Steps returns the step coordinates of the ECDF: xs are the sorted
+// sample values and ys[i] = (i+1)/n. Both slices are freshly allocated.
+func (f *F) Steps() (xs, ys []float64) {
+	n := len(f.sorted)
+	xs = append([]float64(nil), f.sorted...)
+	ys = make([]float64, n)
+	for i := range ys {
+		ys[i] = float64(i+1) / float64(n)
+	}
+	return xs, ys
+}
+
+// Quantile returns the smallest sample value v such that Ê(v) ≥ q,
+// for q in (0, 1]. Values of q ≤ 0 return the minimum sample.
+func (f *F) Quantile(q float64) float64 {
+	if q <= 0 {
+		return f.sorted[0]
+	}
+	if q >= 1 {
+		return f.sorted[len(f.sorted)-1]
+	}
+	idx := int(q*float64(len(f.sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(f.sorted) {
+		idx = len(f.sorted) - 1
+	}
+	return f.sorted[idx]
+}
+
+// Trim returns a new ECDF built only from samples strictly below cut.
+// This realises Ê'_k = Ê_k({d < d_κ : d ∈ D}) from Section III-E.
+// It returns ErrEmpty when no samples survive.
+func (f *F) Trim(cut float64) (*F, error) {
+	idx := sort.SearchFloat64s(f.sorted, cut)
+	if idx == 0 {
+		return nil, ErrEmpty
+	}
+	cp := append([]float64(nil), f.sorted[:idx]...)
+	return &F{sorted: cp}, nil
+}
+
+// MaxStepGap returns the largest increase between consecutive sorted
+// sample values (the sharpest possible "drop" location of the ECDF) and
+// the x position right after that gap. For fewer than two samples the
+// gap is 0 and the position is the single sample.
+//
+// Algorithm 1 uses this as the sharpness measure δÊ_k: the value of δd
+// at the maximum of the distance increase.
+func (f *F) MaxStepGap() (gap, at float64) {
+	if len(f.sorted) == 1 {
+		return 0, f.sorted[0]
+	}
+	at = f.sorted[0]
+	for i := 1; i < len(f.sorted); i++ {
+		if g := f.sorted[i] - f.sorted[i-1]; g > gap {
+			gap = g
+			at = f.sorted[i]
+		}
+	}
+	return gap, at
+}
+
+// Min returns the smallest sample value.
+func (f *F) Min() float64 { return f.sorted[0] }
+
+// Max returns the largest sample value.
+func (f *F) Max() float64 { return f.sorted[len(f.sorted)-1] }

@@ -1,0 +1,220 @@
+package ecdf
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, samples []float64) *F {
+	t.Helper()
+	f, err := New(samples)
+	if err != nil {
+		t.Fatalf("New(%v): %v", samples, err)
+	}
+	return f
+}
+
+func TestNewEmpty(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("New(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := mustNew(t, []float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, tt := range tests {
+		if got := f.Eval(tt.x); got != tt.want {
+			t.Errorf("Eval(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestEvalWithDuplicates(t *testing.T) {
+	f := mustNew(t, []float64{2, 2, 2, 5})
+	if got := f.Eval(2); got != 0.75 {
+		t.Errorf("Eval(2) = %v, want 0.75", got)
+	}
+	if got := f.Eval(1.99); got != 0 {
+		t.Errorf("Eval(1.99) = %v, want 0", got)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	f := mustNew(t, []float64{3, 1, 2})
+	xs, ys := f.Steps()
+	wantX := []float64{1, 2, 3}
+	wantY := []float64{1.0 / 3, 2.0 / 3, 1}
+	for i := range wantX {
+		if xs[i] != wantX[i] {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], wantX[i])
+		}
+		if math.Abs(ys[i]-wantY[i]) > 1e-12 {
+			t.Errorf("ys[%d] = %v, want %v", i, ys[i], wantY[i])
+		}
+	}
+}
+
+func TestStepsAreCopies(t *testing.T) {
+	f := mustNew(t, []float64{1, 2})
+	xs, _ := f.Steps()
+	xs[0] = 99
+	if f.Min() != 1 {
+		t.Error("mutating Steps result must not affect the ECDF")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	f := mustNew(t, []float64{10, 20, 30, 40})
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{0.25, 10},
+		{0.5, 20},
+		{0.75, 30},
+		{1, 40},
+	}
+	for _, tt := range tests {
+		if got := f.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestTrim(t *testing.T) {
+	f := mustNew(t, []float64{1, 2, 3, 4, 5})
+	g, err := f.Trim(3)
+	if err != nil {
+		t.Fatalf("Trim: %v", err)
+	}
+	if g.N() != 2 {
+		t.Errorf("trimmed N = %d, want 2 (values strictly below cut)", g.N())
+	}
+	if g.Max() != 2 {
+		t.Errorf("trimmed Max = %v, want 2", g.Max())
+	}
+}
+
+func TestTrimAll(t *testing.T) {
+	f := mustNew(t, []float64{5, 6})
+	if _, err := f.Trim(5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Trim below min should return ErrEmpty, got %v", err)
+	}
+}
+
+func TestMaxStepGap(t *testing.T) {
+	f := mustNew(t, []float64{1, 1.1, 1.2, 5, 5.1})
+	gap, at := f.MaxStepGap()
+	if math.Abs(gap-3.8) > 1e-12 {
+		t.Errorf("gap = %v, want 3.8", gap)
+	}
+	if at != 5 {
+		t.Errorf("at = %v, want 5", at)
+	}
+}
+
+func TestMaxStepGapSingle(t *testing.T) {
+	f := mustNew(t, []float64{7})
+	gap, at := f.MaxStepGap()
+	if gap != 0 || at != 7 {
+		t.Errorf("single-sample gap = (%v,%v), want (0,7)", gap, at)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	f := mustNew(t, []float64{9, 2, 7})
+	if f.Min() != 2 || f.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", f.Min(), f.Max())
+	}
+}
+
+// Property: ECDF is monotonically non-decreasing and bounded by [0,1].
+func TestMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		clean := samples[:0:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) {
+				clean = append(clean, s)
+			}
+		}
+		if len(clean) == 0 || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		e, err := New(clean)
+		if err != nil {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ya, yb := e.Eval(a), e.Eval(b)
+		return ya <= yb && ya >= 0 && yb <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval at the max sample is exactly 1.
+func TestEvalMaxProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		clean := samples[:0:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) {
+				clean = append(clean, s)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		e, err := New(clean)
+		if err != nil {
+			return false
+		}
+		return e.Eval(e.Max()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Steps returns ascending xs matching the sorted samples.
+func TestStepsSortedProperty(t *testing.T) {
+	f := func(samples []float64) bool {
+		clean := samples[:0:0]
+		for _, s := range samples {
+			if !math.IsNaN(s) {
+				clean = append(clean, s)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		e, err := New(clean)
+		if err != nil {
+			return false
+		}
+		xs, ys := e.Steps()
+		if !sort.Float64sAreSorted(xs) {
+			return false
+		}
+		return ys[len(ys)-1] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"math"
+
+	"protoclust/internal/netmsg"
+)
+
+// ExternalMetrics are clustering-vs-ground-truth statistics
+// complementary to the paper's combinatorial precision/recall: the
+// Adjusted Rand Index and the entropy-based homogeneity, completeness,
+// and V-measure. They cross-check the headline numbers — a clustering
+// with high F¼ must also score high ARI/homogeneity.
+type ExternalMetrics struct {
+	// AdjustedRand is the chance-corrected Rand index in [-1, 1].
+	AdjustedRand float64
+	// Homogeneity is 1 when every cluster contains only one type.
+	Homogeneity float64
+	// Completeness is 1 when every type lands in one cluster.
+	Completeness float64
+	// VMeasure is the harmonic mean of homogeneity and completeness.
+	VMeasure float64
+}
+
+// External computes the complementary metrics over the same input shape
+// as ClusterMetrics. Noise is treated as one additional "cluster", as
+// is conventional when scoring DBSCAN-family results externally.
+func External(clusters [][]netmsg.FieldType, noise []netmsg.FieldType) ExternalMetrics {
+	all := make([][]netmsg.FieldType, 0, len(clusters)+1)
+	all = append(all, clusters...)
+	if len(noise) > 0 {
+		all = append(all, noise)
+	}
+	if len(all) == 0 {
+		return ExternalMetrics{}
+	}
+
+	// Contingency counts.
+	typeTotals := make(map[netmsg.FieldType]float64)
+	clusterTotals := make([]float64, len(all))
+	cells := make([]map[netmsg.FieldType]float64, len(all))
+	var n float64
+	for i, c := range all {
+		cells[i] = make(map[netmsg.FieldType]float64)
+		for _, typ := range c {
+			cells[i][typ]++
+			clusterTotals[i]++
+			typeTotals[typ]++
+			n++
+		}
+	}
+	if n < 2 {
+		return ExternalMetrics{}
+	}
+
+	m := ExternalMetrics{
+		AdjustedRand: adjustedRand(cells, clusterTotals, typeTotals, n),
+	}
+	m.Homogeneity, m.Completeness = homogeneityCompleteness(cells, clusterTotals, typeTotals, n)
+	if m.Homogeneity+m.Completeness > 0 {
+		m.VMeasure = 2 * m.Homogeneity * m.Completeness / (m.Homogeneity + m.Completeness)
+	}
+	return m
+}
+
+func comb2(x float64) float64 { return x * (x - 1) / 2 }
+
+func adjustedRand(cells []map[netmsg.FieldType]float64, clusterTotals []float64, typeTotals map[netmsg.FieldType]float64, n float64) float64 {
+	var sumCells, sumClusters, sumTypes float64
+	for i := range cells {
+		for _, c := range cells[i] {
+			sumCells += comb2(c)
+		}
+		sumClusters += comb2(clusterTotals[i])
+	}
+	for _, t := range typeTotals {
+		sumTypes += comb2(t)
+	}
+	total := comb2(n)
+	if total == 0 {
+		return 0
+	}
+	expected := sumClusters * sumTypes / total
+	maxIndex := (sumClusters + sumTypes) / 2
+	if maxIndex == expected {
+		return 0
+	}
+	return (sumCells - expected) / (maxIndex - expected)
+}
+
+func homogeneityCompleteness(cells []map[netmsg.FieldType]float64, clusterTotals []float64, typeTotals map[netmsg.FieldType]float64, n float64) (hom, comp float64) {
+	// Entropies.
+	var hTypes, hClusters float64
+	for _, t := range typeTotals {
+		p := t / n
+		hTypes -= p * math.Log(p)
+	}
+	for _, c := range clusterTotals {
+		if c == 0 {
+			continue
+		}
+		p := c / n
+		hClusters -= p * math.Log(p)
+	}
+	// Conditional entropies H(type|cluster) and H(cluster|type).
+	var hTGivenC, hCGivenT float64
+	for i := range cells {
+		for _, cnt := range cells[i] {
+			pJoint := cnt / n
+			hTGivenC -= pJoint * math.Log(cnt/clusterTotals[i])
+		}
+	}
+	for typ, t := range typeTotals {
+		for i := range cells {
+			cnt := cells[i][typ]
+			if cnt == 0 {
+				continue
+			}
+			pJoint := cnt / n
+			hCGivenT -= pJoint * math.Log(cnt/t)
+		}
+	}
+	if hTypes == 0 {
+		hom = 1
+	} else {
+		hom = 1 - hTGivenC/hTypes
+	}
+	if hClusters == 0 {
+		comp = 1
+	} else {
+		comp = 1 - hCGivenT/hClusters
+	}
+	return hom, comp
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"protoclust/internal/netmsg"
+)
+
+func TestExternalPerfect(t *testing.T) {
+	m := External([][]netmsg.FieldType{
+		{typeA, typeA, typeA},
+		{typeB, typeB},
+	}, nil)
+	if !almost(m.AdjustedRand, 1) {
+		t.Errorf("ARI = %v, want 1", m.AdjustedRand)
+	}
+	if !almost(m.Homogeneity, 1) || !almost(m.Completeness, 1) || !almost(m.VMeasure, 1) {
+		t.Errorf("H/C/V = %v/%v/%v, want 1/1/1", m.Homogeneity, m.Completeness, m.VMeasure)
+	}
+}
+
+func TestExternalOverclassified(t *testing.T) {
+	// One type split across two clusters: perfectly homogeneous, not
+	// complete.
+	m := External([][]netmsg.FieldType{
+		{typeA, typeA},
+		{typeA, typeA},
+		{typeB, typeB},
+	}, nil)
+	if !almost(m.Homogeneity, 1) {
+		t.Errorf("homogeneity = %v, want 1", m.Homogeneity)
+	}
+	if m.Completeness >= 1 {
+		t.Errorf("completeness = %v, want < 1", m.Completeness)
+	}
+	if m.VMeasure >= 1 || m.VMeasure <= 0 {
+		t.Errorf("V = %v, want in (0,1)", m.VMeasure)
+	}
+	if m.AdjustedRand >= 1 || m.AdjustedRand <= 0 {
+		t.Errorf("ARI = %v, want in (0,1)", m.AdjustedRand)
+	}
+}
+
+func TestExternalUnderclassified(t *testing.T) {
+	// Two types merged: complete (each type in one cluster), not
+	// homogeneous.
+	m := External([][]netmsg.FieldType{
+		{typeA, typeA, typeB, typeB},
+	}, nil)
+	if !almost(m.Completeness, 1) {
+		t.Errorf("completeness = %v, want 1", m.Completeness)
+	}
+	if m.Homogeneity >= 1 {
+		t.Errorf("homogeneity = %v, want < 1", m.Homogeneity)
+	}
+}
+
+func TestExternalRandomIsNearZeroARI(t *testing.T) {
+	// A clustering orthogonal to the types: ARI should be near 0.
+	m := External([][]netmsg.FieldType{
+		{typeA, typeB, typeA, typeB},
+		{typeB, typeA, typeB, typeA},
+	}, nil)
+	if math.Abs(m.AdjustedRand) > 0.2 {
+		t.Errorf("ARI = %v, want ≈ 0 for uninformative clustering", m.AdjustedRand)
+	}
+}
+
+func TestExternalNoiseCountsAsCluster(t *testing.T) {
+	withNoise := External([][]netmsg.FieldType{{typeA, typeA}}, []netmsg.FieldType{typeB, typeB})
+	// B isolated in the noise bucket: still a perfect partition.
+	if !almost(withNoise.AdjustedRand, 1) {
+		t.Errorf("ARI with pure noise bucket = %v, want 1", withNoise.AdjustedRand)
+	}
+}
+
+func TestExternalEmpty(t *testing.T) {
+	m := External(nil, nil)
+	if m.AdjustedRand != 0 || m.VMeasure != 0 {
+		t.Errorf("empty metrics = %+v", m)
+	}
+	single := External([][]netmsg.FieldType{{typeA}}, nil)
+	if single.AdjustedRand != 0 {
+		t.Errorf("single-element ARI = %v, want 0", single.AdjustedRand)
+	}
+}
+
+func TestExternalAgreesWithCombinatorial(t *testing.T) {
+	// On the real pipeline, high F¼ must coincide with high ARI.
+	res, _ := buildResult(t)
+	comb := EvaluateResult(res)
+	clusters := make([][]netmsg.FieldType, len(res.Clusters))
+	for i, c := range res.Clusters {
+		for _, idx := range c.UniqueIndexes {
+			typ, _ := res.Pool.Unique[idx].DominantTrueType()
+			clusters[i] = append(clusters[i], typ)
+		}
+	}
+	ext := External(clusters, nil)
+	// F¼ weights precision four-fold, so a pure-but-overclassified
+	// result can carry F¼ ≈ 0.95 with a much lower symmetric ARI; the
+	// metrics only have to agree directionally.
+	if comb.FScore > 0.9 && ext.AdjustedRand < 0.2 {
+		t.Errorf("F¼ = %.2f but ARI = %.2f — metrics disagree", comb.FScore, ext.AdjustedRand)
+	}
+	if comb.Precision > 0.95 && ext.Homogeneity < 0.8 {
+		t.Errorf("precision %.2f but homogeneity %.2f", comb.Precision, ext.Homogeneity)
+	}
+}

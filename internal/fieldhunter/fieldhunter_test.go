@@ -1,0 +1,222 @@
+package fieldhunter
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"protoclust/internal/netmsg"
+	"protoclust/internal/protocols"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(&netmsg.Trace{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestAnalyzeNoContext(t *testing.T) {
+	for _, proto := range []string{"awdl", "au"} {
+		tr, err := protocols.Generate(proto, 30, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Analyze(tr); !errors.Is(err, ErrNoContext) {
+			t.Errorf("%s: err = %v, want ErrNoContext (no IP encapsulation)", proto, err)
+		}
+	}
+}
+
+func TestAnalyzeDNSFindsTransID(t *testing.T) {
+	tr, err := protocols.Generate("dns", 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(tr)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	found := false
+	for _, f := range res.Fields {
+		if f.Kind == KindTransID && f.Offset == 0 && f.Width == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DNS transaction ID at offset 0 not found; fields: %+v", res.Fields)
+	}
+}
+
+func TestAnalyzeCoverageIsLow(t *testing.T) {
+	// The headline comparison: FieldHunter types only a handful of bytes
+	// per message (~3 % coverage on average in the paper).
+	for _, proto := range []string{"dns", "ntp", "dhcp", "smb", "nbns"} {
+		tr, err := protocols.Generate(proto, 500, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		cov := res.Coverage(tr)
+		if cov > 0.25 {
+			t.Errorf("%s: FieldHunter coverage = %.2f, expected low (< 0.25)", proto, cov)
+		}
+		t.Logf("%s: %d fields, coverage %.3f", proto, len(res.Fields), cov)
+	}
+}
+
+func TestAnalyzeFindsSomethingOnIPProtocols(t *testing.T) {
+	for _, proto := range []string{"dns", "dhcp"} {
+		tr, err := protocols.Generate(proto, 500, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if len(res.Fields) == 0 {
+			t.Errorf("%s: FieldHunter found no fields at all", proto)
+		}
+	}
+}
+
+func TestFieldsDoNotOverlap(t *testing.T) {
+	tr, err := protocols.Generate("dns", 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[int]bool)
+	for _, f := range res.Fields {
+		for b := f.Offset; b < f.Offset+f.Width; b++ {
+			if used[b] {
+				t.Fatalf("fields overlap at byte %d: %+v", b, res.Fields)
+			}
+			used[b] = true
+		}
+	}
+}
+
+func TestPairTransactions(t *testing.T) {
+	mkMsg := func(src, dst string, req bool) *netmsg.Message {
+		return &netmsg.Message{Data: []byte{1}, SrcAddr: src, DstAddr: dst, IsRequest: req}
+	}
+	tr := &netmsg.Trace{Messages: []*netmsg.Message{
+		mkMsg("10.0.0.1:500", "10.0.0.2:53", true),
+		mkMsg("10.0.0.2:53", "10.0.0.1:500", false),
+		mkMsg("10.0.0.3:600", "10.0.0.2:53", true),
+		// Unmatched response from elsewhere.
+		mkMsg("10.0.0.9:53", "10.0.0.8:700", false),
+	}}
+	txs := pairTransactions(tr)
+	if len(txs) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(txs))
+	}
+	if txs[0].req != tr.Messages[0] || txs[0].resp != tr.Messages[1] {
+		t.Error("wrong pairing")
+	}
+}
+
+func TestFieldValueEndianness(t *testing.T) {
+	m := &netmsg.Message{Data: []byte{0x12, 0x34, 0x56}}
+	if v, ok := fieldValue(m, 0, 2); !ok || v != 0x1234 {
+		t.Errorf("BE = %#x/%v, want 0x1234", v, ok)
+	}
+	if v, ok := fieldValueLE(m, 0, 2); !ok || v != 0x3412 {
+		t.Errorf("LE = %#x/%v, want 0x3412", v, ok)
+	}
+	if _, ok := fieldValue(m, 2, 2); ok {
+		t.Error("out-of-range read should fail")
+	}
+}
+
+func TestNormalizedEntropy(t *testing.T) {
+	constant := []uint64{5, 5, 5, 5}
+	if h := normalizedEntropy(constant, 2); h != 0 {
+		t.Errorf("constant entropy = %v, want 0", h)
+	}
+	distinct := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	if h := normalizedEntropy(distinct, 2); math.Abs(h-1) > 1e-9 {
+		t.Errorf("all-distinct entropy = %v, want 1", h)
+	}
+	if h := normalizedEntropy(nil, 2); h != 0 {
+		t.Errorf("empty entropy = %v, want 0", h)
+	}
+}
+
+func TestNormalizedMutualInformation(t *testing.T) {
+	// Perfectly coupled values.
+	xs := []uint64{1, 2, 1, 2, 1, 2}
+	ys := []uint64{7, 9, 7, 9, 7, 9}
+	if mi := normalizedMutualInformation(xs, ys); mi < 0.99 {
+		t.Errorf("coupled MI = %v, want ≈ 1", mi)
+	}
+	// Independent values.
+	xs2 := []uint64{1, 1, 2, 2}
+	ys2 := []uint64{7, 9, 7, 9}
+	if mi := normalizedMutualInformation(xs2, ys2); mi > 0.1 {
+		t.Errorf("independent MI = %v, want ≈ 0", mi)
+	}
+	// Degenerate constants.
+	if mi := normalizedMutualInformation([]uint64{3, 3}, []uint64{4, 4}); mi != 1 {
+		t.Errorf("constant MI = %v, want 1", mi)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if r := pearson(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("perfect correlation = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := pearson(xs, neg); math.Abs(r+1) > 1e-9 {
+		t.Errorf("perfect anticorrelation = %v, want -1", r)
+	}
+	if r := pearson([]float64{1, 1}, []float64{2, 3}); r != 0 {
+		t.Errorf("constant xs correlation = %v, want 0", r)
+	}
+}
+
+func TestFindMsgLenSynthetic(t *testing.T) {
+	// Messages whose bytes 2-3 encode their own length (BE).
+	tr := &netmsg.Trace{}
+	for i := 0; i < 30; i++ {
+		l := 10 + (i%5)*4
+		data := make([]byte, l)
+		data[0] = 0x01
+		data[2] = byte(l >> 8)
+		data[3] = byte(l)
+		for j := 4; j < l; j++ {
+			data[j] = byte(i * j)
+		}
+		tr.Messages = append(tr.Messages, &netmsg.Message{
+			Data: data, SrcAddr: "10.0.0.1:1", DstAddr: "10.0.0.2:2", IsRequest: true,
+		})
+	}
+	inf, ok := findMsgLen(tr, func(int, int) bool { return false })
+	if !ok {
+		t.Fatal("length field not found")
+	}
+	if inf.Offset > 3 || inf.Offset+inf.Width < 4 {
+		t.Errorf("length field at %d+%d, want to include bytes 2-3", inf.Offset, inf.Width)
+	}
+}
+
+func TestFindMsgLenSkipsFixedSizeProtocol(t *testing.T) {
+	tr := &netmsg.Trace{}
+	for i := 0; i < 20; i++ {
+		tr.Messages = append(tr.Messages, &netmsg.Message{
+			Data: []byte{byte(i), 8, 0, 0, 0, 0, 0, 0}, SrcAddr: "10.0.0.1:1", DstAddr: "10.0.0.2:2",
+		})
+	}
+	if _, ok := findMsgLen(tr, func(int, int) bool { return false }); ok {
+		t.Error("constant-size protocol must not yield a length field")
+	}
+}

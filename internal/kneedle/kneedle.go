@@ -1,0 +1,221 @@
+// Package kneedle implements the Kneedle knee/elbow detection algorithm
+// of Satopää, Albrecht, Irwin, and Raghavan ("Finding a 'Kneedle' in a
+// Haystack: Detecting Knee Points in System Behavior", ICDCSW 2011).
+//
+// The paper's ε auto-configuration runs Kneedle on the B-spline-smoothed
+// ECDF of k-NN dissimilarities and uses the rightmost detected knee as
+// DBSCAN's ε.
+package kneedle
+
+import (
+	"errors"
+	"sort"
+)
+
+// Shape describes the curvature and direction of the input curve so the
+// difference transform can map every case onto the canonical
+// "concave increasing" form.
+type Shape int
+
+// Supported curve shapes.
+const (
+	// ConcaveIncreasing rises steeply and then flattens (e.g. an ECDF
+	// around a dense mode). Knees are points of maximum flattening.
+	ConcaveIncreasing Shape = iota + 1
+	// ConvexIncreasing is flat first and then rises steeply.
+	ConvexIncreasing
+	// ConcaveDecreasing falls slowly and then steeply.
+	ConcaveDecreasing
+	// ConvexDecreasing falls steeply and then flattens.
+	ConvexDecreasing
+)
+
+// Knee is one detected knee point.
+type Knee struct {
+	// X is the knee's position on the original x axis.
+	X float64
+	// Y is the curve value at the knee.
+	Y float64
+	// Index is the sample index of the knee in the input slices.
+	Index int
+	// Prominence is the value of Kneedle's normalized difference curve
+	// at the knee, in [0, 1]. A sharp, dominant knee scores high; faint
+	// wiggles (e.g. in the sparse tail of an ECDF) score near zero.
+	Prominence float64
+}
+
+// Errors returned by Find.
+var (
+	ErrTooShort = errors.New("kneedle: need at least three points")
+	ErrLength   = errors.New("kneedle: xs and ys must have equal length")
+	ErrDomain   = errors.New("kneedle: xs must span a positive interval")
+)
+
+// Find detects all knee points of the discrete curve (xs, ys), which
+// must be sorted by ascending x. The curve is expected to be smoothed
+// already (the caller applies a B-spline per Algorithm 1). Sensitivity S
+// follows the Kneedle paper: smaller values detect knees more
+// aggressively; S = 1 is the recommended default.
+//
+// Knees are returned in ascending x order. An empty slice (with nil
+// error) means the curve has no knee at this sensitivity.
+func Find(xs, ys []float64, shape Shape, sensitivity float64) ([]Knee, error) {
+	if len(xs) != len(ys) {
+		return nil, ErrLength
+	}
+	if len(xs) < 3 {
+		return nil, ErrTooShort
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return nil, errors.New("kneedle: xs must be sorted ascending")
+	}
+	lo, hi := xs[0], xs[len(xs)-1]
+	if !(hi > lo) {
+		return nil, ErrDomain
+	}
+	if sensitivity <= 0 {
+		sensitivity = 1
+	}
+
+	n := len(xs)
+	// Normalize to the unit square.
+	ymin, ymax := ys[0], ys[0]
+	for _, y := range ys {
+		if y < ymin {
+			ymin = y
+		}
+		if y > ymax {
+			ymax = y
+		}
+	}
+	yspan := ymax - ymin
+	if yspan == 0 {
+		return nil, nil // flat line: no knee
+	}
+	xn := make([]float64, n)
+	yn := make([]float64, n)
+	for i := range xs {
+		xn[i] = (xs[i] - lo) / (hi - lo)
+		yn[i] = (ys[i] - ymin) / yspan
+	}
+
+	// Map every shape onto concave increasing.
+	switch shape {
+	case ConcaveIncreasing:
+		// canonical
+	case ConvexIncreasing:
+		for i := range yn {
+			yn[i] = 1 - yn[i]
+		}
+		reverseBoth(xn, yn)
+		for i := range xn {
+			xn[i] = 1 - xn[i]
+		}
+	case ConcaveDecreasing:
+		reverseBoth(xn, yn)
+		for i := range xn {
+			xn[i] = 1 - xn[i]
+		}
+	case ConvexDecreasing:
+		for i := range yn {
+			yn[i] = 1 - yn[i]
+		}
+	default:
+		return nil, errors.New("kneedle: unknown shape")
+	}
+
+	// Difference curve.
+	diff := make([]float64, n)
+	for i := range diff {
+		diff[i] = yn[i] - xn[i]
+	}
+
+	// Mean spacing of normalized x (for the sensitivity threshold).
+	meanDx := 1.0 / float64(n-1)
+	threshOffset := sensitivity * meanDx
+
+	// Scan local maxima of the difference curve; a knee is confirmed
+	// when the curve drops below the max's threshold before the next
+	// local maximum appears.
+	var knees []Knee
+	candidate := -1
+	var candThresh float64
+	for i := 1; i < n-1; i++ {
+		isMax := diff[i] >= diff[i-1] && diff[i] > diff[i+1]
+		if isMax {
+			if candidate >= 0 {
+				// A new local max supersedes an unconfirmed candidate.
+				candidate = i
+				candThresh = diff[i] - threshOffset
+				continue
+			}
+			candidate = i
+			candThresh = diff[i] - threshOffset
+			continue
+		}
+		isMin := diff[i] <= diff[i-1] && diff[i] < diff[i+1]
+		if candidate >= 0 && (diff[i] < candThresh || isMin) {
+			knees = append(knees, kneeAt(candidate, diff[candidate], shape, n, xs, ys))
+			candidate = -1
+		}
+	}
+	// Confirm a trailing candidate if the curve ends below threshold.
+	if candidate >= 0 && diff[n-1] < candThresh {
+		knees = append(knees, kneeAt(candidate, diff[candidate], shape, n, xs, ys))
+	}
+
+	sort.Slice(knees, func(i, j int) bool { return knees[i].X < knees[j].X })
+	return knees, nil
+}
+
+// FilterProminent keeps knees whose prominence is at least share of the
+// most prominent knee's. Use it to discard faint tail knees before
+// picking the rightmost one.
+func FilterProminent(knees []Knee, share float64) []Knee {
+	var maxP float64
+	for _, k := range knees {
+		if k.Prominence > maxP {
+			maxP = k.Prominence
+		}
+	}
+	out := make([]Knee, 0, len(knees))
+	for _, k := range knees {
+		if k.Prominence >= share*maxP {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Rightmost returns the knee with the largest X, or false when the slice
+// is empty.
+func Rightmost(knees []Knee) (Knee, bool) {
+	if len(knees) == 0 {
+		return Knee{}, false
+	}
+	best := knees[0]
+	for _, k := range knees[1:] {
+		if k.X > best.X {
+			best = k
+		}
+	}
+	return best, true
+}
+
+// kneeAt converts a candidate index in transformed coordinates back to
+// the original curve's index space.
+func kneeAt(i int, prominence float64, shape Shape, n int, xs, ys []float64) Knee {
+	orig := i
+	// Shapes that reversed the x axis need their index mirrored.
+	if shape == ConvexIncreasing || shape == ConcaveDecreasing {
+		orig = n - 1 - i
+	}
+	return Knee{X: xs[orig], Y: ys[orig], Index: orig, Prominence: prominence}
+}
+
+func reverseBoth(a, b []float64) {
+	for i, j := 0, len(a)-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+		b[i], b[j] = b[j], b[i]
+	}
+}

@@ -1,0 +1,270 @@
+package kneedle
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"protoclust/internal/vecmath"
+)
+
+// saturating builds the canonical concave-increasing test curve
+// y = x / (x + a); its analytic knee by Kneedle's definition lies where
+// y' = 1 after normalization.
+func saturating(a float64, n int) (xs, ys []float64) {
+	xs = vecmath.Linspace(0, 10, n)
+	ys = make([]float64, n)
+	for i, x := range xs {
+		ys[i] = x / (x + a)
+	}
+	return xs, ys
+}
+
+func TestFindErrors(t *testing.T) {
+	if _, err := Find([]float64{1, 2}, []float64{1}, ConcaveIncreasing, 1); !errors.Is(err, ErrLength) {
+		t.Errorf("length mismatch err = %v", err)
+	}
+	if _, err := Find([]float64{1, 2}, []float64{1, 2}, ConcaveIncreasing, 1); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short input err = %v", err)
+	}
+	if _, err := Find([]float64{1, 1, 1}, []float64{1, 2, 3}, ConcaveIncreasing, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("flat domain err = %v", err)
+	}
+	if _, err := Find([]float64{3, 2, 1}, []float64{1, 2, 3}, ConcaveIncreasing, 1); err == nil {
+		t.Error("unsorted xs should error")
+	}
+	if _, err := Find([]float64{1, 2, 3}, []float64{1, 2, 3}, Shape(99), 1); err == nil {
+		t.Error("unknown shape should error")
+	}
+}
+
+func TestFlatCurveHasNoKnee(t *testing.T) {
+	xs := vecmath.Linspace(0, 1, 10)
+	ys := make([]float64, 10)
+	knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(knees) != 0 {
+		t.Errorf("flat curve produced knees: %v", knees)
+	}
+}
+
+func TestConcaveIncreasingKnee(t *testing.T) {
+	xs, ys := saturating(1, 200)
+	knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(knees) == 0 {
+		t.Fatal("no knee found on saturating curve")
+	}
+	k, _ := Rightmost(knees)
+	// For y = x/(x+1) on [0,10] the Kneedle knee is near x ≈ 2.2.
+	if k.X < 1 || k.X > 4 {
+		t.Errorf("knee at x = %v, want ≈ 2.2 (between 1 and 4)", k.X)
+	}
+}
+
+func TestConvexDecreasingKnee(t *testing.T) {
+	// y = 1/(1+x): convex decreasing, knee where it flattens.
+	xs := vecmath.Linspace(0, 10, 200)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 / (1 + x)
+	}
+	knees, err := Find(xs, ys, ConvexDecreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(knees) == 0 {
+		t.Fatal("no knee found on convex decreasing curve")
+	}
+	k, _ := Rightmost(knees)
+	if k.X < 1 || k.X > 4 {
+		t.Errorf("knee at x = %v, want between 1 and 4", k.X)
+	}
+}
+
+func TestConvexIncreasingKnee(t *testing.T) {
+	// y = x², flat then rising: elbow around the middle-right.
+	xs := vecmath.Linspace(0, 10, 200)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x
+	}
+	knees, err := Find(xs, ys, ConvexIncreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(knees) == 0 {
+		t.Fatal("no knee found on convex increasing curve")
+	}
+}
+
+func TestConcaveDecreasingKnee(t *testing.T) {
+	// y = -x² on [0,10]: slow fall then steep.
+	xs := vecmath.Linspace(0, 10, 200)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = -x * x
+	}
+	knees, err := Find(xs, ys, ConcaveDecreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(knees) == 0 {
+		t.Fatal("no knee found on concave decreasing curve")
+	}
+}
+
+func TestKneeIndexMatchesX(t *testing.T) {
+	xs, ys := saturating(1, 100)
+	knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+	if err != nil || len(knees) == 0 {
+		t.Fatalf("Find: %v, knees=%d", err, len(knees))
+	}
+	for _, k := range knees {
+		if xs[k.Index] != k.X {
+			t.Errorf("knee Index %d maps to x=%v, but knee.X=%v", k.Index, xs[k.Index], k.X)
+		}
+		if ys[k.Index] != k.Y {
+			t.Errorf("knee Index %d maps to y=%v, but knee.Y=%v", k.Index, ys[k.Index], k.Y)
+		}
+	}
+}
+
+func TestSensitivityFiltersWeakKnees(t *testing.T) {
+	// A nearly straight line with a faint bend should yield a knee at
+	// low sensitivity but none at very high sensitivity.
+	xs := vecmath.Linspace(0, 1, 100)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x + 0.02*math.Sin(x*math.Pi)
+	}
+	strong, err := Find(xs, ys, ConcaveIncreasing, 0.1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	weak, err := Find(xs, ys, ConcaveIncreasing, 50)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(weak) > len(strong) {
+		t.Errorf("higher sensitivity found more knees (%d) than lower (%d)", len(weak), len(strong))
+	}
+}
+
+func TestMultipleKneesStaircase(t *testing.T) {
+	// Two saturation plateaus produce two knees.
+	xs := vecmath.Linspace(0, 20, 400)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x/(x+0.5) + 5*((x-10)/(math.Abs(x-10)+0.5)+1)/10
+		if x < 10 {
+			ys[i] = x / (x + 0.5)
+		} else {
+			ys[i] = 1 + (x-10)/((x-10)+0.5)
+		}
+	}
+	knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(knees) < 2 {
+		t.Errorf("staircase curve: found %d knees, want ≥ 2", len(knees))
+	}
+	k, ok := Rightmost(knees)
+	if !ok || k.X <= 10 {
+		t.Errorf("rightmost knee at %v, want > 10", k.X)
+	}
+}
+
+func TestRightmostEmpty(t *testing.T) {
+	if _, ok := Rightmost(nil); ok {
+		t.Error("Rightmost(nil) should report not found")
+	}
+}
+
+func TestECDFLikeCurve(t *testing.T) {
+	// Simulate an ECDF of k-NN distances: a dense mode at small d (steep
+	// rise) followed by a sparse tail. The knee should land near the end
+	// of the dense mode.
+	var xs, ys []float64
+	n := 100
+	for i := 0; i < n; i++ {
+		var d float64
+		if i < 80 {
+			d = 0.02 + 0.1*float64(i)/80 // dense mode up to ≈0.12
+		} else {
+			d = 0.2 + 0.6*float64(i-80)/20 // sparse tail
+		}
+		xs = append(xs, d)
+		ys = append(ys, float64(i+1)/float64(n))
+	}
+	knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	k, ok := Rightmost(knees)
+	if !ok {
+		t.Fatal("no knee on ECDF-like curve")
+	}
+	if k.X < 0.05 || k.X > 0.3 {
+		t.Errorf("knee at %v, want inside the transition region [0.05,0.3]", k.X)
+	}
+}
+
+func TestFilterProminent(t *testing.T) {
+	knees := []Knee{
+		{X: 0.1, Prominence: 0.8},
+		{X: 0.2, Prominence: 0.5},
+		{X: 0.3, Prominence: 0.1},
+	}
+	kept := FilterProminent(knees, 0.33)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d knees, want 2", len(kept))
+	}
+	for _, k := range kept {
+		if k.X == 0.3 {
+			t.Error("faint knee not filtered")
+		}
+	}
+	// share 0 keeps everything; empty input stays empty.
+	if got := FilterProminent(knees, 0); len(got) != 3 {
+		t.Errorf("share 0 kept %d", len(got))
+	}
+	if got := FilterProminent(nil, 0.5); len(got) != 0 {
+		t.Errorf("nil input kept %d", len(got))
+	}
+}
+
+func TestKneeProminencePopulated(t *testing.T) {
+	xs, ys := saturating(1, 150)
+	knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+	if err != nil || len(knees) == 0 {
+		t.Fatalf("Find: %v (%d knees)", err, len(knees))
+	}
+	for _, k := range knees {
+		if k.Prominence <= 0 || k.Prominence > 1 {
+			t.Errorf("prominence %v out of (0,1]", k.Prominence)
+		}
+	}
+}
+
+func TestConvexIncreasingIndexMapping(t *testing.T) {
+	xs := vecmath.Linspace(0, 10, 100)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x
+	}
+	knees, err := Find(xs, ys, ConvexIncreasing, 1)
+	if err != nil || len(knees) == 0 {
+		t.Fatalf("Find: %v (%d knees)", err, len(knees))
+	}
+	for _, k := range knees {
+		if xs[k.Index] != k.X || ys[k.Index] != k.Y {
+			t.Errorf("reversed-shape index mapping broken: %+v", k)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package pcap reads and writes classic libpcap capture files and
+// performs the minimal link/network/transport decapsulation needed to
+// extract protocol payloads from recorded traffic.
+//
+// The paper's preprocessing step (Section III-A) filters a raw trace for
+// the desired protocol and extracts the application payloads; this
+// package stands in for libpcap/gopacket using only the standard
+// library. Supported: pcap magic 0xa1b2c3d4 (both byte orders,
+// microsecond resolution) and 0xa1b23c4d (nanosecond), Ethernet II
+// link type, IPv4/IPv6, UDP/TCP.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Link types understood by the reader.
+const (
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+)
+
+const (
+	magicMicro   = 0xa1b2c3d4
+	magicNano    = 0xa1b23c4d
+	versionMajor = 2
+	versionMinor = 4
+	maxSnapLen   = 262144
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic    = errors.New("pcap: bad magic number")
+	ErrTruncated   = errors.New("pcap: truncated file")
+	ErrUnsupported = errors.New("pcap: unsupported link type")
+)
+
+// Packet is one captured frame.
+type Packet struct {
+	// Timestamp is the capture time.
+	Timestamp time.Time
+	// Data is the raw frame starting at the link layer.
+	Data []byte
+}
+
+// Reader decodes a classic pcap stream.
+type Reader struct {
+	r         io.Reader
+	byteOrder binary.ByteOrder
+	nanos     bool
+	linkType  uint32
+}
+
+// NewReader parses the pcap global header from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: global header: %v", ErrTruncated, err)
+	}
+	pr := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		pr.byteOrder = binary.LittleEndian
+	case magicBE == magicMicro:
+		pr.byteOrder = binary.BigEndian
+	case magicLE == magicNano:
+		pr.byteOrder = binary.LittleEndian
+		pr.nanos = true
+	case magicBE == magicNano:
+		pr.byteOrder = binary.BigEndian
+		pr.nanos = true
+	default:
+		return nil, fmt.Errorf("%w: %#x", ErrBadMagic, magicLE)
+	}
+	pr.linkType = pr.byteOrder.Uint32(hdr[20:24])
+	return pr, nil
+}
+
+// LinkType returns the capture's link type.
+func (pr *Reader) LinkType() uint32 { return pr.linkType }
+
+// Next returns the next packet, or io.EOF at end of stream.
+func (pr *Reader) Next() (*Packet, error) {
+	var rec [16]byte
+	if _, err := io.ReadFull(pr.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+	}
+	sec := pr.byteOrder.Uint32(rec[0:4])
+	frac := pr.byteOrder.Uint32(rec[4:8])
+	capLen := pr.byteOrder.Uint32(rec[8:12])
+	if capLen > maxSnapLen {
+		return nil, fmt.Errorf("pcap: capture length %d exceeds limit", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return nil, fmt.Errorf("%w: packet data: %v", ErrTruncated, err)
+	}
+	ts := time.Unix(int64(sec), 0)
+	if pr.nanos {
+		ts = ts.Add(time.Duration(frac) * time.Nanosecond)
+	} else {
+		ts = ts.Add(time.Duration(frac) * time.Microsecond)
+	}
+	return &Packet{Timestamp: ts, Data: data}, nil
+}
+
+// ReadAll drains the stream into a slice of packets.
+func (pr *Reader) ReadAll() ([]*Packet, error) {
+	var pkts []*Packet
+	for {
+		p, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			return pkts, nil
+		}
+		if err != nil {
+			return pkts, err
+		}
+		pkts = append(pkts, p)
+	}
+}
+
+// Writer encodes packets into a classic pcap stream (little endian,
+// microsecond timestamps).
+type Writer struct {
+	w        io.Writer
+	wroteHdr bool
+	linkType uint32
+}
+
+// NewWriter creates a Writer for the given link type.
+func NewWriter(w io.Writer, linkType uint32) *Writer {
+	return &Writer{w: w, linkType: linkType}
+}
+
+// WritePacket appends one packet, emitting the global header first if
+// needed.
+func (pw *Writer) WritePacket(p *Packet) error {
+	if !pw.wroteHdr {
+		var hdr [24]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], magicMicro)
+		binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+		binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+		binary.LittleEndian.PutUint32(hdr[16:20], maxSnapLen)
+		binary.LittleEndian.PutUint32(hdr[20:24], pw.linkType)
+		if _, err := pw.w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("pcap: write global header: %w", err)
+		}
+		pw.wroteHdr = true
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(p.Timestamp.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(p.Timestamp.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(p.Data)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(p.Data)))
+	if _, err := pw.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: write record header: %w", err)
+	}
+	if _, err := pw.w.Write(p.Data); err != nil {
+		return fmt.Errorf("pcap: write packet data: %w", err)
+	}
+	return nil
+}
+
+// Payload is an application payload extracted from one packet.
+type Payload struct {
+	// Timestamp is the packet's capture time.
+	Timestamp time.Time
+	// SrcAddr and DstAddr are "ip:port" endpoint strings.
+	SrcAddr string
+	DstAddr string
+	// Transport is "udp" or "tcp".
+	Transport string
+	// Data is the application payload.
+	Data []byte
+}
+
+// ExtractPayload decapsulates an Ethernet frame down to its UDP or TCP
+// payload. It returns (nil, nil) for frames that are not IP/UDP/TCP or
+// carry no payload; hard parse errors are reported.
+func ExtractPayload(p *Packet) (*Payload, error) {
+	frame := p.Data
+	if len(frame) < 14 {
+		return nil, fmt.Errorf("pcap: ethernet frame too short (%d bytes)", len(frame))
+	}
+	etherType := binary.BigEndian.Uint16(frame[12:14])
+	rest := frame[14:]
+	switch etherType {
+	case 0x0800: // IPv4
+		return extractIPv4(p.Timestamp, rest)
+	case 0x86dd: // IPv6
+		return extractIPv6(p.Timestamp, rest)
+	default:
+		return nil, nil
+	}
+}
+
+func extractIPv4(ts time.Time, b []byte) (*Payload, error) {
+	if len(b) < 20 {
+		return nil, fmt.Errorf("pcap: IPv4 header too short")
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || len(b) < ihl {
+		return nil, fmt.Errorf("pcap: bad IPv4 IHL %d", ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if totalLen > len(b) || totalLen < ihl {
+		totalLen = len(b) // tolerate padding/truncation
+	}
+	proto := b[9]
+	src := net.IP(b[12:16]).String()
+	dst := net.IP(b[16:20]).String()
+	return extractTransport(ts, proto, src, dst, b[ihl:totalLen])
+}
+
+func extractIPv6(ts time.Time, b []byte) (*Payload, error) {
+	if len(b) < 40 {
+		return nil, fmt.Errorf("pcap: IPv6 header too short")
+	}
+	payloadLen := int(binary.BigEndian.Uint16(b[4:6]))
+	next := b[6]
+	src := net.IP(b[8:24]).String()
+	dst := net.IP(b[24:40]).String()
+	body := b[40:]
+	if payloadLen <= len(body) {
+		body = body[:payloadLen]
+	}
+	return extractTransport(ts, next, src, dst, body)
+}
+
+func extractTransport(ts time.Time, proto byte, src, dst string, b []byte) (*Payload, error) {
+	switch proto {
+	case 17: // UDP
+		if len(b) < 8 {
+			return nil, fmt.Errorf("pcap: UDP header too short")
+		}
+		sp := binary.BigEndian.Uint16(b[0:2])
+		dp := binary.BigEndian.Uint16(b[2:4])
+		ulen := int(binary.BigEndian.Uint16(b[4:6]))
+		body := b[8:]
+		if ulen >= 8 && ulen-8 <= len(body) {
+			body = body[:ulen-8]
+		}
+		if len(body) == 0 {
+			return nil, nil
+		}
+		return &Payload{
+			Timestamp: ts,
+			SrcAddr:   net.JoinHostPort(src, strconv.Itoa(int(sp))),
+			DstAddr:   net.JoinHostPort(dst, strconv.Itoa(int(dp))),
+			Transport: "udp",
+			Data:      body,
+		}, nil
+	case 6: // TCP
+		if len(b) < 20 {
+			return nil, fmt.Errorf("pcap: TCP header too short")
+		}
+		sp := binary.BigEndian.Uint16(b[0:2])
+		dp := binary.BigEndian.Uint16(b[2:4])
+		off := int(b[12]>>4) * 4
+		if off < 20 || off > len(b) {
+			return nil, fmt.Errorf("pcap: bad TCP data offset %d", off)
+		}
+		body := b[off:]
+		if len(body) == 0 {
+			return nil, nil
+		}
+		return &Payload{
+			Timestamp: ts,
+			SrcAddr:   net.JoinHostPort(src, strconv.Itoa(int(sp))),
+			DstAddr:   net.JoinHostPort(dst, strconv.Itoa(int(dp))),
+			Transport: "tcp",
+			Data:      body,
+		}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// BuildUDPFrame assembles an Ethernet+IPv4+UDP frame around a payload,
+// for writing synthetic traces to pcap files. srcIP and dstIP must be
+// IPv4 addresses.
+func BuildUDPFrame(srcIP, dstIP net.IP, srcPort, dstPort uint16, payload []byte) ([]byte, error) {
+	src4 := srcIP.To4()
+	dst4 := dstIP.To4()
+	if src4 == nil || dst4 == nil {
+		return nil, errors.New("pcap: BuildUDPFrame requires IPv4 addresses")
+	}
+	udpLen := 8 + len(payload)
+	ipLen := 20 + udpLen
+	frame := make([]byte, 14+ipLen)
+	// Ethernet: synthetic locally administered MACs.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 2})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 1})
+	binary.BigEndian.PutUint16(frame[12:14], 0x0800)
+	ip := frame[14:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	ip[8] = 64 // TTL
+	ip[9] = 17 // UDP
+	copy(ip[12:16], src4)
+	copy(ip[16:20], dst4)
+	binary.BigEndian.PutUint16(ip[10:12], ipv4Checksum(ip[:20]))
+	udp := ip[20:]
+	binary.BigEndian.PutUint16(udp[0:2], srcPort)
+	binary.BigEndian.PutUint16(udp[2:4], dstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpLen))
+	copy(udp[8:], payload)
+	return frame, nil
+}
+
+// ipv4Checksum computes the IPv4 header checksum with the checksum field
+// zeroed.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

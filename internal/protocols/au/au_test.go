@@ -1,0 +1,121 @@
+package au
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestHeaderLayout(t *testing.T) {
+	tr, err := Generate(DefaultMessages, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Messages) != DefaultMessages {
+		t.Fatalf("messages = %d, want %d", len(tr.Messages), DefaultMessages)
+	}
+	for i, m := range tr.Messages {
+		if binary.BigEndian.Uint16(m.Data[0:2]) != 0xa175 {
+			t.Fatalf("message %d: bad magic %x", i, m.Data[0:2])
+		}
+		if m.Data[2] != 2 {
+			t.Errorf("message %d: version %d", i, m.Data[2])
+		}
+		mt := m.Data[3]
+		if mt < msgRangingRequest || mt > msgResult {
+			t.Errorf("message %d: unknown type %d", i, mt)
+		}
+	}
+}
+
+func TestSequenceIncreases(t *testing.T) {
+	tr, err := Generate(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint32(0)
+	for i, m := range tr.Messages {
+		seq := binary.BigEndian.Uint32(m.Data[4:8])
+		if seq <= prev {
+			t.Fatalf("message %d: sequence %d not increasing (prev %d)", i, seq, prev)
+		}
+		prev = seq
+	}
+}
+
+func TestMeasurementPolarization(t *testing.T) {
+	tr, err := Generate(DefaultMessages, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section IV-C: measurement runs look static in some messages and
+	// random in others. Verify both populations exist.
+	var stationary, noisy int
+	for _, m := range tr.Messages {
+		var vals []uint32
+		for _, f := range m.Fields {
+			if len(f.Name) >= 11 && f.Name[:11] == "measurement" {
+				vals = append(vals, binary.BigEndian.Uint32(m.Data[f.Offset:f.End()]))
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max-min < 16 {
+			stationary++
+		} else {
+			noisy++
+		}
+	}
+	if stationary == 0 || noisy == 0 {
+		t.Errorf("measurement polarization missing: stationary=%d noisy=%d", stationary, noisy)
+	}
+}
+
+func TestCalTableIsPerDeviceConstantAndPeriodic(t *testing.T) {
+	a := calTable(12345)
+	b := calTable(12345)
+	c := calTable(67890)
+	if !bytes.Equal(a, b) {
+		t.Error("same device must produce the same table")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different devices should differ")
+	}
+	if len(a) != 512 {
+		t.Fatalf("table length %d, want 512", len(a))
+	}
+	// 32-byte record periodicity.
+	for i := 32; i < len(a); i++ {
+		if a[i] != a[i%32] {
+			t.Fatalf("table not periodic at %d", i)
+		}
+	}
+}
+
+func TestResultMessagesAreLong(t *testing.T) {
+	// The long result messages are what breaks Netzob's alignment budget
+	// on the AU trace (Table II "fails").
+	tr, err := Generate(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := 0
+	for _, m := range tr.Messages {
+		if len(m.Data) > maxLen {
+			maxLen = len(m.Data)
+		}
+	}
+	if maxLen < 700 {
+		t.Errorf("longest AU message = %d bytes, want ≥ 700", maxLen)
+	}
+}

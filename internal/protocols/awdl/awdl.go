@@ -1,0 +1,155 @@
+// Package awdl generates synthetic Apple Wireless Direct Link action
+// frames with ground-truth dissection.
+//
+// AWDL is one of the paper's proprietary protocols: a link-layer
+// protocol without IP encapsulation, structured as a small fixed header
+// followed by type-length-value (TLV) records (Stute et al., MobiCom
+// 2018). Its TLV structure is what makes alignment-based segmenters
+// (Netzob) perform well on it.
+package awdl
+
+import (
+	"fmt"
+	"time"
+
+	"protoclust/internal/netmsg"
+	"protoclust/internal/protocols/protogen"
+)
+
+// DefaultMessages matches the paper's larger AWDL trace size.
+const DefaultMessages = 768
+
+// AWDL action frame subtypes.
+const (
+	subtypePSF = 0 // periodic synchronization frame
+	subtypeMIF = 3 // master indication frame
+)
+
+// Generate produces a trace of n AWDL action frames, deterministically
+// from seed. AWDL has no transport addresses; the metadata carries the
+// sender MAC as source.
+func Generate(n int, seed int64) (*netmsg.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("awdl: message count must be positive, got %d", n)
+	}
+	r := protogen.NewRand(seed)
+	tr := &netmsg.Trace{Protocol: "awdl"}
+
+	// A handful of peers advertising periodically.
+	type peer struct {
+		mac      []byte
+		hostname string
+		// chanSeq is the peer's 16-slot availability window channel
+		// sequence; constant per peer across its frames.
+		chanSeq []byte
+		// srvHash is the peer's 20-byte service-name hash (as in mDNS
+		// service discovery over AWDL); constant per peer.
+		srvHash []byte
+	}
+	peers := make([]peer, 6)
+	for i := range peers {
+		cs := make([]byte, 16)
+		for j := range cs {
+			cs[j] = byte(6 + 43*r.Intn(3)) // channels 6, 49, 92
+		}
+		peers[i] = peer{
+			mac:      r.MAC(),
+			hostname: r.Hostname(),
+			chanSeq:  cs,
+			srvHash:  r.Bytes(20),
+		}
+	}
+
+	now := protogen.Epoch
+	for i := 0; i < n; i++ {
+		now = now.Add(time.Duration(10+r.Intn(150)) * time.Millisecond)
+		p := peers[r.Intn(len(peers))]
+		subtype := byte(subtypePSF)
+		if r.Intn(3) == 0 {
+			subtype = subtypeMIF
+		}
+
+		b := protogen.NewBuilder()
+		// Fixed header.
+		b.U8("category", netmsg.TypeEnum, 0x7f) // vendor specific
+		b.Field("oui", netmsg.TypeBytes, []byte{0x00, 0x17, 0xf2})
+		b.U8("type", netmsg.TypeEnum, 0x08)
+		b.U8("version", netmsg.TypeEnum, 0x10)
+		b.U8("subtype", netmsg.TypeEnum, subtype)
+		b.U8("reserved", netmsg.TypePad, 0)
+		phyTx := uint32(now.UnixNano() / 1000 & 0xffffffff)
+		b.U32LE("phy_tx_time", netmsg.TypeTimestamp, phyTx)
+		b.U32LE("target_tx_time", netmsg.TypeTimestamp, phyTx+uint32(r.Intn(400)))
+
+		// TLVs. Each TLV is dissected into type, length, and typed value
+		// fields, like the public AWDL Wireshark dissector does.
+		tlvHdr := func(name string, typ byte, length int) {
+			b.U8(name+"_tag", netmsg.TypeEnum, typ)
+			b.U16LE(name+"_len", netmsg.TypeUint16, uint16(length))
+		}
+
+		// Synchronization parameters TLV (type 0x04).
+		tlvHdr("sync", 0x04, 15)
+		b.U8("sync_next_ch", netmsg.TypeUint8, byte(6+r.Intn(3)*43)) // 6, 49, 92...
+		b.U16LE("sync_tx_counter", netmsg.TypeUint16, uint16(r.Intn(0x10000)))
+		b.U8("sync_master_ch", netmsg.TypeUint8, 6)
+		b.U8("sync_guard_time", netmsg.TypeUint8, 0)
+		b.U16LE("sync_aw_period", netmsg.TypeUint16, 16)
+		b.U16LE("sync_af_period", netmsg.TypeUint16, 110)
+		b.U16LE("sync_flags", netmsg.TypeFlags, 0x1800)
+		b.U16LE("sync_aw_ext_len", netmsg.TypeUint16, 16)
+		b.U16LE("sync_aw_common_len", netmsg.TypeUint16, 16)
+
+		// Channel sequence TLV (type 0x18): per-peer constant.
+		tlvHdr("chanseq", 0x18, len(p.chanSeq)+3)
+		b.U8("chanseq_count", netmsg.TypeUint8, byte(len(p.chanSeq)))
+		b.U8("chanseq_encoding", netmsg.TypeEnum, 0)
+		b.U8("chanseq_duplicate", netmsg.TypeUint8, 0)
+		b.Field("chanseq_channels", netmsg.TypeBytes, p.chanSeq)
+
+		// Election parameters TLV (type 0x05).
+		tlvHdr("election", 0x05, 21)
+		b.U8("election_flags", netmsg.TypeFlags, 0)
+		b.U16LE("election_id", netmsg.TypeUint16, 0)
+		b.U8("election_dist", netmsg.TypeUint8, byte(r.Intn(3)))
+		b.U8("election_unknown", netmsg.TypePad, 0)
+		b.Field("election_master", netmsg.TypeMACAddr, peers[0].mac)
+		b.U32LE("election_metric", netmsg.TypeUint32, uint32(60+r.Intn(500)))
+		b.U32LE("election_counter", netmsg.TypeUint32, uint32(i)*16)
+		b.U16LE("election_pad", netmsg.TypePad, 0)
+
+		if subtype == subtypeMIF {
+			// Service parameters TLV (type 0x06), carrying the peer's
+			// service-name hash.
+			tlvHdr("srv", 0x06, 9+len(p.srvHash))
+			b.U16LE("srv_sui", netmsg.TypeUint16, uint16(r.Intn(64)))
+			b.U32LE("srv_bitmask", netmsg.TypeFlags, uint32(r.Intn(16))<<8)
+			b.U8("srv_unknown1", netmsg.TypePad, 0)
+			b.U16LE("srv_unknown2", netmsg.TypePad, 0)
+			b.Field("srv_hash", netmsg.TypeBytes, p.srvHash)
+
+			// Arpa hostname TLV (type 0x10): variable-length chars.
+			host := p.hostname + ".local"
+			tlvHdr("arpa", 0x10, len(host)+2)
+			b.U8("arpa_flags", netmsg.TypeFlags, 0x03)
+			b.U8("arpa_len", netmsg.TypeUint8, byte(len(host)))
+			b.Chars("arpa_name", host)
+		}
+
+		// Data path state TLV (type 0x12).
+		tlvHdr("datapath", 0x12, 12)
+		b.U16LE("dp_flags", netmsg.TypeFlags, 0x8f24)
+		b.U16LE("dp_country", netmsg.TypeChars, uint16('U')|uint16('S')<<8)
+		b.Field("dp_mac", netmsg.TypeMACAddr, p.mac)
+		b.U16LE("dp_ext_flags", netmsg.TypeFlags, uint16(r.Intn(4)))
+
+		// Version TLV (type 0x15).
+		tlvHdr("vers", 0x15, 2)
+		b.U8("vers_version", netmsg.TypeEnum, 0x20+byte(r.Intn(3)))
+		b.U8("vers_devclass", netmsg.TypeEnum, byte(1+r.Intn(2)*9)) // 1 macOS, 10 watchOS
+
+		mac := fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", p.mac[0], p.mac[1], p.mac[2], p.mac[3], p.mac[4], p.mac[5])
+		tr.Messages = append(tr.Messages, b.Message(now, mac, "ff:ff:ff:ff:ff:ff", true))
+	}
+	return tr, nil
+}

@@ -1,0 +1,126 @@
+package awdl
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestFixedHeader(t *testing.T) {
+	tr, err := Generate(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		if m.Data[0] != 0x7f {
+			t.Fatalf("frame %d: category %#x, want 0x7f", i, m.Data[0])
+		}
+		if m.Data[4] != 0x08 {
+			t.Errorf("frame %d: type %#x, want 0x08 (AWDL)", i, m.Data[4])
+		}
+		sub := m.Data[6]
+		if sub != subtypePSF && sub != subtypeMIF {
+			t.Errorf("frame %d: unknown subtype %d", i, sub)
+		}
+	}
+}
+
+// walkTLVs iterates the TLV records after the 16-byte fixed header
+// (category, OUI, type, version, subtype, reserved, 2×4-byte tx times).
+func walkTLVs(data []byte) (types []byte, ok bool) {
+	pos := 16
+	for pos < len(data) {
+		if pos+3 > len(data) {
+			return types, false
+		}
+		typ := data[pos]
+		length := int(binary.LittleEndian.Uint16(data[pos+1 : pos+3]))
+		types = append(types, typ)
+		pos += 3 + length
+	}
+	return types, pos == len(data)
+}
+
+func TestTLVsParseCleanly(t *testing.T) {
+	tr, err := Generate(50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		types, ok := walkTLVs(m.Data)
+		if !ok {
+			t.Fatalf("frame %d: TLV chain does not tile the frame", i)
+		}
+		if len(types) < 4 {
+			t.Errorf("frame %d: only %d TLVs", i, len(types))
+		}
+		// Sync parameters and version TLVs are present in every frame.
+		var hasSync, hasVersion bool
+		for _, typ := range types {
+			if typ == 0x04 {
+				hasSync = true
+			}
+			if typ == 0x15 {
+				hasVersion = true
+			}
+		}
+		if !hasSync || !hasVersion {
+			t.Errorf("frame %d: missing mandatory TLVs (types %v)", i, types)
+		}
+	}
+}
+
+func TestMIFFramesCarryServiceAndHostname(t *testing.T) {
+	tr, err := Generate(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mifs := 0
+	for _, m := range tr.Messages {
+		if m.Data[6] != subtypeMIF {
+			continue
+		}
+		mifs++
+		types, _ := walkTLVs(m.Data)
+		var hasSrv, hasArpa bool
+		for _, typ := range types {
+			if typ == 0x06 {
+				hasSrv = true
+			}
+			if typ == 0x10 {
+				hasArpa = true
+			}
+		}
+		if !hasSrv || !hasArpa {
+			t.Errorf("MIF frame missing service/arpa TLVs: %v", types)
+		}
+	}
+	if mifs == 0 {
+		t.Fatal("no MIF frames in 100 messages")
+	}
+}
+
+func TestPeerPopulationIsStable(t *testing.T) {
+	tr, err := Generate(120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := make(map[string]bool)
+	for _, m := range tr.Messages {
+		senders[m.SrcAddr] = true
+	}
+	if len(senders) != 6 {
+		t.Errorf("distinct senders = %d, want the 6-peer population", len(senders))
+	}
+}
+
+func TestNoIPContext(t *testing.T) {
+	tr, err := Generate(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tr.Messages {
+		if m.DstAddr != "ff:ff:ff:ff:ff:ff" {
+			t.Errorf("destination %q, want broadcast MAC", m.DstAddr)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package dhcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestBOOTPLayout(t *testing.T) {
+	tr, err := Generate(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		op := m.Data[0]
+		if m.IsRequest && op != 1 {
+			t.Errorf("message %d: request op = %d, want 1", i, op)
+		}
+		if !m.IsRequest && op != 2 {
+			t.Errorf("message %d: reply op = %d, want 2", i, op)
+		}
+		if m.Data[1] != 1 || m.Data[2] != 6 {
+			t.Errorf("message %d: htype/hlen = %d/%d, want 1/6", i, m.Data[1], m.Data[2])
+		}
+		// Magic cookie after the 236-byte fixed part.
+		if !bytes.Equal(m.Data[236:240], []byte{0x63, 0x82, 0x53, 0x63}) {
+			t.Fatalf("message %d: missing magic cookie", i)
+		}
+		if m.Data[len(m.Data)-1] != 255 {
+			t.Errorf("message %d: missing end option", i)
+		}
+	}
+}
+
+func TestExchangeSharesXid(t *testing.T) {
+	tr, err := Generate(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first four messages form one discover/offer/request/ack
+	// exchange sharing one xid.
+	xid := binary.BigEndian.Uint32(tr.Messages[0].Data[4:8])
+	for i := 1; i < 4; i++ {
+		if got := binary.BigEndian.Uint32(tr.Messages[i].Data[4:8]); got != xid {
+			t.Errorf("message %d xid %#x differs from exchange xid %#x", i, got, xid)
+		}
+	}
+}
+
+func TestXidsAreSequentialPerClient(t *testing.T) {
+	tr, err := Generate(400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group exchanges by client MAC; xids must increase per client.
+	lastXid := make(map[string]uint32)
+	for i := 0; i < len(tr.Messages); i += 4 {
+		m := tr.Messages[i]
+		mac := string(m.Data[28:34])
+		xid := binary.BigEndian.Uint32(m.Data[4:8])
+		if prev, ok := lastXid[mac]; ok && xid <= prev {
+			t.Fatalf("client %x xid %d not increasing (prev %d)", mac, xid, prev)
+		}
+		lastXid[mac] = xid
+	}
+	if len(lastXid) < 30 {
+		t.Errorf("client population = %d, want a stable pool of ~60", len(lastXid))
+	}
+}
+
+func TestOffersCarryLease(t *testing.T) {
+	tr, err := Generate(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tr.Messages {
+		if m.IsRequest {
+			continue
+		}
+		// yiaddr (offset 16) must be a 10.3.0.x lease in replies.
+		yiaddr := m.Data[16:20]
+		if yiaddr[0] != 10 || yiaddr[1] != 3 || yiaddr[2] != 0 || yiaddr[3] == 0 {
+			t.Fatalf("reply yiaddr = %v, want 10.3.0.x", yiaddr)
+		}
+	}
+}
+
+func TestClientMACsUseVendorOUIs(t *testing.T) {
+	tr, err := Generate(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ouis := make(map[[3]byte]bool)
+	for _, m := range tr.Messages {
+		ouis[[3]byte{m.Data[28], m.Data[29], m.Data[30]}] = true
+	}
+	if len(ouis) > 4 {
+		t.Errorf("chaddr OUIs = %d distinct, want ≤ 4 (site vendor pool)", len(ouis))
+	}
+}

@@ -1,0 +1,117 @@
+// Package dns generates synthetic Domain Name System traces (RFC 1035
+// wire format) with ground-truth dissection.
+//
+// DNS contributes variable-length fields (label-encoded names), embedded
+// char sequences, shared transaction IDs across query/response pairs,
+// and enum-like fixed fields — the variability mix of the paper's
+// ictf2010-derived trace.
+package dns
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"protoclust/internal/netmsg"
+	"protoclust/internal/protocols/protogen"
+)
+
+// Port is the well-known DNS UDP port.
+const Port = 53
+
+// Generate produces a trace of n DNS messages as query/response pairs,
+// deterministically from seed.
+func Generate(n int, seed int64) (*netmsg.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dns: message count must be positive, got %d", n)
+	}
+	r := protogen.NewRand(seed)
+	tr := &netmsg.Trace{Protocol: "dns"}
+
+	now := protogen.Epoch
+	for len(tr.Messages) < n {
+		now = now.Add(time.Duration(50+r.Intn(900)) * time.Millisecond)
+		id := uint16(r.Intn(0x10000))
+		name := r.Domain()
+		qtype := pickQType(r)
+		client := fmt.Sprintf("10.1.0.%d:%d", 1+r.Intn(60), 1024+r.Intn(60000))
+		server := fmt.Sprintf("10.1.0.%d:%d", 200+r.Intn(4), Port)
+
+		q := buildQuery(r, id, name, qtype)
+		tr.Messages = append(tr.Messages, q.Message(now, client, server, true))
+		if len(tr.Messages) >= n {
+			break
+		}
+		resp := buildResponse(r, id, name, qtype)
+		tr.Messages = append(tr.Messages,
+			resp.Message(now.Add(time.Duration(1+r.Intn(40))*time.Millisecond), server, client, false))
+	}
+	return tr, nil
+}
+
+func pickQType(r *protogen.Rand) uint16 {
+	// A, AAAA, MX, NS with A dominating, as in real resolver traffic.
+	switch r.Intn(10) {
+	case 0:
+		return 28 // AAAA
+	case 1:
+		return 15 // MX
+	case 2:
+		return 2 // NS
+	default:
+		return 1 // A
+	}
+}
+
+func buildHeader(b *protogen.Builder, id uint16, response bool, ancount uint16) {
+	b.U16("id", netmsg.TypeID, id)
+	flags := uint16(0x0100) // RD
+	if response {
+		flags = 0x8180 // QR|RD|RA
+	}
+	b.U16("flags", netmsg.TypeFlags, flags)
+	b.U16("qdcount", netmsg.TypeUint16, 1)
+	b.U16("ancount", netmsg.TypeUint16, ancount)
+	b.U16("nscount", netmsg.TypeUint16, 0)
+	b.U16("arcount", netmsg.TypeUint16, 0)
+}
+
+// EncodeName converts "www.example.com" into DNS label encoding
+// (length-prefixed labels, zero-terminated).
+func EncodeName(name string) []byte {
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0)
+}
+
+func buildQuery(r *protogen.Rand, id uint16, name string, qtype uint16) *protogen.Builder {
+	b := protogen.NewBuilder()
+	buildHeader(b, id, false, 0)
+	b.Field("qname", netmsg.TypeChars, EncodeName(name))
+	b.U16("qtype", netmsg.TypeEnum, qtype)
+	b.U16("qclass", netmsg.TypeEnum, 1)
+	_ = r
+	return b
+}
+
+func buildResponse(r *protogen.Rand, id uint16, name string, qtype uint16) *protogen.Builder {
+	b := protogen.NewBuilder()
+	answers := 1 + r.Intn(2)
+	buildHeader(b, id, true, uint16(answers))
+	b.Field("qname", netmsg.TypeChars, EncodeName(name))
+	b.U16("qtype", netmsg.TypeEnum, qtype)
+	b.U16("qclass", netmsg.TypeEnum, 1)
+	for a := 0; a < answers; a++ {
+		prefix := fmt.Sprintf("an%d_", a)
+		b.U16(prefix+"name", netmsg.TypeUint16, 0xc00c) // compression pointer
+		b.U16(prefix+"type", netmsg.TypeEnum, 1)        // A record answers
+		b.U16(prefix+"class", netmsg.TypeEnum, 1)
+		b.U32(prefix+"ttl", netmsg.TypeUint32, uint32(60*(1+r.Intn(60))))
+		b.U16(prefix+"rdlength", netmsg.TypeUint16, 4)
+		b.Field(prefix+"rdata", netmsg.TypeIPv4, r.IPv4())
+	}
+	return b
+}

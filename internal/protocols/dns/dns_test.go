@@ -1,0 +1,97 @@
+package dns
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestEncodeName(t *testing.T) {
+	got := EncodeName("www.example.com")
+	want := []byte("\x03www\x07example\x03com\x00")
+	if !bytes.Equal(got, want) {
+		t.Errorf("EncodeName = %x, want %x", got, want)
+	}
+}
+
+func TestEncodeNameSingleLabel(t *testing.T) {
+	got := EncodeName("localhost")
+	want := []byte("\x09localhost\x00")
+	if !bytes.Equal(got, want) {
+		t.Errorf("EncodeName = %x, want %x", got, want)
+	}
+}
+
+func TestGenerateHeaderLayout(t *testing.T) {
+	tr, err := Generate(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		if len(m.Data) < 12 {
+			t.Fatalf("message %d shorter than a DNS header", i)
+		}
+		flags := binary.BigEndian.Uint16(m.Data[2:4])
+		isResponse := flags&0x8000 != 0
+		if isResponse == m.IsRequest {
+			t.Errorf("message %d: QR bit %v contradicts IsRequest %v", i, isResponse, m.IsRequest)
+		}
+		qd := binary.BigEndian.Uint16(m.Data[4:6])
+		if qd != 1 {
+			t.Errorf("message %d: qdcount = %d, want 1", i, qd)
+		}
+	}
+}
+
+func TestResponsesCarryAnswers(t *testing.T) {
+	tr, err := Generate(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses := 0
+	for _, m := range tr.Messages {
+		if m.IsRequest {
+			continue
+		}
+		responses++
+		an := binary.BigEndian.Uint16(m.Data[6:8])
+		if an == 0 {
+			t.Error("response without answers")
+		}
+		// Each answer's rdata must be a ground-truth ipv4addr field.
+		hasRdata := false
+		for _, f := range m.Fields {
+			if f.Type == "ipv4addr" {
+				hasRdata = true
+			}
+		}
+		if !hasRdata {
+			t.Error("response without ipv4 rdata field")
+		}
+	}
+	if responses == 0 {
+		t.Fatal("no responses generated")
+	}
+}
+
+func TestQueryNamesAreEncoded(t *testing.T) {
+	tr, err := Generate(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Messages[0]
+	for _, f := range m.Fields {
+		if f.Name != "qname" {
+			continue
+		}
+		name := m.Data[f.Offset:f.End()]
+		if name[len(name)-1] != 0 {
+			t.Error("qname not zero-terminated")
+		}
+		if int(name[0]) == 0 || int(name[0]) > 63 {
+			t.Errorf("first label length %d out of range", name[0])
+		}
+		return
+	}
+	t.Fatal("no qname field found")
+}

@@ -1,0 +1,84 @@
+package modbus
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestMBAPLayout(t *testing.T) {
+	tr, err := Generate(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Messages) != 40 {
+		t.Fatalf("messages = %d", len(tr.Messages))
+	}
+	for i, m := range tr.Messages {
+		if len(m.Data) < 8 {
+			t.Fatalf("message %d shorter than MBAP+function", i)
+		}
+		if binary.BigEndian.Uint16(m.Data[2:4]) != 0 {
+			t.Errorf("message %d: protocol id != 0", i)
+		}
+		// The MBAP length field must equal the remaining bytes after it.
+		l := int(binary.BigEndian.Uint16(m.Data[4:6]))
+		if l != len(m.Data)-6 {
+			t.Errorf("message %d: length field %d, want %d", i, l, len(m.Data)-6)
+		}
+	}
+}
+
+func TestTransactionsPairAndIncrement(t *testing.T) {
+	tr, err := Generate(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint16
+	first := true
+	for i := 0; i+1 < len(tr.Messages); i += 2 {
+		req, resp := tr.Messages[i], tr.Messages[i+1]
+		if !req.IsRequest || resp.IsRequest {
+			t.Fatalf("pair %d direction wrong", i/2)
+		}
+		reqID := binary.BigEndian.Uint16(req.Data[0:2])
+		respID := binary.BigEndian.Uint16(resp.Data[0:2])
+		if reqID != respID {
+			t.Errorf("pair %d: transaction ids differ (%d vs %d)", i/2, reqID, respID)
+		}
+		if !first && reqID <= prev {
+			t.Errorf("transaction id %d not increasing (prev %d)", reqID, prev)
+		}
+		prev = reqID
+		first = false
+	}
+}
+
+func TestGroundTruthTiles(t *testing.T) {
+	tr, err := Generate(60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("ground truth invalid: %v", err)
+	}
+}
+
+func TestFunctionMix(t *testing.T) {
+	tr, err := Generate(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[byte]int{}
+	for _, m := range tr.Messages {
+		counts[m.Data[7]]++
+	}
+	if counts[fnReadHolding] == 0 {
+		t.Error("no read transactions")
+	}
+	if counts[fnWriteSingle] == 0 {
+		t.Error("no write transactions")
+	}
+	if counts[fnReadHoldErr] == 0 {
+		t.Error("no exception responses")
+	}
+}

@@ -1,0 +1,131 @@
+// Package nbns generates synthetic NetBIOS Name Service traces
+// (RFC 1002 wire format) with ground-truth dissection.
+//
+// NBNS resembles DNS but encodes names with first-level encoding into
+// fixed 32-character sequences, giving the trace fixed-length binary
+// fields plus long constant-alphabet char runs.
+package nbns
+
+import (
+	"fmt"
+	"time"
+
+	"protoclust/internal/netmsg"
+	"protoclust/internal/protocols/protogen"
+)
+
+// Port is the well-known NBNS UDP port.
+const Port = 137
+
+// Generate produces a trace of n NBNS messages (name queries,
+// registrations, and positive responses), deterministically from seed.
+func Generate(n int, seed int64) (*netmsg.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("nbns: message count must be positive, got %d", n)
+	}
+	r := protogen.NewRand(seed)
+	tr := &netmsg.Trace{Protocol: "nbns"}
+
+	now := protogen.Epoch
+	for len(tr.Messages) < n {
+		now = now.Add(time.Duration(100+r.Intn(2000)) * time.Millisecond)
+		id := uint16(r.Intn(0x10000))
+		name := r.NetBIOSName()
+		host := fmt.Sprintf("10.2.0.%d:%d", 1+r.Intn(80), Port)
+		bcast := fmt.Sprintf("10.2.0.255:%d", Port)
+
+		kind := r.Intn(3)
+		switch kind {
+		case 0: // name query request (broadcast)
+			b := buildQuery(id, name, false)
+			tr.Messages = append(tr.Messages, b.Message(now, host, bcast, true))
+		case 1: // name registration request
+			b := buildRegistration(r, id, name)
+			tr.Messages = append(tr.Messages, b.Message(now, host, bcast, true))
+		default: // query + positive response pair
+			b := buildQuery(id, name, false)
+			tr.Messages = append(tr.Messages, b.Message(now, host, bcast, true))
+			if len(tr.Messages) >= n {
+				break
+			}
+			resp := buildResponse(r, id, name)
+			responder := fmt.Sprintf("10.2.0.%d:%d", 100+r.Intn(8), Port)
+			tr.Messages = append(tr.Messages,
+				resp.Message(now.Add(time.Duration(1+r.Intn(20))*time.Millisecond), responder, host, false))
+		}
+	}
+	if len(tr.Messages) > n {
+		tr.Messages = tr.Messages[:n]
+	}
+	return tr, nil
+}
+
+// EncodeName applies NBNS first-level encoding: the 16-byte padded name
+// (15 chars + suffix) maps each nibble to 'A'+nibble, yielding 32 chars,
+// wrapped in a length byte and zero terminator.
+func EncodeName(name string, suffix byte) []byte {
+	padded := make([]byte, 16)
+	for i := range padded {
+		padded[i] = ' '
+	}
+	copy(padded, name)
+	padded[15] = suffix
+	out := make([]byte, 0, 34)
+	out = append(out, 32)
+	for _, c := range padded {
+		out = append(out, 'A'+(c>>4), 'A'+(c&0x0f))
+	}
+	return append(out, 0)
+}
+
+func buildHeader(b *protogen.Builder, id uint16, flags uint16, qd, an, ns, ar uint16) {
+	b.U16("id", netmsg.TypeID, id)
+	b.U16("flags", netmsg.TypeFlags, flags)
+	b.U16("qdcount", netmsg.TypeUint16, qd)
+	b.U16("ancount", netmsg.TypeUint16, an)
+	b.U16("nscount", netmsg.TypeUint16, ns)
+	b.U16("arcount", netmsg.TypeUint16, ar)
+}
+
+func buildQuery(id uint16, name string, unicast bool) *protogen.Builder {
+	b := protogen.NewBuilder()
+	flags := uint16(0x0110) // broadcast name query
+	if unicast {
+		flags = 0x0100
+	}
+	buildHeader(b, id, flags, 1, 0, 0, 0)
+	b.Field("qname", netmsg.TypeChars, EncodeName(name, 0x00))
+	b.U16("qtype", netmsg.TypeEnum, 0x0020) // NB
+	b.U16("qclass", netmsg.TypeEnum, 1)
+	return b
+}
+
+func buildRegistration(r *protogen.Rand, id uint16, name string) *protogen.Builder {
+	b := protogen.NewBuilder()
+	buildHeader(b, id, 0x2910, 1, 0, 0, 1)
+	b.Field("qname", netmsg.TypeChars, EncodeName(name, 0x00))
+	b.U16("qtype", netmsg.TypeEnum, 0x0020)
+	b.U16("qclass", netmsg.TypeEnum, 1)
+	// Additional record: the address being registered.
+	b.U16("rr_name", netmsg.TypeUint16, 0xc00c)
+	b.U16("rr_type", netmsg.TypeEnum, 0x0020)
+	b.U16("rr_class", netmsg.TypeEnum, 1)
+	b.U32("rr_ttl", netmsg.TypeUint32, 300000)
+	b.U16("rr_rdlength", netmsg.TypeUint16, 6)
+	b.U16("nb_flags", netmsg.TypeFlags, 0x0000)
+	b.Field("nb_addr", netmsg.TypeIPv4, r.IPv4From([3]byte{10, 2, 0}, 80))
+	return b
+}
+
+func buildResponse(r *protogen.Rand, id uint16, name string) *protogen.Builder {
+	b := protogen.NewBuilder()
+	buildHeader(b, id, 0x8500, 0, 1, 0, 0)
+	b.Field("rr_name", netmsg.TypeChars, EncodeName(name, 0x00))
+	b.U16("rr_type", netmsg.TypeEnum, 0x0020)
+	b.U16("rr_class", netmsg.TypeEnum, 1)
+	b.U32("rr_ttl", netmsg.TypeUint32, uint32(60000*(1+r.Intn(5))))
+	b.U16("rr_rdlength", netmsg.TypeUint16, 6)
+	b.U16("nb_flags", netmsg.TypeFlags, 0x0000)
+	b.Field("nb_addr", netmsg.TypeIPv4, r.IPv4From([3]byte{10, 2, 0}, 108))
+	return b
+}

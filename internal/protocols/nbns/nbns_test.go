@@ -1,0 +1,87 @@
+package nbns
+
+import (
+	"testing"
+)
+
+func TestEncodeNameLayout(t *testing.T) {
+	got := EncodeName("FILESRV", 0x20)
+	if len(got) != 34 {
+		t.Fatalf("encoded length = %d, want 34 (len byte + 32 chars + terminator)", len(got))
+	}
+	if got[0] != 32 {
+		t.Errorf("length byte = %d, want 32", got[0])
+	}
+	if got[33] != 0 {
+		t.Error("missing zero terminator")
+	}
+	// Every encoded char must be in 'A'..'P' (nibble + 'A').
+	for i := 1; i <= 32; i++ {
+		if got[i] < 'A' || got[i] > 'A'+15 {
+			t.Fatalf("encoded char %d = %c out of first-level range", i, got[i])
+		}
+	}
+}
+
+func TestEncodeNameRoundTrip(t *testing.T) {
+	enc := EncodeName("DC01", 0x00)
+	// Decode: each pair of chars is (hi-'A')<<4 | (lo-'A').
+	var dec []byte
+	for i := 1; i < 33; i += 2 {
+		dec = append(dec, (enc[i]-'A')<<4|(enc[i+1]-'A'))
+	}
+	if string(dec[:4]) != "DC01" {
+		t.Errorf("decoded %q, want DC01", dec[:4])
+	}
+	for i := 4; i < 15; i++ {
+		if dec[i] != ' ' {
+			t.Errorf("padding byte %d = %q, want space", i, dec[i])
+		}
+	}
+	if dec[15] != 0x00 {
+		t.Errorf("suffix = %#x, want 0", dec[15])
+	}
+}
+
+func TestEncodeNameSuffix(t *testing.T) {
+	enc := EncodeName("X", 0x20)
+	dec20 := (enc[31]-'A')<<4 | (enc[32] - 'A')
+	if dec20 != 0x20 {
+		t.Errorf("suffix decoded to %#x, want 0x20", dec20)
+	}
+}
+
+func TestGenerateMessageKinds(t *testing.T) {
+	tr, err := Generate(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Messages) != 60 {
+		t.Fatalf("messages = %d", len(tr.Messages))
+	}
+	var queries, responses int
+	for _, m := range tr.Messages {
+		if m.IsRequest {
+			queries++
+		} else {
+			responses++
+		}
+	}
+	if queries == 0 || responses == 0 {
+		t.Errorf("kinds missing: queries=%d responses=%d", queries, responses)
+	}
+}
+
+func TestGenerateTruncatesExactly(t *testing.T) {
+	// The query+response branch can overshoot; Generate must still
+	// return exactly n.
+	for _, n := range []int{1, 2, 7, 33} {
+		tr, err := Generate(n, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Messages) != n {
+			t.Errorf("Generate(%d) produced %d messages", n, len(tr.Messages))
+		}
+	}
+}

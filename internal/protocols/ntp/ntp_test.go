@@ -1,0 +1,93 @@
+package ntp
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestGenerateWireFormat(t *testing.T) {
+	tr, err := Generate(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		if len(m.Data) != 48 {
+			t.Fatalf("message %d: %d bytes, want 48", i, len(m.Data))
+		}
+		mode := m.Data[0] & 0x07
+		vn := (m.Data[0] >> 3) & 0x07
+		if vn != 4 {
+			t.Errorf("message %d: version %d, want 4", i, vn)
+		}
+		switch {
+		case m.IsRequest && mode != 3:
+			t.Errorf("message %d: request mode %d, want 3", i, mode)
+		case !m.IsRequest && mode != 4:
+			t.Errorf("message %d: response mode %d, want 4", i, mode)
+		}
+	}
+}
+
+func TestRequestsAlternateWithResponses(t *testing.T) {
+	tr, err := Generate(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		want := i%2 == 0
+		if m.IsRequest != want {
+			t.Fatalf("message %d IsRequest = %v, want %v", i, m.IsRequest, want)
+		}
+	}
+}
+
+func TestTimestampsCarryEpochPrefix(t *testing.T) {
+	tr, err := Generate(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All transmit timestamps must share their era seconds' top bytes
+	// (captured within minutes of each other) — the structure that makes
+	// them clusterable.
+	var first uint32
+	for i, m := range tr.Messages {
+		var xmt uint64
+		for _, f := range m.Fields {
+			if f.Name == "ts_xmt" {
+				xmt = binary.BigEndian.Uint64(m.Data[f.Offset:f.End()])
+			}
+		}
+		secs := uint32(xmt >> 32)
+		if secs == 0 {
+			t.Fatalf("message %d: zero transmit timestamp", i)
+		}
+		if i == 0 {
+			first = secs
+			continue
+		}
+		if secs>>16 != first>>16 {
+			t.Errorf("message %d: seconds %#x far from first %#x", i, secs, first)
+		}
+	}
+}
+
+func TestServerResponsesHaveStratumAndRefid(t *testing.T) {
+	tr, err := Generate(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		stratum := m.Data[1]
+		refid := m.Data[12:16]
+		zeroRef := refid[0] == 0 && refid[1] == 0 && refid[2] == 0 && refid[3] == 0
+		if m.IsRequest {
+			if stratum != 0 || !zeroRef {
+				t.Errorf("message %d: client with stratum %d / refid %v", i, stratum, refid)
+			}
+		} else {
+			if stratum == 0 || zeroRef {
+				t.Errorf("message %d: server without stratum/refid", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package protocols provides a registry over the synthetic trace
+// generators so the evaluation harness and CLI tools can address every
+// test protocol by name.
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"protoclust/internal/netmsg"
+	"protoclust/internal/protocols/au"
+	"protoclust/internal/protocols/awdl"
+	"protoclust/internal/protocols/dhcp"
+	"protoclust/internal/protocols/dns"
+	"protoclust/internal/protocols/modbus"
+	"protoclust/internal/protocols/nbns"
+	"protoclust/internal/protocols/ntp"
+	"protoclust/internal/protocols/smb"
+)
+
+// GenerateFunc produces a ground-truth-annotated trace of n messages.
+type GenerateFunc func(n int, seed int64) (*netmsg.Trace, error)
+
+// generators maps protocol names to their trace generators.
+var generators = map[string]GenerateFunc{
+	"dhcp": dhcp.Generate,
+	"dns":  dns.Generate,
+	"nbns": nbns.Generate,
+	"ntp":  ntp.Generate,
+	"smb":  smb.Generate,
+	"awdl": awdl.Generate,
+	"au":   au.Generate,
+	// modbus is an extension protocol beyond the paper's evaluation set
+	// (not part of PaperTraces); see the modbus package comment.
+	"modbus": modbus.Generate,
+}
+
+// Names returns all registered protocol names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate produces a trace for the named protocol.
+func Generate(name string, n int, seed int64) (*netmsg.Trace, error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("protocols: unknown protocol %q (have %v)", name, Names())
+	}
+	return gen(n, seed)
+}
+
+// TraceSpec names one evaluation trace: a protocol and its message
+// count, as used in Tables I and II.
+type TraceSpec struct {
+	// Protocol is the registered protocol name.
+	Protocol string
+	// Messages is the trace size to generate.
+	Messages int
+}
+
+// String renders the spec as "proto-N", e.g. "ntp-1000".
+func (s TraceSpec) String() string { return fmt.Sprintf("%s-%d", s.Protocol, s.Messages) }
+
+// PaperTraces returns the trace specs evaluated in the paper: 1000 and
+// 100 messages for the public protocols, 768 and 100 for AWDL, and 123
+// for AU (Section IV-A).
+func PaperTraces() []TraceSpec {
+	return []TraceSpec{
+		{"dhcp", 1000}, {"dns", 1000}, {"nbns", 1000}, {"ntp", 1000}, {"smb", 1000},
+		{"awdl", awdl.DefaultMessages},
+		{"dhcp", 100}, {"dns", 100}, {"nbns", 100}, {"ntp", 100}, {"smb", 100},
+		{"awdl", 100},
+		{"au", au.DefaultMessages},
+	}
+}

@@ -1,0 +1,285 @@
+package protocols
+
+import (
+	"bytes"
+	"testing"
+
+	"protoclust/internal/netmsg"
+)
+
+func TestNames(t *testing.T) {
+	names := Names()
+	want := []string{"au", "awdl", "dhcp", "dns", "modbus", "nbns", "ntp", "smb"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("quic", 10, 1); err == nil {
+		t.Error("unknown protocol should error")
+	}
+}
+
+func TestGenerateRejectsNonPositive(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := Generate(name, 0, 1); err == nil {
+			t.Errorf("%s: n=0 should error", name)
+		}
+	}
+}
+
+// TestAllGeneratorsProduceValidGroundTruth is the central generator
+// contract: requested message count, non-empty payloads, and a
+// dissection that tiles each message exactly.
+func TestAllGeneratorsProduceValidGroundTruth(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Generate(name, 50, 7)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if len(tr.Messages) != 50 {
+				t.Fatalf("got %d messages, want 50", len(tr.Messages))
+			}
+			if tr.Protocol != name {
+				t.Errorf("Protocol = %q, want %q", tr.Protocol, name)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("ground truth invalid: %v", err)
+			}
+			for i, m := range tr.Messages {
+				if len(m.Data) == 0 {
+					t.Fatalf("message %d is empty", i)
+				}
+				if m.SrcAddr == "" || m.DstAddr == "" {
+					t.Errorf("message %d lacks endpoint metadata", i)
+				}
+				if m.Timestamp.IsZero() {
+					t.Errorf("message %d lacks a timestamp", i)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsAreDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			a, err := Generate(name, 30, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Generate(name, 30, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Messages {
+				if !bytes.Equal(a.Messages[i].Data, b.Messages[i].Data) {
+					t.Fatalf("message %d differs between runs with same seed", i)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsVaryWithSeed(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			a, err := Generate(name, 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Generate(name, 10, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			same := true
+			for i := range a.Messages {
+				if !bytes.Equal(a.Messages[i].Data, b.Messages[i].Data) {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Error("different seeds produced identical traces")
+			}
+		})
+	}
+}
+
+// TestTracesHaveValueVariability ensures traces are not degenerate: the
+// clustering method "exploits variances in the contents of messages"
+// (Section III-A), so generators must not emit near-identical payloads.
+func TestTracesHaveValueVariability(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Generate(name, 100, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dd := tr.Deduplicate()
+			if len(dd.Messages) < 50 {
+				t.Errorf("only %d of 100 messages unique; generator too repetitive", len(dd.Messages))
+			}
+		})
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Generate(name, 40, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(tr.Messages); i++ {
+				if tr.Messages[i].Timestamp.Before(tr.Messages[i-1].Timestamp) {
+					t.Fatalf("timestamps not monotonic at message %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestFieldTypeDiversity checks each generator emits at least four
+// distinct ground-truth types; clustering validation is meaningless on
+// single-type traces.
+func TestFieldTypeDiversity(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Generate(name, 60, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			types := make(map[netmsg.FieldType]bool)
+			for _, m := range tr.Messages {
+				for _, f := range m.Fields {
+					types[f.Type] = true
+				}
+			}
+			if len(types) < 4 {
+				t.Errorf("only %d distinct field types: %v", len(types), types)
+			}
+		})
+	}
+}
+
+func TestNTPFixedStructure(t *testing.T) {
+	tr, err := Generate("ntp", 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		if len(m.Data) != 48 {
+			t.Fatalf("NTP message %d has %d bytes, want 48", i, len(m.Data))
+		}
+		if len(m.Fields) != 11 {
+			t.Fatalf("NTP message %d has %d fields, want 11", i, len(m.Fields))
+		}
+	}
+}
+
+func TestDNSQueryResponsePairsShareID(t *testing.T) {
+	tr, err := Generate("dns", 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := 0
+	for i := 0; i+1 < len(tr.Messages); i += 2 {
+		q, r := tr.Messages[i], tr.Messages[i+1]
+		if !q.IsRequest || r.IsRequest {
+			continue
+		}
+		if bytes.Equal(q.Data[0:2], r.Data[0:2]) {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Error("no query/response pair shares a transaction ID")
+	}
+}
+
+func TestSMBSignatureIsHighEntropy(t *testing.T) {
+	tr, err := Generate("smb", 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(map[string]bool)
+	for _, m := range tr.Messages {
+		for _, f := range m.Fields {
+			if f.Name == "signature" {
+				sigs[string(m.Data[f.Offset:f.End()])] = true
+			}
+		}
+	}
+	if len(sigs) < 35 {
+		t.Errorf("SMB signatures not random enough: %d unique of 40", len(sigs))
+	}
+}
+
+func TestAWDLHasTLVStructure(t *testing.T) {
+	tr, err := Generate("awdl", 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tr.Messages {
+		// Every AWDL frame starts with category 0x7f and the Apple OUI.
+		if m.Data[0] != 0x7f {
+			t.Fatalf("AWDL frame does not start with category 0x7f: %x", m.Data[0])
+		}
+		if !bytes.Equal(m.Data[1:4], []byte{0x00, 0x17, 0xf2}) {
+			t.Fatalf("AWDL frame lacks Apple OUI: %x", m.Data[1:4])
+		}
+	}
+}
+
+func TestAUMeasurementRuns(t *testing.T) {
+	tr, err := Generate("au", DefaultAUMessages(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withMeasurements int
+	for _, m := range tr.Messages {
+		count := 0
+		for _, f := range m.Fields {
+			if len(f.Name) > 11 && f.Name[:11] == "measurement" {
+				count++
+			}
+		}
+		if count == 64 {
+			withMeasurements++
+		}
+	}
+	if withMeasurements == 0 {
+		t.Error("no AU message carries a 64-value measurement run")
+	}
+}
+
+// DefaultAUMessages re-exports the AU trace size for tests.
+func DefaultAUMessages() int { return 123 }
+
+func TestPaperTraces(t *testing.T) {
+	specs := PaperTraces()
+	if len(specs) != 13 {
+		t.Fatalf("PaperTraces returned %d specs, want 13", len(specs))
+	}
+	if specs[0].String() != "dhcp-1000" {
+		t.Errorf("first spec = %s, want dhcp-1000", specs[0])
+	}
+	for _, s := range specs {
+		tr, err := Generate(s.Protocol, 5, 1)
+		if err != nil {
+			t.Errorf("spec %s does not generate: %v", s, err)
+			continue
+		}
+		if tr.Protocol != s.Protocol {
+			t.Errorf("spec %s: protocol mismatch", s)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package protogen provides shared infrastructure for the synthetic
+// protocol trace generators: a deterministic message builder that
+// records ground-truth fields while bytes are appended, plus value pools
+// (addresses, host names, domain names) with realistic variability.
+//
+// The generators replace the paper's recorded pcaps (smia-2011,
+// ictf2010, private AWDL/AU captures). See DESIGN.md §2 for why this
+// substitution preserves the evaluated behaviour: the clustering method
+// only consumes message bytes, and the generators reproduce the
+// per-field value-variability classes of the originals.
+package protogen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"protoclust/internal/netmsg"
+)
+
+// Builder accumulates one message's bytes and ground-truth fields.
+type Builder struct {
+	data   []byte
+	fields []netmsg.Field
+}
+
+// NewBuilder returns an empty message builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Len returns the number of bytes appended so far.
+func (b *Builder) Len() int { return len(b.data) }
+
+// Field appends raw bytes as one ground-truth field.
+func (b *Builder) Field(name string, typ netmsg.FieldType, value []byte) *Builder {
+	b.fields = append(b.fields, netmsg.Field{
+		Name:   name,
+		Offset: len(b.data),
+		Length: len(value),
+		Type:   typ,
+	})
+	b.data = append(b.data, value...)
+	return b
+}
+
+// U8 appends a one-byte field.
+func (b *Builder) U8(name string, typ netmsg.FieldType, v uint8) *Builder {
+	return b.Field(name, typ, []byte{v})
+}
+
+// U16 appends a big-endian two-byte field.
+func (b *Builder) U16(name string, typ netmsg.FieldType, v uint16) *Builder {
+	var buf [2]byte
+	binary.BigEndian.PutUint16(buf[:], v)
+	return b.Field(name, typ, buf[:])
+}
+
+// U16LE appends a little-endian two-byte field.
+func (b *Builder) U16LE(name string, typ netmsg.FieldType, v uint16) *Builder {
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], v)
+	return b.Field(name, typ, buf[:])
+}
+
+// U32 appends a big-endian four-byte field.
+func (b *Builder) U32(name string, typ netmsg.FieldType, v uint32) *Builder {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return b.Field(name, typ, buf[:])
+}
+
+// U32LE appends a little-endian four-byte field.
+func (b *Builder) U32LE(name string, typ netmsg.FieldType, v uint32) *Builder {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return b.Field(name, typ, buf[:])
+}
+
+// U64 appends a big-endian eight-byte field.
+func (b *Builder) U64(name string, typ netmsg.FieldType, v uint64) *Builder {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return b.Field(name, typ, buf[:])
+}
+
+// U64LE appends a little-endian eight-byte field.
+func (b *Builder) U64LE(name string, typ netmsg.FieldType, v uint64) *Builder {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return b.Field(name, typ, buf[:])
+}
+
+// Pad appends n bytes of padding (zeros).
+func (b *Builder) Pad(name string, n int) *Builder {
+	return b.Field(name, netmsg.TypePad, make([]byte, n))
+}
+
+// Chars appends a character-sequence field.
+func (b *Builder) Chars(name string, s string) *Builder {
+	return b.Field(name, netmsg.TypeChars, []byte(s))
+}
+
+// Message finalizes the builder into a netmsg.Message with the given
+// metadata. The builder must not be reused afterwards.
+func (b *Builder) Message(ts time.Time, src, dst string, isRequest bool) *netmsg.Message {
+	return &netmsg.Message{
+		Data:      b.data,
+		Fields:    b.fields,
+		Timestamp: ts,
+		SrcAddr:   src,
+		DstAddr:   dst,
+		IsRequest: isRequest,
+	}
+}
+
+// Rand wraps math/rand with helpers common to the generators. All
+// generators are fully deterministic given a seed.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic Rand for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Bytes returns n random bytes (high-entropy content such as SMB
+// signatures or timestamp fractions).
+func (r *Rand) Bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Intn(256))
+	}
+	return out
+}
+
+// IPv4 returns a random address within 10.x.y.z.
+func (r *Rand) IPv4() []byte {
+	return []byte{10, byte(r.Intn(4)), byte(r.Intn(256)), byte(1 + r.Intn(254))}
+}
+
+// IPv4From returns a random address from the given /24-style pool,
+// varying only the last octet across poolSize hosts.
+func (r *Rand) IPv4From(base [3]byte, poolSize int) []byte {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	return []byte{base[0], base[1], base[2], byte(1 + r.Intn(poolSize))}
+}
+
+// MAC returns a random locally administered MAC address (as used by
+// privacy-randomizing stacks such as AWDL).
+func (r *Rand) MAC() []byte {
+	m := r.Bytes(6)
+	m[0] = (m[0] | 0x02) &^ 0x01
+	return m
+}
+
+// ouiPool holds vendor prefixes for hardware MAC addresses: real NICs
+// share a handful of OUIs per site, which keeps MAC values similar to
+// each other — structure the clustering relies on.
+var ouiPool = [][3]byte{
+	{0x00, 0x16, 0x3e},
+	{0x00, 0x1b, 0x63},
+	{0x00, 0x1e, 0xc2},
+	{0xf0, 0xde, 0xf1},
+}
+
+// HardwareMAC returns a vendor-prefixed MAC address: a random OUI from
+// a small site pool followed by three random bytes.
+func (r *Rand) HardwareMAC() []byte {
+	oui := ouiPool[r.Intn(len(ouiPool))]
+	return append([]byte{oui[0], oui[1], oui[2]}, r.Bytes(3)...)
+}
+
+// Pick returns a uniformly chosen element of choices.
+func (r *Rand) Pick(choices []string) string {
+	return choices[r.Intn(len(choices))]
+}
+
+// Hostname returns a plausible device host name from a fixed pool with a
+// numeric suffix, e.g. "workstation-17".
+func (r *Rand) Hostname() string {
+	prefixes := []string{"workstation", "laptop", "printer", "server", "desktop", "iphone", "macbook", "camera"}
+	return fmt.Sprintf("%s-%d", r.Pick(prefixes), r.Intn(40))
+}
+
+// Domain returns a plausible DNS domain from a bounded pool so query
+// and response traffic shares names, e.g. "mail.example3.org".
+func (r *Rand) Domain() string {
+	hosts := []string{"www", "mail", "ns1", "ns2", "ftp", "api", "cdn", "login"}
+	seconds := []string{"example", "ictf", "corp", "campus", "test"}
+	tlds := []string{"com", "org", "net", "edu"}
+	return fmt.Sprintf("%s.%s%d.%s", r.Pick(hosts), r.Pick(seconds), r.Intn(12), r.Pick(tlds))
+}
+
+// NetBIOSName returns an uppercase NetBIOS name of at most 15 chars.
+func (r *Rand) NetBIOSName() string {
+	names := []string{"WORKGROUP", "FILESRV", "PRINTSRV", "DC01", "WKS", "MSHOME", "LAB", "ADMIN"}
+	n := r.Pick(names)
+	if r.Intn(2) == 0 {
+		n = fmt.Sprintf("%s%02d", n, r.Intn(30))
+	}
+	if len(n) > 15 {
+		n = n[:15]
+	}
+	return n
+}
+
+// Epoch is the base capture time shared by all generators (2011-05-10,
+// matching the smia-2011 capture period the paper drew from).
+var Epoch = time.Date(2011, time.May, 10, 12, 0, 0, 0, time.UTC)
+
+// NTPEra converts a capture time to the NTP era-0 seconds value
+// (seconds since 1900-01-01).
+func NTPEra(t time.Time) uint32 {
+	const secsTo1970 = 2208988800
+	return uint32(t.Unix() + secsTo1970)
+}
+
+// Filetime converts a capture time to a Windows FILETIME (100 ns ticks
+// since 1601-01-01), used by SMB timestamps.
+func Filetime(t time.Time) uint64 {
+	const ticksTo1970 = 116444736000000000
+	return uint64(t.UnixNano()/100) + ticksTo1970
+}

@@ -1,0 +1,211 @@
+package protogen
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"protoclust/internal/netmsg"
+)
+
+func TestBuilderFieldsAndOffsets(t *testing.T) {
+	b := NewBuilder()
+	b.U8("a", netmsg.TypeUint8, 0x11)
+	b.U16("b", netmsg.TypeUint16, 0x2233)
+	b.U32("c", netmsg.TypeUint32, 0x44556677)
+	b.U64("d", netmsg.TypeUint64, 0x8899aabbccddeeff)
+	m := b.Message(time.Unix(1, 0), "s", "d", true)
+
+	want := []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	if !bytes.Equal(m.Data, want) {
+		t.Errorf("data = %x, want %x", m.Data, want)
+	}
+	if err := m.ValidateFields(); err != nil {
+		t.Errorf("fields do not tile: %v", err)
+	}
+	if len(m.Fields) != 4 {
+		t.Fatalf("fields = %d, want 4", len(m.Fields))
+	}
+	if m.Fields[2].Offset != 3 || m.Fields[2].Length != 4 {
+		t.Errorf("field c at %d+%d, want 3+4", m.Fields[2].Offset, m.Fields[2].Length)
+	}
+}
+
+func TestBuilderLittleEndian(t *testing.T) {
+	b := NewBuilder()
+	b.U16LE("a", netmsg.TypeUint16, 0x2233)
+	b.U32LE("b", netmsg.TypeUint32, 0x44556677)
+	b.U64LE("c", netmsg.TypeUint64, 0x0102030405060708)
+	m := b.Message(time.Unix(1, 0), "s", "d", false)
+	want := []byte{0x33, 0x22, 0x77, 0x66, 0x55, 0x44, 8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(m.Data, want) {
+		t.Errorf("data = %x, want %x", m.Data, want)
+	}
+}
+
+func TestBuilderPadAndChars(t *testing.T) {
+	b := NewBuilder()
+	b.Pad("p", 3)
+	b.Chars("s", "hi")
+	m := b.Message(time.Unix(1, 0), "s", "d", true)
+	if !bytes.Equal(m.Data, []byte{0, 0, 0, 'h', 'i'}) {
+		t.Errorf("data = %x", m.Data)
+	}
+	if m.Fields[0].Type != netmsg.TypePad || m.Fields[1].Type != netmsg.TypeChars {
+		t.Errorf("field types = %v/%v", m.Fields[0].Type, m.Fields[1].Type)
+	}
+	if b.Len() != 5 {
+		t.Errorf("Len = %d, want 5", b.Len())
+	}
+}
+
+func TestBuilderMessageMetadata(t *testing.T) {
+	b := NewBuilder()
+	b.U8("x", netmsg.TypeUint8, 1)
+	ts := time.Unix(42, 0)
+	m := b.Message(ts, "1.2.3.4:5", "6.7.8.9:10", true)
+	if !m.Timestamp.Equal(ts) || m.SrcAddr != "1.2.3.4:5" || m.DstAddr != "6.7.8.9:10" || !m.IsRequest {
+		t.Errorf("metadata not carried: %+v", m)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(7)
+	b := NewRand(7)
+	if !bytes.Equal(a.Bytes(16), b.Bytes(16)) {
+		t.Error("same seed should produce same bytes")
+	}
+}
+
+func TestRandBytesLength(t *testing.T) {
+	r := NewRand(1)
+	for _, n := range []int{0, 1, 8, 100} {
+		if got := len(r.Bytes(n)); got != n {
+			t.Errorf("Bytes(%d) length = %d", n, got)
+		}
+	}
+}
+
+func TestIPv4Shape(t *testing.T) {
+	r := NewRand(2)
+	for i := 0; i < 50; i++ {
+		ip := r.IPv4()
+		if ip[0] != 10 {
+			t.Fatalf("IPv4 not in 10/8: %v", ip)
+		}
+		if ip[3] == 0 || ip[3] == 255 {
+			t.Fatalf("host octet %d is a network/broadcast address", ip[3])
+		}
+	}
+}
+
+func TestIPv4From(t *testing.T) {
+	r := NewRand(3)
+	ip := r.IPv4From([3]byte{192, 168, 7}, 10)
+	if ip[0] != 192 || ip[1] != 168 || ip[2] != 7 {
+		t.Errorf("prefix not honored: %v", ip)
+	}
+	if ip[3] < 1 || ip[3] > 10 {
+		t.Errorf("host octet %d outside pool", ip[3])
+	}
+	// Degenerate pool size.
+	ip = r.IPv4From([3]byte{1, 2, 3}, 0)
+	if ip[3] != 1 {
+		t.Errorf("pool 0 should clamp to one host, got %d", ip[3])
+	}
+}
+
+func TestMACShapes(t *testing.T) {
+	r := NewRand(4)
+	m := r.MAC()
+	if len(m) != 6 {
+		t.Fatalf("MAC length %d", len(m))
+	}
+	if m[0]&0x02 == 0 {
+		t.Error("locally administered bit not set")
+	}
+	if m[0]&0x01 != 0 {
+		t.Error("multicast bit set")
+	}
+	hw := r.HardwareMAC()
+	if len(hw) != 6 {
+		t.Fatalf("HardwareMAC length %d", len(hw))
+	}
+	found := false
+	for _, oui := range ouiPool {
+		if hw[0] == oui[0] && hw[1] == oui[1] && hw[2] == oui[2] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("HardwareMAC %x has no pool OUI", hw)
+	}
+}
+
+func TestNamePools(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 20; i++ {
+		if h := r.Hostname(); h == "" {
+			t.Fatal("empty hostname")
+		}
+		if d := r.Domain(); d == "" {
+			t.Fatal("empty domain")
+		}
+		n := r.NetBIOSName()
+		if len(n) == 0 || len(n) > 15 {
+			t.Fatalf("NetBIOS name %q length out of range", n)
+		}
+	}
+}
+
+func TestNTPEra(t *testing.T) {
+	// 1970-01-01 is 2208988800 seconds into NTP era 0.
+	if got := NTPEra(time.Unix(0, 0)); got != 2208988800 {
+		t.Errorf("NTPEra(unix 0) = %d", got)
+	}
+	if got := NTPEra(time.Unix(100, 0)); got != 2208988900 {
+		t.Errorf("NTPEra(unix 100) = %d", got)
+	}
+}
+
+func TestFiletime(t *testing.T) {
+	// 1970-01-01 in FILETIME ticks.
+	if got := Filetime(time.Unix(0, 0)); got != 116444736000000000 {
+		t.Errorf("Filetime(unix 0) = %d", got)
+	}
+	// One second later adds 1e7 ticks of 100 ns.
+	if got := Filetime(time.Unix(1, 0)); got != 116444736000000000+10000000 {
+		t.Errorf("Filetime(unix 1) = %d", got)
+	}
+}
+
+// Property: any builder program yields a message whose fields tile it.
+func TestBuilderTilesProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := NewBuilder()
+		for i, op := range ops {
+			name := string(rune('a' + i%26))
+			switch op % 5 {
+			case 0:
+				b.U8(name, netmsg.TypeUint8, op)
+			case 1:
+				b.U16(name, netmsg.TypeUint16, uint16(op))
+			case 2:
+				b.U32LE(name, netmsg.TypeUint32, uint32(op))
+			case 3:
+				b.Pad(name, int(op)%5+1)
+			default:
+				b.Chars(name, "x")
+			}
+		}
+		if len(ops) == 0 {
+			return true
+		}
+		m := b.Message(time.Unix(0, 0), "s", "d", false)
+		return m.ValidateFields() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

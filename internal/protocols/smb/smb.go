@@ -1,0 +1,285 @@
+// Package smb generates synthetic Server Message Block (SMB1) traces
+// with ground-truth dissection.
+//
+// SMB is the paper's hardest protocol: its header carries an 8-byte
+// security signature that is random across messages (the reason for
+// SMB's low clustering recall — random content cannot be grouped by
+// value), alongside FILETIME timestamps, enum commands, flag words, and
+// variable-length dialect/OS strings.
+package smb
+
+import (
+	"fmt"
+	"time"
+
+	"protoclust/internal/netmsg"
+	"protoclust/internal/protocols/protogen"
+)
+
+// Port is the well-known SMB-over-TCP port.
+const Port = 445
+
+// SMB1 command codes used by the generator.
+const (
+	cmdNegotiate    = 0x72
+	cmdSessionSetup = 0x73
+	cmdTreeConnect  = 0x75
+	cmdTrans2       = 0x32
+	cmdReadAndX     = 0x2e
+)
+
+// fileBlock is the 256-byte file content served by every ReadAndX
+// response (the clients re-read the same file). A large constant block
+// keeps SMB messages long — which is what breaks alignment-based
+// segmentation on the 1000-message trace — without adding artificial
+// entropy.
+var fileBlock = func() []byte {
+	const text = "[autorun]\r\nopen=setup.exe\r\nicon=setup.exe,0\r\n" +
+		"label=Corporate File Share\r\n; mounted from \\\\FILESRV\\SHARE0\r\n"
+	out := make([]byte, 256)
+	for i := range out {
+		out[i] = text[i%len(text)]
+	}
+	return out
+}()
+
+// Generate produces a trace of n SMB messages following
+// negotiate/session-setup/tree-connect/trans2 dialogues,
+// deterministically from seed.
+func Generate(n int, seed int64) (*netmsg.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("smb: message count must be positive, got %d", n)
+	}
+	r := protogen.NewRand(seed)
+	tr := &netmsg.Trace{Protocol: "smb"}
+
+	now := protogen.Epoch
+	server := "10.4.0.5:445"
+	// Servers allocate UIDs and TIDs sequentially from small bases and
+	// clients use their (small) process IDs, so SMB identifier values
+	// occupy narrow ranges rather than the full 16-bit space.
+	nextUID := uint16(2048)
+	nextTID := uint16(1)
+	for len(tr.Messages) < n {
+		now = now.Add(time.Duration(1+r.Intn(10)) * time.Second)
+		client := fmt.Sprintf("10.4.0.%d:%d", 10+r.Intn(60), 1024+r.Intn(60000))
+		pid := uint16(1000 + r.Intn(3000))
+		nextUID += uint16(1 + r.Intn(3))
+		nextTID += uint16(1 + r.Intn(2))
+		uid := nextUID
+		tid := nextTID
+		mid := uint16(1 + r.Intn(8))
+
+		steps := []struct {
+			cmd     byte
+			request bool
+		}{
+			{cmdNegotiate, true}, {cmdNegotiate, false},
+			{cmdSessionSetup, true}, {cmdSessionSetup, false},
+			{cmdTreeConnect, true}, {cmdTreeConnect, false},
+			{cmdReadAndX, true}, {cmdReadAndX, false},
+			{cmdTrans2, true}, {cmdTrans2, false},
+		}
+		for step, st := range steps {
+			if len(tr.Messages) >= n {
+				break
+			}
+			mid += uint16(step / 2)
+			b := buildMessage(r, now, st.cmd, st.request, pid, uid, tid, mid)
+			src, dst := client, server
+			if !st.request {
+				src, dst = server, client
+			}
+			tr.Messages = append(tr.Messages,
+				b.Message(now.Add(time.Duration(step*20)*time.Millisecond), src, dst, st.request))
+		}
+	}
+	return tr, nil
+}
+
+func buildMessage(r *protogen.Rand, now time.Time, cmd byte, request bool, pid, uid, tid, mid uint16) *protogen.Builder {
+	b := protogen.NewBuilder()
+	// SMB header (32 bytes).
+	b.Field("smb_magic", netmsg.TypeBytes, []byte{0xff, 'S', 'M', 'B'})
+	b.U8("command", netmsg.TypeEnum, cmd)
+	status := uint32(0)
+	b.U32LE("status", netmsg.TypeUint32, status)
+	flags := byte(0x18)
+	if !request {
+		flags |= 0x80
+	}
+	b.U8("flags", netmsg.TypeFlags, flags)
+	b.U16LE("flags2", netmsg.TypeFlags, 0xc807)
+	b.U16LE("pid_high", netmsg.TypeUint16, 0)
+	// The security signature: 8 random bytes — the paper's prime example
+	// of unclusterable high-entropy content (Section IV-C).
+	b.Field("signature", netmsg.TypeBytes, r.Bytes(8))
+	b.U16LE("reserved", netmsg.TypeUint16, 0)
+	b.U16LE("tid", netmsg.TypeID, tid)
+	b.U16LE("pid_low", netmsg.TypeID, pid)
+	b.U16LE("uid", netmsg.TypeID, uid)
+	b.U16LE("mid", netmsg.TypeID, mid)
+
+	switch cmd {
+	case cmdNegotiate:
+		if request {
+			b.U8("wct", netmsg.TypeUint8, 0)
+			dialects := []byte{}
+			for _, d := range []string{"PC NETWORK PROGRAM 1.0", "LANMAN1.0", "NT LM 0.12"} {
+				dialects = append(dialects, 0x02)
+				dialects = append(dialects, d...)
+				dialects = append(dialects, 0)
+			}
+			b.U16LE("bcc", netmsg.TypeUint16, uint16(len(dialects)))
+			b.Field("dialects", netmsg.TypeChars, dialects)
+		} else {
+			b.U8("wct", netmsg.TypeUint8, 17)
+			b.U16LE("dialect_index", netmsg.TypeEnum, 2)
+			b.U8("security_mode", netmsg.TypeFlags, 0x03)
+			b.U16LE("max_mpx", netmsg.TypeUint16, 50)
+			b.U16LE("max_vcs", netmsg.TypeUint16, 1)
+			b.U32LE("max_buffer", netmsg.TypeUint32, 16644)
+			b.U32LE("max_raw", netmsg.TypeUint32, 65536)
+			b.U32LE("session_key", netmsg.TypeID, 0) // SMB1 sends 0 on the wire
+			b.U32LE("capabilities", netmsg.TypeFlags, 0x8000e3fd)
+			b.U64LE("system_time", netmsg.TypeTimestamp, protogen.Filetime(now))
+			b.U16LE("timezone", netmsg.TypeUint16, 0xff88)
+			b.U8("key_len", netmsg.TypeUint8, 8)
+			b.U16LE("bcc", netmsg.TypeUint16, 8)
+			b.Field("challenge", netmsg.TypeBytes, r.Bytes(8))
+		}
+	case cmdSessionSetup:
+		if request {
+			b.U8("wct", netmsg.TypeUint8, 13)
+			b.U8("andx_cmd", netmsg.TypeEnum, 0xff)
+			b.U8("andx_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("andx_offset", netmsg.TypeUint16, 0)
+			b.U16LE("max_buffer", netmsg.TypeUint16, 16644)
+			b.U16LE("max_mpx", netmsg.TypeUint16, 50)
+			b.U16LE("vc_number", netmsg.TypeUint16, 0)
+			b.U32LE("session_key", netmsg.TypeID, 0) // SMB1 sends 0 on the wire
+			b.U16LE("ansi_pw_len", netmsg.TypeUint16, 24)
+			b.U16LE("uni_pw_len", netmsg.TypeUint16, 0)
+			b.U32LE("reserved2", netmsg.TypeUint32, 0)
+			b.U32LE("capabilities", netmsg.TypeFlags, 0x000000d4)
+			pw := r.Bytes(24)
+			account := r.Hostname()
+			body := append(append([]byte{}, pw...), account...)
+			body = append(body, 0)
+			body = append(body, "WORKGROUP\x00"...)
+			b.U16LE("bcc", netmsg.TypeUint16, uint16(len(body)))
+			b.Field("ansi_password", netmsg.TypeBytes, pw)
+			b.Chars("account", account+"\x00")
+			b.Chars("domain", "WORKGROUP\x00")
+		} else {
+			b.U8("wct", netmsg.TypeUint8, 3)
+			b.U8("andx_cmd", netmsg.TypeEnum, 0xff)
+			b.U8("andx_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("andx_offset", netmsg.TypeUint16, 0)
+			b.U16LE("action", netmsg.TypeFlags, 1)
+			osStr := "Windows 5.1\x00"
+			lanStr := "Windows 2000 LAN Manager\x00"
+			b.U16LE("bcc", netmsg.TypeUint16, uint16(len(osStr)+len(lanStr)))
+			b.Chars("native_os", osStr)
+			b.Chars("native_lanman", lanStr)
+		}
+	case cmdTreeConnect:
+		if request {
+			b.U8("wct", netmsg.TypeUint8, 4)
+			b.U8("andx_cmd", netmsg.TypeEnum, 0xff)
+			b.U8("andx_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("andx_offset", netmsg.TypeUint16, 0)
+			b.U16LE("tc_flags", netmsg.TypeFlags, 0)
+			b.U16LE("pw_len", netmsg.TypeUint16, 1)
+			share := fmt.Sprintf("\\\\FILESRV\\SHARE%d\x00", r.Intn(6))
+			svc := "?????\x00"
+			b.U16LE("bcc", netmsg.TypeUint16, uint16(1+len(share)+len(svc)))
+			b.U8("password", netmsg.TypeUint8, 0)
+			b.Chars("path", share)
+			b.Chars("service", svc)
+		} else {
+			b.U8("wct", netmsg.TypeUint8, 3)
+			b.U8("andx_cmd", netmsg.TypeEnum, 0xff)
+			b.U8("andx_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("andx_offset", netmsg.TypeUint16, 0)
+			b.U16LE("optional_support", netmsg.TypeFlags, 1)
+			svc := "A:\x00"
+			fs := "NTFS\x00"
+			b.U16LE("bcc", netmsg.TypeUint16, uint16(len(svc)+len(fs)))
+			b.Chars("service", svc)
+			b.Chars("native_fs", fs)
+		}
+	case cmdReadAndX:
+		if request {
+			b.U8("wct", netmsg.TypeUint8, 12)
+			b.U8("andx_cmd", netmsg.TypeEnum, 0xff)
+			b.U8("andx_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("andx_offset", netmsg.TypeUint16, 0)
+			b.U16LE("fid", netmsg.TypeID, uint16(0x4000+r.Intn(64)))
+			b.U32LE("offset", netmsg.TypeUint32, uint32(256*r.Intn(8)))
+			b.U16LE("max_count", netmsg.TypeUint16, 256)
+			b.U16LE("min_count", netmsg.TypeUint16, 256)
+			b.U32LE("timeout", netmsg.TypeUint32, 0)
+			b.U16LE("remaining", netmsg.TypeUint16, 0)
+			b.U16LE("bcc", netmsg.TypeUint16, 0)
+		} else {
+			b.U8("wct", netmsg.TypeUint8, 12)
+			b.U8("andx_cmd", netmsg.TypeEnum, 0xff)
+			b.U8("andx_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("andx_offset", netmsg.TypeUint16, 0)
+			b.U16LE("remaining", netmsg.TypeUint16, 0)
+			b.U16LE("data_compaction", netmsg.TypeUint16, 0)
+			b.U16LE("rx_reserved", netmsg.TypeUint16, 0)
+			b.U16LE("data_len", netmsg.TypeUint16, uint16(len(fileBlock)))
+			b.U16LE("data_offset", netmsg.TypeUint16, 59)
+			b.Pad("rx_reserved2", 10)
+			b.U16LE("bcc", netmsg.TypeUint16, uint16(1+len(fileBlock)))
+			b.U8("padding", netmsg.TypePad, 0)
+			b.Field("file_data", netmsg.TypeChars, fileBlock)
+		}
+	case cmdTrans2:
+		if request {
+			b.U8("wct", netmsg.TypeUint8, 15)
+			b.U16LE("total_param_count", netmsg.TypeUint16, 2)
+			b.U16LE("total_data_count", netmsg.TypeUint16, 0)
+			b.U16LE("max_param_count", netmsg.TypeUint16, 0)
+			b.U16LE("max_data_count", netmsg.TypeUint16, 16644)
+			b.U8("max_setup", netmsg.TypeUint8, 0)
+			b.U8("t2_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("t2_flags", netmsg.TypeFlags, 0)
+			b.U32LE("timeout", netmsg.TypeUint32, 0)
+			b.U16LE("reserved2", netmsg.TypeUint16, 0)
+			b.U16LE("param_count", netmsg.TypeUint16, 2)
+			b.U16LE("param_offset", netmsg.TypeUint16, 68)
+			b.U16LE("data_count", netmsg.TypeUint16, 0)
+			b.U8("setup_count", netmsg.TypeUint8, 1)
+			b.U8("setup_reserved", netmsg.TypeUint8, 0)
+			b.U16LE("setup0", netmsg.TypeEnum, 0x0005) // QUERY_PATH_INFO
+			b.U16LE("bcc", netmsg.TypeUint16, 2)
+			b.U16LE("info_level", netmsg.TypeEnum, 0x0107)
+		} else {
+			b.U8("wct", netmsg.TypeUint8, 10)
+			b.U16LE("total_param_count", netmsg.TypeUint16, 2)
+			b.U16LE("total_data_count", netmsg.TypeUint16, 40)
+			b.U16LE("t2r_reserved", netmsg.TypeUint16, 0)
+			b.U16LE("param_count", netmsg.TypeUint16, 2)
+			b.U16LE("param_offset", netmsg.TypeUint16, 56)
+			b.U16LE("param_disp", netmsg.TypeUint16, 0)
+			b.U16LE("data_count", netmsg.TypeUint16, 40)
+			b.U16LE("data_offset", netmsg.TypeUint16, 60)
+			b.U16LE("data_disp", netmsg.TypeUint16, 0)
+			b.U16LE("bcc", netmsg.TypeUint16, 44)
+			b.U16LE("ea_error", netmsg.TypeUint16, 0)
+			b.U16LE("padding", netmsg.TypeUint16, 0)
+			// File info: four FILETIME timestamps + attributes.
+			created := protogen.Filetime(now.Add(-time.Duration(r.Intn(100000)) * time.Minute))
+			b.U64LE("create_time", netmsg.TypeTimestamp, created)
+			b.U64LE("access_time", netmsg.TypeTimestamp, protogen.Filetime(now.Add(-time.Duration(r.Intn(1000))*time.Minute)))
+			b.U64LE("write_time", netmsg.TypeTimestamp, protogen.Filetime(now.Add(-time.Duration(r.Intn(5000))*time.Minute)))
+			b.U64LE("change_time", netmsg.TypeTimestamp, protogen.Filetime(now.Add(-time.Duration(r.Intn(5000))*time.Minute)))
+			b.U32LE("attributes", netmsg.TypeFlags, 0x20)
+			b.U32LE("ea_reserved", netmsg.TypeUint32, 0)
+		}
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package smb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestHeaderLayout(t *testing.T) {
+	tr, err := Generate(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		if !bytes.Equal(m.Data[0:4], []byte{0xff, 'S', 'M', 'B'}) {
+			t.Fatalf("message %d lacks SMB magic: %x", i, m.Data[0:4])
+		}
+		flags := m.Data[9]
+		isReply := flags&0x80 != 0
+		if isReply == m.IsRequest {
+			t.Errorf("message %d: reply flag %v contradicts IsRequest %v", i, isReply, m.IsRequest)
+		}
+	}
+}
+
+func TestDialogueCommandSequence(t *testing.T) {
+	tr, err := Generate(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCmds := []byte{
+		cmdNegotiate, cmdNegotiate,
+		cmdSessionSetup, cmdSessionSetup,
+		cmdTreeConnect, cmdTreeConnect,
+		cmdReadAndX, cmdReadAndX,
+		cmdTrans2, cmdTrans2,
+	}
+	for i, m := range tr.Messages {
+		if m.Data[4] != wantCmds[i] {
+			t.Errorf("message %d command %#x, want %#x", i, m.Data[4], wantCmds[i])
+		}
+	}
+}
+
+func TestIDsOccupyNarrowRanges(t *testing.T) {
+	tr, err := Generate(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range tr.Messages {
+		tid := binary.LittleEndian.Uint16(m.Data[24:26])
+		pid := binary.LittleEndian.Uint16(m.Data[26:28])
+		if pid < 1000 || pid >= 4000 {
+			t.Fatalf("message %d: pid %d outside process-id range", i, pid)
+		}
+		if tid == 0 || tid > 1024 {
+			t.Fatalf("message %d: tid %d outside sequential range", i, tid)
+		}
+	}
+}
+
+func TestSignaturesVaryPerMessage(t *testing.T) {
+	tr, err := Generate(60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, m := range tr.Messages {
+		seen[string(m.Data[14:22])] = true
+	}
+	if len(seen) < 55 {
+		t.Errorf("only %d distinct signatures in 60 messages", len(seen))
+	}
+}
+
+func TestReadResponseCarriesFileBlock(t *testing.T) {
+	tr, err := Generate(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range tr.Messages {
+		for _, f := range m.Fields {
+			if f.Name == "file_data" {
+				found = true
+				if f.Length != 256 {
+					t.Errorf("file_data length %d, want 256", f.Length)
+				}
+				if !bytes.Equal(m.Data[f.Offset:f.End()], fileBlock) {
+					t.Error("file_data differs from the shared file block")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no ReadAndX response with file data in the first dialogue")
+	}
+}
+
+func TestSessionKeysAreZero(t *testing.T) {
+	tr, err := Generate(20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range tr.Messages {
+		for _, f := range m.Fields {
+			if f.Name != "session_key" {
+				continue
+			}
+			for _, b := range m.Data[f.Offset:f.End()] {
+				if b != 0 {
+					t.Fatal("session key not zero (SMB1 sends 0 on the wire)")
+				}
+			}
+		}
+	}
+}
+
+func TestTrans2ResponseTimestamps(t *testing.T) {
+	tr, err := Generate(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsFields int
+	for _, m := range tr.Messages {
+		for _, f := range m.Fields {
+			if f.Type == "timestamp" {
+				tsFields++
+				v := binary.LittleEndian.Uint64(m.Data[f.Offset:f.End()])
+				// FILETIME for 2011 is ~1.29e17 ticks.
+				if v < 100_000_000_000_000_000 || v > 150_000_000_000_000_000 {
+					t.Errorf("timestamp %d outside plausible FILETIME range", v)
+				}
+			}
+		}
+	}
+	if tsFields == 0 {
+		t.Error("no timestamp fields generated")
+	}
+}

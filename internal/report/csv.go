@@ -1,0 +1,91 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"protoclust/internal/experiments"
+)
+
+// WriteTable1CSV emits Table I as machine-readable CSV for plotting
+// pipelines.
+func WriteTable1CSV(w io.Writer, rows []experiments.Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"protocol", "messages", "fields", "epsilon", "clusters", "precision", "recall", "fscore"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Protocol,
+			strconv.Itoa(r.Messages),
+			strconv.Itoa(r.Fields),
+			strconv.FormatFloat(r.Epsilon, 'f', 4, 64),
+			strconv.Itoa(r.Clusters),
+			strconv.FormatFloat(r.Precision, 'f', 4, 64),
+			strconv.FormatFloat(r.Recall, 'f', 4, 64),
+			strconv.FormatFloat(r.FScore, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV emits Table II as CSV, one row per
+// (protocol, messages, segmenter) cell; failed runs carry failed=true
+// and empty metrics.
+func WriteTable2CSV(w io.Writer, rows []experiments.Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"protocol", "messages", "segmenter", "failed", "precision", "recall", "fscore", "coverage"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Protocol,
+			strconv.Itoa(r.Messages),
+			r.Segmenter,
+			strconv.FormatBool(r.Failed),
+			"", "", "", "",
+		}
+		if !r.Failed {
+			rec[4] = strconv.FormatFloat(r.Precision, 'f', 4, 64)
+			rec[5] = strconv.FormatFloat(r.Recall, 'f', 4, 64)
+			rec[6] = strconv.FormatFloat(r.FScore, 'f', 4, 64)
+			rec[7] = strconv.FormatFloat(r.Coverage, 'f', 4, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCoverageCSV emits the Section IV-D comparison as CSV.
+func WriteCoverageCSV(w io.Writer, rows []experiments.CoverageRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"protocol", "messages", "clustering_coverage", "fieldhunter_coverage", "fieldhunter_applicable"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fh := ""
+		if !r.NoContext {
+			fh = strconv.FormatFloat(r.FieldHunterCoverage, 'f', 4, 64)
+		}
+		rec := []string{
+			r.Protocol,
+			strconv.Itoa(r.Messages),
+			strconv.FormatFloat(r.ClusterCoverage, 'f', 4, 64),
+			fh,
+			strconv.FormatBool(!r.NoContext),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"protoclust/internal/experiments"
+)
+
+func TestWriteTable1CSV(t *testing.T) {
+	rows := []experiments.Table1Row{
+		{Protocol: "ntp", Messages: 1000, Fields: 3822, Epsilon: 0.1212, Clusters: 4, Precision: 1, Recall: 0.96, FScore: 0.995},
+	}
+	var sb strings.Builder
+	if err := WriteTable1CSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output not parseable CSV: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want header + 1 row", len(recs))
+	}
+	if recs[0][0] != "protocol" || recs[1][0] != "ntp" {
+		t.Errorf("unexpected records: %v", recs)
+	}
+	if recs[1][3] != "0.1212" {
+		t.Errorf("epsilon = %q", recs[1][3])
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	rows := []experiments.Table2Row{
+		{Protocol: "dhcp", Messages: 1000, Segmenter: "netzob", Failed: true},
+		{Protocol: "dhcp", Messages: 1000, Segmenter: "nemesys", Precision: 0.5, Recall: 0.5, FScore: 0.5, Coverage: 0.9},
+	}
+	var sb strings.Builder
+	if err := WriteTable2CSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][3] != "true" || recs[1][4] != "" {
+		t.Errorf("failed row = %v", recs[1])
+	}
+	if recs[2][3] != "false" || recs[2][7] != "0.9000" {
+		t.Errorf("ok row = %v", recs[2])
+	}
+}
+
+func TestWriteCoverageCSV(t *testing.T) {
+	rows := []experiments.CoverageRow{
+		{Protocol: "dns", Messages: 1000, ClusterCoverage: 0.86, FieldHunterCoverage: 0.03},
+		{Protocol: "awdl", Messages: 768, ClusterCoverage: 0.65, NoContext: true},
+	}
+	var sb strings.Builder
+	if err := WriteCoverageCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[1][3] != "0.0300" || recs[1][4] != "true" {
+		t.Errorf("dns row = %v", recs[1])
+	}
+	if recs[2][3] != "" || recs[2][4] != "false" {
+		t.Errorf("awdl row = %v", recs[2])
+	}
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"protoclust/internal/core"
+	"protoclust/internal/netmsg"
+)
+
+// ANSI colors cycled over cluster IDs in the annotated dump. The
+// sequence avoids red (reserved for noise).
+var dumpColors = []string{
+	"\x1b[36m", // cyan
+	"\x1b[33m", // yellow
+	"\x1b[32m", // green
+	"\x1b[35m", // magenta
+	"\x1b[34m", // blue
+	"\x1b[96m", // bright cyan
+	"\x1b[93m", // bright yellow
+	"\x1b[92m", // bright green
+	"\x1b[95m", // bright magenta
+	"\x1b[94m", // bright blue
+}
+
+const (
+	dumpNoiseColor = "\x1b[31m" // red
+	dumpReset      = "\x1b[0m"
+)
+
+// WriteClusterDump renders up to maxMessages messages as hex with each
+// byte colored by the pseudo data type of its covering segment — the
+// "large-scale structure" view the paper's conclusion envisions for
+// visual analytics. Noise segments are red; bytes outside any segment
+// (excluded one-byte segments) are uncolored. Set color to false for
+// plain output with numeric cluster tags instead of ANSI colors.
+func WriteClusterDump(w io.Writer, res *core.Result, maxMessages int, color bool) error {
+	type span struct {
+		seg     netmsg.Segment
+		cluster int // cluster ID, or -1 for noise
+	}
+	perMsg := make(map[*netmsg.Message][]span)
+	for _, c := range res.Clusters {
+		for _, s := range c.Segments {
+			perMsg[s.Msg] = append(perMsg[s.Msg], span{seg: s, cluster: c.ID})
+		}
+	}
+	for _, s := range res.Noise {
+		perMsg[s.Msg] = append(perMsg[s.Msg], span{seg: s, cluster: -1})
+	}
+
+	// Deterministic message order: iterate via the pool's occurrences.
+	var msgs []*netmsg.Message
+	seen := make(map[*netmsg.Message]bool)
+	for _, occ := range res.Pool.Occurrences {
+		for _, s := range occ {
+			if !seen[s.Msg] {
+				seen[s.Msg] = true
+				msgs = append(msgs, s.Msg)
+			}
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Timestamp.Before(msgs[j].Timestamp) })
+	if maxMessages > 0 && len(msgs) > maxMessages {
+		msgs = msgs[:maxMessages]
+	}
+
+	if _, err := fmt.Fprintln(w, "message bytes by pseudo data type (red = noise):"); err != nil {
+		return err
+	}
+	for mi, m := range msgs {
+		spans := perMsg[m]
+		sort.Slice(spans, func(i, j int) bool { return spans[i].seg.Offset < spans[j].seg.Offset })
+		if _, err := fmt.Fprintf(w, "msg %3d  ", mi); err != nil {
+			return err
+		}
+		pos := 0
+		for _, sp := range spans {
+			if sp.seg.Offset < pos {
+				continue // overlapping duplicate
+			}
+			// Uncovered gap (excluded 1-byte segments).
+			if sp.seg.Offset > pos {
+				if _, err := fmt.Fprintf(w, "%x", m.Data[pos:sp.seg.Offset]); err != nil {
+					return err
+				}
+			}
+			if err := writeSpan(w, m.Data[sp.seg.Offset:sp.seg.End()], sp.cluster, color); err != nil {
+				return err
+			}
+			pos = sp.seg.End()
+		}
+		if pos < len(m.Data) {
+			if _, err := fmt.Fprintf(w, "%x", m.Data[pos:]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSpan(w io.Writer, data []byte, cluster int, color bool) error {
+	if color {
+		c := dumpNoiseColor
+		if cluster >= 0 {
+			c = dumpColors[cluster%len(dumpColors)]
+		}
+		_, err := fmt.Fprintf(w, "%s%x%s", c, data, dumpReset)
+		return err
+	}
+	tag := "n"
+	if cluster >= 0 {
+		tag = fmt.Sprintf("%d", cluster)
+	}
+	_, err := fmt.Fprintf(w, "[%s:%x]", tag, data)
+	return err
+}

@@ -1,0 +1,218 @@
+// Package report renders the experiment results as aligned text tables
+// and CSV, matching the layout of the paper's Tables I and II and the
+// Figure 2 data series.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"protoclust/internal/core"
+	"protoclust/internal/experiments"
+	"protoclust/internal/netmsg"
+)
+
+// fm formats a metric with two decimals, matching the paper's tables.
+func fm(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// WriteTable1 renders Table I.
+func WriteTable1(w io.Writer, rows []experiments.Table1Row) error {
+	if _, err := fmt.Fprintln(w, "Table I — clustering statistics for data type clustering from ground truth"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %6s %7s %7s %9s %5s %5s %6s\n",
+		"proto", "msgs", "fields", "eps", "clusters", "P", "R", "F1/4"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-8s %6d %7d %7.3f %9d %5s %5s %6s\n",
+			r.Protocol, r.Messages, r.Fields, r.Epsilon, r.Clusters,
+			fm(r.Precision), fm(r.Recall), fm(r.FScore)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable2 renders Table II grouped like the paper: one line per
+// protocol trace with a column group per segmenter.
+func WriteTable2(w io.Writer, rows []experiments.Table2Row) error {
+	if _, err := fmt.Fprintln(w, "Table II — combinatorial clustering statistics and coverage for pseudo data types of heuristic segments"); err != nil {
+		return err
+	}
+	// Group rows by (protocol, messages) preserving order.
+	type key struct {
+		proto string
+		msgs  int
+	}
+	groups := make(map[key]map[string]experiments.Table2Row)
+	var order []key
+	var segNames []string
+	seenSeg := make(map[string]bool)
+	for _, r := range rows {
+		k := key{r.Protocol, r.Messages}
+		if groups[k] == nil {
+			groups[k] = make(map[string]experiments.Table2Row)
+			order = append(order, k)
+		}
+		groups[k][r.Segmenter] = r
+		if !seenSeg[r.Segmenter] {
+			seenSeg[r.Segmenter] = true
+			segNames = append(segNames, r.Segmenter)
+		}
+	}
+	header := fmt.Sprintf("%-8s %6s", "proto", "msgs")
+	for _, s := range segNames {
+		header += fmt.Sprintf(" | %-29s", s+" (P R F1/4 cov)")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, k := range order {
+		line := fmt.Sprintf("%-8s %6d", k.proto, k.msgs)
+		for _, s := range segNames {
+			r, ok := groups[k][s]
+			switch {
+			case !ok:
+				line += fmt.Sprintf(" | %-29s", "-")
+			case r.Failed:
+				line += fmt.Sprintf(" | %-29s", "fails")
+			default:
+				line += fmt.Sprintf(" | %5s %5s %5s %5.0f%%     ",
+					fm(r.Precision), fm(r.Recall), fm(r.FScore), r.Coverage*100)
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure2CSV emits the Figure 2 series as CSV
+// (dissimilarity, ecdf, smoothed) plus a trailing comment line with the
+// knee and ε.
+func WriteFigure2CSV(w io.Writer, d *experiments.Figure2Data) error {
+	if _, err := fmt.Fprintf(w, "# Figure 2 — ECDF E_%d for %s-%d; knee=%.3f eps=%.3f\n",
+		d.K, d.Protocol, d.Messages, d.KneeX, d.Epsilon); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "dissimilarity,ecdf,smoothed"); err != nil {
+		return err
+	}
+	for i := range d.X {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f,%.6f\n", d.X[i], d.ECDF[i], d.Smoothed[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFigure3 renders the boundary-error demonstration: each timestamp
+// with markers at the wrongly inferred boundaries.
+func WriteFigure3(w io.Writer, examples []experiments.Figure3Example) error {
+	if _, err := fmt.Fprintln(w, "Figure 3 — heuristically inferred segment boundaries (|) splitting NTP timestamps"); err != nil {
+		return err
+	}
+	for i, ex := range examples {
+		var sb strings.Builder
+		cuts := make(map[int]bool, len(ex.InferredBoundaries))
+		for _, b := range ex.InferredBoundaries {
+			cuts[b] = true
+		}
+		for pos := 0; pos*2 < len(ex.Hex); pos++ {
+			if cuts[pos] {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(ex.Hex[pos*2 : pos*2+2])
+		}
+		if _, err := fmt.Fprintf(w, "NTP timestamp %c  %s\n", 'A'+rune(i%26), sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCoverage renders the Section IV-D coverage comparison.
+func WriteCoverage(w io.Writer, rows []experiments.CoverageRow) error {
+	if _, err := fmt.Fprintln(w, "Coverage — pseudo data type clustering (NEMESYS segments) vs. FieldHunter"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %6s %12s %13s\n", "proto", "msgs", "clustering", "fieldhunter"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fh := fmt.Sprintf("%8.1f%%", r.FieldHunterCoverage*100)
+		if r.NoContext {
+			fh = "  no ctx"
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %6d %11.1f%% %13s\n",
+			r.Protocol, r.Messages, r.ClusterCoverage*100, fh); err != nil {
+			return err
+		}
+	}
+	cAvg, fAvg := experiments.Averages(rows)
+	_, err := fmt.Fprintf(w, "%-8s %6s %11.1f%% %12.1f%%\n", "average", "", cAvg*100, fAvg*100)
+	return err
+}
+
+// WriteClusterComposition renders, for a ground-truth-annotated result,
+// each cluster's composition by true data type — the inspection view
+// the paper uses to explain results ("Inspection of the individual
+// clusters shows that timestamps and signatures have erroneously been
+// placed together", Section IV-B).
+func WriteClusterComposition(w io.Writer, res *core.Result) error {
+	if _, err := fmt.Fprintln(w, "cluster composition by true data type:"); err != nil {
+		return err
+	}
+	for _, c := range res.Clusters {
+		counts := make(map[netmsg.FieldType]int)
+		for _, idx := range c.UniqueIndexes {
+			typ, _ := res.Pool.Unique[idx].DominantTrueType()
+			counts[typ]++
+		}
+		types := make([]string, 0, len(counts))
+		for typ := range counts {
+			types = append(types, string(typ))
+		}
+		sort.Slice(types, func(i, j int) bool {
+			if counts[netmsg.FieldType(types[i])] != counts[netmsg.FieldType(types[j])] {
+				return counts[netmsg.FieldType(types[i])] > counts[netmsg.FieldType(types[j])]
+			}
+			return types[i] < types[j]
+		})
+		line := fmt.Sprintf("cluster %2d (%4d unique):", c.ID, len(c.UniqueIndexes))
+		for _, typ := range types {
+			line += fmt.Sprintf(" %s=%d", typ, counts[netmsg.FieldType(typ)])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	noise := res.Pool.Size()
+	for _, c := range res.Clusters {
+		noise -= len(c.UniqueIndexes)
+	}
+	_, err := fmt.Fprintf(w, "noise: %d unique segments\n", noise)
+	return err
+}
+
+// WriteSeedSweep renders the robustness sweep (experiment R1).
+func WriteSeedSweep(w io.Writer, rows []experiments.SeedSweepRow) error {
+	if _, err := fmt.Fprintln(w, "Robustness — Table I configuration across generator seeds (mean ± std)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %6s %6s %16s %16s\n", "proto", "msgs", "seeds", "P", "F1/4"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-8s %6d %6d %8.2f ± %-5.2f %8.2f ± %-5.2f\n",
+			r.Protocol, r.Messages, r.Seeds, r.MeanP, r.StdP, r.MeanF, r.StdF); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"protoclust/internal/experiments"
+)
+
+func TestWriteTable1(t *testing.T) {
+	rows := []experiments.Table1Row{
+		{Protocol: "ntp", Messages: 1000, Fields: 3822, Epsilon: 0.121, Clusters: 4, Precision: 1, Recall: 0.96, FScore: 1},
+		{Protocol: "smb", Messages: 1000, Fields: 1175, Epsilon: 0.218, Clusters: 1, Precision: 0.59, Recall: 0.70, FScore: 0.60},
+	}
+	var sb strings.Builder
+	if err := WriteTable1(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "ntp", "3822", "0.121", "1.00", "0.96", "smb", "0.59"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTable2(t *testing.T) {
+	rows := []experiments.Table2Row{
+		{Protocol: "dhcp", Messages: 1000, Segmenter: "netzob", Failed: true},
+		{Protocol: "dhcp", Messages: 1000, Segmenter: "nemesys", Precision: 0.88, Recall: 0.33, FScore: 0.80, Coverage: 0.99},
+		{Protocol: "dhcp", Messages: 1000, Segmenter: "csp", Precision: 0.85, Recall: 0.35, FScore: 0.79, Coverage: 0.99},
+		{Protocol: "dns", Messages: 1000, Segmenter: "netzob", Precision: 0.99, Recall: 0.96, FScore: 0.99, Coverage: 1.0},
+		{Protocol: "dns", Messages: 1000, Segmenter: "nemesys", Precision: 1, Recall: 0.85, FScore: 0.99, Coverage: 0.99},
+		{Protocol: "dns", Messages: 1000, Segmenter: "csp", Precision: 0.95, Recall: 0.76, FScore: 0.93, Coverage: 0.99},
+	}
+	var sb strings.Builder
+	if err := WriteTable2(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table II", "fails", "dhcp", "dns", "netzob", "nemesys", "csp", "0.88", "100%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One line per protocol trace (plus two header lines).
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Errorf("line count = %d, want 4", lines)
+	}
+}
+
+func TestWriteFigure2CSV(t *testing.T) {
+	d := &experiments.Figure2Data{
+		Protocol: "ntp", Messages: 1000, K: 2,
+		X:        []float64{0.1, 0.2},
+		ECDF:     []float64{0.5, 1.0},
+		Smoothed: []float64{0.52, 0.98},
+		KneeX:    0.167,
+		Epsilon:  0.167,
+	}
+	var sb strings.Builder
+	if err := WriteFigure2CSV(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E_2", "ntp-1000", "knee=0.167", "dissimilarity,ecdf,smoothed", "0.100000,0.500000,0.520000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Errorf("line count = %d, want 4 (comment + header + 2 rows)", lines)
+	}
+}
+
+func TestWriteFigure3(t *testing.T) {
+	examples := []experiments.Figure3Example{
+		{Hex: "d23d1903b3fcdab1", InferredBoundaries: []int{2, 3}},
+		{Hex: "d23d197a01581062", InferredBoundaries: []int{3}},
+	}
+	var sb strings.Builder
+	if err := WriteFigure3(&sb, examples); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "NTP timestamp A  d23d|19|03b3fcdab1") {
+		t.Errorf("first example not rendered with boundary bars:\n%s", out)
+	}
+	if !strings.Contains(out, "NTP timestamp B  d23d19|7a01581062") {
+		t.Errorf("second example not rendered:\n%s", out)
+	}
+}
+
+func TestWriteCoverage(t *testing.T) {
+	rows := []experiments.CoverageRow{
+		{Protocol: "dns", Messages: 1000, ClusterCoverage: 0.86, FieldHunterCoverage: 0.03},
+		{Protocol: "awdl", Messages: 768, ClusterCoverage: 0.65, NoContext: true},
+	}
+	var sb strings.Builder
+	if err := WriteCoverage(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dns", "86.0%", "3.0%", "no ctx", "average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteClusterComposition(t *testing.T) {
+	res := dumpResult(t)
+	var sb strings.Builder
+	if err := WriteClusterComposition(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cluster composition by true data type") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "timestamp=") {
+		t.Errorf("NTP composition should mention timestamps:\n%s", out)
+	}
+	if !strings.Contains(out, "noise:") {
+		t.Error("noise line missing")
+	}
+}
+
+func TestWriteSeedSweep(t *testing.T) {
+	rows := []experiments.SeedSweepRow{
+		{Protocol: "ntp", Messages: 100, Seeds: 5, MeanP: 1.0, StdP: 0.0, MeanF: 0.99, StdF: 0.01},
+	}
+	var sb strings.Builder
+	if err := WriteSeedSweep(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Robustness", "ntp", "1.00 ± 0.00", "0.99 ± 0.01"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

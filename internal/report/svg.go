@@ -1,0 +1,97 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"protoclust/internal/experiments"
+)
+
+// SVG geometry of the Figure 2 plot.
+const (
+	svgWidth   = 640
+	svgHeight  = 420
+	svgMargin  = 56
+	plotWidth  = svgWidth - 2*svgMargin
+	plotHeight = svgHeight - 2*svgMargin
+)
+
+// WriteFigure2SVG renders the ε auto-configuration plot as a standalone
+// SVG: the step ECDF, its B-spline smoothing, and the detected knee
+// marker — the same three elements as the paper's Figure 2.
+func WriteFigure2SVG(w io.Writer, d *experiments.Figure2Data) error {
+	if len(d.X) == 0 {
+		return fmt.Errorf("report: empty figure data")
+	}
+	xmin, xmax := d.X[0], d.X[len(d.X)-1]
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	px := func(x float64) float64 {
+		return svgMargin + (x-xmin)/(xmax-xmin)*plotWidth
+	}
+	py := func(y float64) float64 {
+		return svgHeight - svgMargin - y*plotHeight
+	}
+
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		svgWidth, svgHeight, svgWidth, svgHeight))
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	// Axes.
+	sb.WriteString(fmt.Sprintf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		svgMargin, svgHeight-svgMargin, svgWidth-svgMargin, svgHeight-svgMargin))
+	sb.WriteString(fmt.Sprintf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		svgMargin, svgMargin, svgMargin, svgHeight-svgMargin))
+	sb.WriteString(fmt.Sprintf(`<text x="%d" y="%d" font-size="13" text-anchor="middle">Canberra dissimilarity of the %d-nearest neighbor</text>`,
+		svgWidth/2, svgHeight-14, d.K))
+	sb.WriteString(fmt.Sprintf(`<text x="16" y="%d" font-size="13" transform="rotate(-90 16 %d)" text-anchor="middle">ECDF</text>`,
+		svgHeight/2, svgHeight/2))
+	// X tick labels at min, knee, max.
+	for _, tx := range []float64{xmin, d.KneeX, xmax} {
+		sb.WriteString(fmt.Sprintf(`<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%.3f</text>`,
+			px(tx), svgHeight-svgMargin+16, tx))
+	}
+	for _, ty := range []float64{0, 0.5, 1} {
+		sb.WriteString(fmt.Sprintf(`<text x="%d" y="%.1f" font-size="11" text-anchor="end">%.1f</text>`,
+			svgMargin-6, py(ty)+4, ty))
+	}
+
+	// Step ECDF.
+	var steps strings.Builder
+	steps.WriteString(fmt.Sprintf("M %.2f %.2f", px(d.X[0]), py(0)))
+	prevY := 0.0
+	for i := range d.X {
+		steps.WriteString(fmt.Sprintf(" L %.2f %.2f L %.2f %.2f", px(d.X[i]), py(prevY), px(d.X[i]), py(d.ECDF[i])))
+		prevY = d.ECDF[i]
+	}
+	sb.WriteString(fmt.Sprintf(`<path d="%s" fill="none" stroke="#4477aa" stroke-width="1.2"/>`, steps.String()))
+
+	// Smoothed spline.
+	var spl strings.Builder
+	spl.WriteString(fmt.Sprintf("M %.2f %.2f", px(d.X[0]), py(d.Smoothed[0])))
+	for i := 1; i < len(d.X); i++ {
+		spl.WriteString(fmt.Sprintf(" L %.2f %.2f", px(d.X[i]), py(d.Smoothed[i])))
+	}
+	sb.WriteString(fmt.Sprintf(`<path d="%s" fill="none" stroke="#ee6677" stroke-width="1.6" stroke-dasharray="5,3"/>`, spl.String()))
+
+	// Knee marker.
+	if d.KneeX > 0 {
+		sb.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#228833" stroke-width="1.2" stroke-dasharray="2,3"/>`,
+			px(d.KneeX), svgMargin, px(d.KneeX), svgHeight-svgMargin))
+		sb.WriteString(fmt.Sprintf(`<text x="%.1f" y="%d" font-size="12" fill="#228833">knee → ε = %.3f</text>`,
+			px(d.KneeX)+6, svgMargin+14, d.Epsilon))
+	}
+
+	// Title and legend.
+	sb.WriteString(fmt.Sprintf(`<text x="%d" y="20" font-size="14" text-anchor="middle">ECDF Ê_%d and its knee (%s, %d messages)</text>`,
+		svgWidth/2, d.K, d.Protocol, d.Messages))
+	sb.WriteString(fmt.Sprintf(`<text x="%d" y="38" font-size="11" fill="#4477aa">— ECDF</text>`, svgWidth-170))
+	sb.WriteString(fmt.Sprintf(`<text x="%d" y="52" font-size="11" fill="#ee6677">- - B-spline smoothing</text>`, svgWidth-170))
+	sb.WriteString(`</svg>`)
+
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,386 @@
+// Package semantics implements the paper's first future-work direction
+// (Section V): combining pseudo data type clustering with the deduction
+// of intra- and inter-message semantics in the style of FieldHunter.
+//
+// Where FieldHunter tests fixed byte offsets, this package tests whole
+// *clusters*: every segment of a pseudo data type is interpreted
+// together, so the deduction also works for variable-position fields —
+// the case where offset-based rules break down. Supported deductions:
+//
+//   - length fields (cluster values correlate with message lengths),
+//   - message counters (values increase over capture time),
+//   - capture-time timestamps (values correlate with packet timestamps),
+//   - constants/magics (a single value across the trace),
+//   - enumerations (few distinct values, many occurrences),
+//   - host identifiers (values in bijection with source endpoints),
+//   - char sequences (printable content).
+package semantics
+
+import (
+	"math"
+	"sort"
+
+	"protoclust/internal/core"
+	"protoclust/internal/netmsg"
+)
+
+// Label is a deduced cluster semantic.
+type Label string
+
+// Deduced semantics, ordered roughly by specificity.
+const (
+	LabelConstant  Label = "constant"
+	LabelEnum      Label = "enumeration"
+	LabelLength    Label = "length-field"
+	LabelCounter   Label = "counter"
+	LabelTimestamp Label = "timestamp"
+	LabelHostID    Label = "host-id"
+	LabelChars     Label = "char-sequence"
+	// LabelRandom marks checksum/signature/nonce-like content: fixed
+	// width, every occurrence distinct, near-uniform byte distribution.
+	// For fuzzing this means "recompute, don't mutate".
+	LabelRandom  Label = "checksum-or-random"
+	LabelUnknown Label = "unknown"
+)
+
+// Thresholds of the deduction rules.
+const (
+	// minCorrelation is the Pearson threshold for length and timestamp
+	// deductions.
+	minCorrelation = 0.8
+	// maxEnumValues caps the distinct-value count of an enumeration.
+	maxEnumValues = 12
+	// minEnumOccurrencesPerValue requires enum values to recur.
+	minEnumOccurrencesPerValue = 4
+	// minPrintableShare classifies char sequences (zeros tolerated).
+	minPrintableShare = 0.9
+	// minStrictPrintableShare is the floor on genuinely printable bytes
+	// (excluding zeros) for the char-sequence rule.
+	minStrictPrintableShare = 0.6
+	// minMonotoneShare is the fraction of in-order consecutive pairs for
+	// a counter.
+	minMonotoneShare = 0.95
+	// maxIntWidth bounds integer interpretation of segment values.
+	maxIntWidth = 8
+	// minRandomEntropy is the per-byte entropy floor (bits, of 8) for
+	// the checksum-or-random rule.
+	minRandomEntropy = 6.5
+)
+
+// Deduction is the semantic verdict for one cluster.
+type Deduction struct {
+	// ClusterID references the analyzed pseudo data type.
+	ClusterID int
+	// Label is the deduced semantic.
+	Label Label
+	// Confidence is a rule-specific score in (0, 1]; higher is stronger
+	// evidence (correlation coefficient, monotone share, ...).
+	Confidence float64
+	// Detail carries rule-specific context (e.g. the correlation value
+	// or the enum cardinality).
+	Detail string
+}
+
+// DeduceAll labels every cluster of a pipeline result.
+func DeduceAll(res *core.Result) []Deduction {
+	out := make([]Deduction, 0, len(res.Clusters))
+	for i := range res.Clusters {
+		out = append(out, Deduce(&res.Clusters[i]))
+	}
+	return out
+}
+
+// Deduce labels one cluster by testing the rules in specificity order.
+func Deduce(c *core.Cluster) Deduction {
+	d := Deduction{ClusterID: c.ID, Label: LabelUnknown}
+	if len(c.Segments) == 0 {
+		return d
+	}
+
+	if label, conf, detail, ok := constantRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	if label, conf, detail, ok := lengthRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	if label, conf, detail, ok := timestampRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	if label, conf, detail, ok := counterRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	if label, conf, detail, ok := hostIDRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	if label, conf, detail, ok := charsRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	if label, conf, detail, ok := enumRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	if label, conf, detail, ok := randomRule(c); ok {
+		return Deduction{ClusterID: c.ID, Label: label, Confidence: conf, Detail: detail}
+	}
+	return d
+}
+
+// segValue interprets a segment as a big-endian unsigned integer.
+func segValue(s netmsg.Segment) (float64, bool) {
+	b := s.Bytes()
+	if len(b) > maxIntWidth {
+		return 0, false
+	}
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return float64(v), true
+}
+
+func constantRule(c *core.Cluster) (Label, float64, string, bool) {
+	first := c.Segments[0].Bytes()
+	for _, s := range c.Segments[1:] {
+		if string(s.Bytes()) != string(first) {
+			return "", 0, "", false
+		}
+	}
+	return LabelConstant, 1, "single value across the trace", true
+}
+
+func lengthRule(c *core.Cluster) (Label, float64, string, bool) {
+	var xs, ys []float64
+	for _, s := range c.Segments {
+		v, ok := segValue(s)
+		if !ok {
+			return "", 0, "", false
+		}
+		xs = append(xs, v)
+		ys = append(ys, float64(len(s.Msg.Data)))
+	}
+	if len(xs) < 8 || distinct(xs) < 3 || distinct(ys) < 3 {
+		return "", 0, "", false
+	}
+	r := pearson(xs, ys)
+	if r < minCorrelation {
+		return "", 0, "", false
+	}
+	return LabelLength, r, "value correlates with message length", true
+}
+
+func timestampRule(c *core.Cluster) (Label, float64, string, bool) {
+	var xs, ys []float64
+	for _, s := range c.Segments {
+		if s.Msg.Timestamp.IsZero() {
+			return "", 0, "", false
+		}
+		v, ok := segValue(s)
+		if !ok {
+			return "", 0, "", false
+		}
+		xs = append(xs, v)
+		ys = append(ys, float64(s.Msg.Timestamp.UnixNano()))
+	}
+	if len(xs) < 8 || distinct(xs) < len(xs)/2 {
+		return "", 0, "", false
+	}
+	r := pearson(xs, ys)
+	if r < minCorrelation {
+		return "", 0, "", false
+	}
+	return LabelTimestamp, r, "value correlates with capture time", true
+}
+
+func counterRule(c *core.Cluster) (Label, float64, string, bool) {
+	// Order segments by capture time and test monotonicity per source.
+	bySrc := make(map[string][]netmsg.Segment)
+	for _, s := range c.Segments {
+		bySrc[s.Msg.SrcAddr] = append(bySrc[s.Msg.SrcAddr], s)
+	}
+	inOrder, strict, pairs := 0, 0, 0
+	for _, segs := range bySrc {
+		sort.Slice(segs, func(i, j int) bool {
+			return segs[i].Msg.Timestamp.Before(segs[j].Msg.Timestamp)
+		})
+		var prev float64
+		first := true
+		for _, s := range segs {
+			v, ok := segValue(s)
+			if !ok {
+				return "", 0, "", false
+			}
+			if !first {
+				pairs++
+				if v >= prev {
+					inOrder++
+				}
+				if v > prev {
+					strict++
+				}
+			}
+			prev = v
+			first = false
+		}
+	}
+	if pairs < 8 {
+		return "", 0, "", false
+	}
+	share := float64(inOrder) / float64(pairs)
+	if share < minMonotoneShare {
+		return "", 0, "", false
+	}
+	// A counter must actually advance; per-source constants (e.g. host
+	// identifiers) are monotone only vacuously.
+	if float64(strict) < 0.5*float64(pairs) {
+		return "", 0, "", false
+	}
+	// Counters must actually advance.
+	var vals []float64
+	for _, s := range c.Segments {
+		if v, ok := segValue(s); ok {
+			vals = append(vals, v)
+		}
+	}
+	if distinct(vals) < 4 {
+		return "", 0, "", false
+	}
+	return LabelCounter, share, "monotone per source over capture time", true
+}
+
+func hostIDRule(c *core.Cluster) (Label, float64, string, bool) {
+	hostVal := make(map[string]string)
+	valHost := make(map[string]string)
+	for _, s := range c.Segments {
+		host := s.Msg.SrcAddr
+		if host == "" {
+			return "", 0, "", false
+		}
+		v := string(s.Bytes())
+		if prev, ok := hostVal[host]; ok && prev != v {
+			return "", 0, "", false
+		}
+		if prev, ok := valHost[v]; ok && prev != host {
+			return "", 0, "", false
+		}
+		hostVal[host] = v
+		valHost[v] = host
+	}
+	if len(hostVal) < 3 {
+		return "", 0, "", false
+	}
+	return LabelHostID, 1, "bijective with source endpoint", true
+}
+
+func charsRule(c *core.Cluster) (Label, float64, string, bool) {
+	// Zero bytes are tolerated (C-string terminators and padding) but do
+	// not count as evidence: otherwise small integers like 0x0064 look
+	// perfectly "printable".
+	printable, strict, total := 0, 0, 0
+	for _, s := range c.Segments {
+		for _, b := range s.Bytes() {
+			total++
+			if b >= 0x20 && b <= 0x7e {
+				printable++
+				strict++
+			} else if b == 0 {
+				printable++
+			}
+		}
+	}
+	if total == 0 {
+		return "", 0, "", false
+	}
+	share := float64(printable) / float64(total)
+	if share < minPrintableShare || float64(strict)/float64(total) < minStrictPrintableShare {
+		return "", 0, "", false
+	}
+	return LabelChars, share, "printable content", true
+}
+
+func enumRule(c *core.Cluster) (Label, float64, string, bool) {
+	counts := make(map[string]int)
+	for _, s := range c.Segments {
+		counts[string(s.Bytes())]++
+	}
+	if len(counts) < 2 || len(counts) > maxEnumValues {
+		return "", 0, "", false
+	}
+	for _, n := range counts {
+		if n < minEnumOccurrencesPerValue {
+			return "", 0, "", false
+		}
+	}
+	conf := 1 - float64(len(counts))/float64(maxEnumValues+1)
+	return LabelEnum, conf, "few recurring values", true
+}
+
+// randomRule detects checksum/signature/nonce content: constant width,
+// all-distinct values, and near-uniform byte usage.
+func randomRule(c *core.Cluster) (Label, float64, string, bool) {
+	if len(c.Segments) < 8 {
+		return "", 0, "", false
+	}
+	width := c.Segments[0].Length
+	seen := make(map[string]bool, len(c.Segments))
+	var counts [256]float64
+	var total float64
+	for _, s := range c.Segments {
+		if s.Length != width {
+			return "", 0, "", false
+		}
+		v := string(s.Bytes())
+		if seen[v] {
+			return "", 0, "", false // recurring values are not nonces
+		}
+		seen[v] = true
+		for _, b := range s.Bytes() {
+			counts[b]++
+			total++
+		}
+	}
+	var entropy float64
+	for _, n := range counts {
+		if n == 0 {
+			continue
+		}
+		p := n / total
+		entropy -= p * math.Log2(p)
+	}
+	if entropy < minRandomEntropy {
+		return "", 0, "", false
+	}
+	return LabelRandom, entropy / 8,
+		"fixed width, all values distinct, near-uniform bytes", true
+}
+
+func distinct(xs []float64) int {
+	set := make(map[float64]bool, len(xs))
+	for _, x := range xs {
+		set[x] = true
+	}
+	return len(set)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,218 @@
+// Package spline implements least-squares smoothing with cubic
+// B-splines.
+//
+// Algorithm 1 of the paper smooths the ECDF of k-NN dissimilarities with
+// a B-spline before knee detection, to remove local statistical
+// fluctuations. This package fits a clamped uniform cubic B-spline to
+// scattered (x, y) samples by linear least squares and evaluates it with
+// the Cox–de Boor recursion.
+package spline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+const degree = 3 // cubic
+
+// Errors returned by Fit.
+var (
+	ErrTooFewPoints = errors.New("spline: need at least two data points")
+	ErrBadControl   = errors.New("spline: need at least degree+1 control points")
+	ErrSingular     = errors.New("spline: normal equations are singular")
+)
+
+// Spline is a fitted clamped uniform cubic B-spline.
+type Spline struct {
+	knots []float64 // clamped knot vector, length nCtrl+degree+1
+	ctrl  []float64 // control-point ordinates
+	lo    float64   // domain lower bound
+	hi    float64   // domain upper bound
+}
+
+// Fit fits a cubic B-spline with nCtrl control points to the samples
+// (xs[i], ys[i]) by least squares. xs must be non-decreasing and span a
+// positive interval. Smaller nCtrl yields stronger smoothing.
+func Fit(xs, ys []float64, nCtrl int) (*Spline, error) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return nil, ErrTooFewPoints
+	}
+	if nCtrl < degree+1 {
+		return nil, ErrBadControl
+	}
+	if nCtrl > len(xs) {
+		nCtrl = len(xs)
+		if nCtrl < degree+1 {
+			return nil, ErrBadControl
+		}
+	}
+	lo, hi := xs[0], xs[len(xs)-1]
+	if !(hi > lo) {
+		return nil, fmt.Errorf("spline: degenerate domain [%v,%v]: %w", lo, hi, ErrTooFewPoints)
+	}
+
+	knots := clampedKnots(lo, hi, nCtrl)
+
+	// Assemble the normal equations AᵀA c = Aᵀy where A[i][j] is the
+	// j-th basis function evaluated at xs[i]. nCtrl is small (tens), so
+	// dense Gaussian elimination is fine.
+	ata := make([][]float64, nCtrl)
+	for i := range ata {
+		ata[i] = make([]float64, nCtrl)
+	}
+	aty := make([]float64, nCtrl)
+	basis := make([]float64, nCtrl)
+	for i, x := range xs {
+		for j := 0; j < nCtrl; j++ {
+			basis[j] = bsplineBasis(j, degree, knots, x, lo, hi)
+		}
+		for r := 0; r < nCtrl; r++ {
+			if basis[r] == 0 {
+				continue
+			}
+			aty[r] += basis[r] * ys[i]
+			for c := 0; c < nCtrl; c++ {
+				ata[r][c] += basis[r] * basis[c]
+			}
+		}
+	}
+	// Tiny Tikhonov regularisation keeps the system well-posed when
+	// data points leave some basis functions unsupported.
+	for r := 0; r < nCtrl; r++ {
+		ata[r][r] += 1e-9
+	}
+	ctrl, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &Spline{knots: knots, ctrl: ctrl, lo: lo, hi: hi}, nil
+}
+
+// Eval evaluates the spline at x. Arguments outside the fitted domain
+// are clamped to the boundary.
+func (s *Spline) Eval(x float64) float64 {
+	if x < s.lo {
+		x = s.lo
+	}
+	if x > s.hi {
+		x = s.hi
+	}
+	var y float64
+	for j := range s.ctrl {
+		if b := bsplineBasis(j, degree, s.knots, x, s.lo, s.hi); b != 0 {
+			y += s.ctrl[j] * b
+		}
+	}
+	return y
+}
+
+// Domain returns the fitted x interval.
+func (s *Spline) Domain() (lo, hi float64) { return s.lo, s.hi }
+
+// Smooth fits a spline to (xs, ys) and returns the smoothed ordinates at
+// the same xs. The smoothness parameter in (0, 1] controls the number of
+// control points relative to the number of samples: smaller values mean
+// stronger smoothing. When fitting fails (degenerate inputs), the
+// original ys are returned unchanged so callers can proceed.
+func Smooth(xs, ys []float64, smoothness float64) []float64 {
+	if smoothness <= 0 || smoothness > 1 {
+		smoothness = 0.1
+	}
+	nCtrl := int(math.Ceil(smoothness * float64(len(xs))))
+	if nCtrl < degree+1 {
+		nCtrl = degree + 1
+	}
+	sp, err := Fit(xs, ys, nCtrl)
+	if err != nil {
+		return append([]float64(nil), ys...)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = sp.Eval(x)
+	}
+	return out
+}
+
+// clampedKnots builds a clamped uniform knot vector for nCtrl control
+// points over [lo, hi].
+func clampedKnots(lo, hi float64, nCtrl int) []float64 {
+	n := nCtrl + degree + 1
+	knots := make([]float64, n)
+	inner := nCtrl - degree // number of spans
+	for i := 0; i < n; i++ {
+		switch {
+		case i <= degree:
+			knots[i] = lo
+		case i >= n-degree-1:
+			knots[i] = hi
+		default:
+			knots[i] = lo + (hi-lo)*float64(i-degree)/float64(inner)
+		}
+	}
+	return knots
+}
+
+// bsplineBasis computes the Cox–de Boor basis function N_{j,p}(x).
+// The right boundary is handled so that the last basis function is 1 at
+// x == hi (closed on the right).
+func bsplineBasis(j, p int, knots []float64, x, lo, hi float64) float64 {
+	if p == 0 {
+		if knots[j] <= x && x < knots[j+1] {
+			return 1
+		}
+		// Close the right end of the domain.
+		if x == hi && knots[j] < knots[j+1] && knots[j+1] == hi {
+			return 1
+		}
+		return 0
+	}
+	var left, right float64
+	if d := knots[j+p] - knots[j]; d > 0 {
+		left = (x - knots[j]) / d * bsplineBasis(j, p-1, knots, x, lo, hi)
+	}
+	if d := knots[j+p+1] - knots[j+1]; d > 0 {
+		right = (knots[j+p+1] - x) / d * bsplineBasis(j+1, p-1, knots, x, lo, hi)
+	}
+	return left + right
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (dense,
+// square) system, mutating its arguments.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,176 @@
+package valuemodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ipv4Pool() [][]byte {
+	var out [][]byte
+	for i := 1; i <= 60; i++ {
+		out = append(out, []byte{10, 3, 0, byte(i)})
+	}
+	return out
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil); !errors.Is(err, ErrNoValues) {
+		t.Errorf("nil training err = %v", err)
+	}
+	if _, err := Train([][]byte{{}}); !errors.Is(err, ErrNoValues) {
+		t.Errorf("empty-values training err = %v", err)
+	}
+}
+
+func TestLengthsAndGenerateLength(t *testing.T) {
+	m, err := Train([][]byte{{1, 2}, {3, 4}, {5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := m.Lengths()
+	if len(ls) != 2 || ls[0] != 2 || ls[1] != 3 {
+		t.Fatalf("Lengths = %v, want [2 3]", ls)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		v := m.Generate(rng)
+		if len(v) != 2 && len(v) != 3 {
+			t.Fatalf("generated length %d not in training distribution", len(v))
+		}
+	}
+}
+
+func TestGenerateStaysInDomain(t *testing.T) {
+	m, err := Train(ipv4Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		v := m.Generate(rng)
+		if len(v) != 4 {
+			t.Fatalf("generated %d bytes, want 4", len(v))
+		}
+		// Prefix 10.3.0 is invariant in the pool; the model must keep it.
+		if v[0] != 10 || v[1] != 3 || v[2] != 0 {
+			t.Fatalf("generated %v leaves the 10.3.0.x domain", v)
+		}
+		if v[3] < 1 || v[3] > 60 {
+			t.Fatalf("host octet %d never observed", v[3])
+		}
+	}
+}
+
+func TestGenerateDeterministicWithSeed(t *testing.T) {
+	m, err := Train(ipv4Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Generate(rand.New(rand.NewSource(7)))
+	b := m.Generate(rand.New(rand.NewSource(7)))
+	if string(a) != string(b) {
+		t.Error("same seed should generate the same value")
+	}
+}
+
+func TestScoreOrdersTypicalAboveAtypical(t *testing.T) {
+	m, err := Train(ipv4Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	typical := m.Score([]byte{10, 3, 0, 30})
+	atypical := m.Score([]byte{200, 117, 9, 254})
+	if typical <= atypical {
+		t.Errorf("typical score %v not above atypical %v", typical, atypical)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	m, err := Train(ipv4Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Score(nil); !math.IsInf(s, -1) {
+		t.Errorf("empty score = %v, want -Inf", s)
+	}
+}
+
+func TestSeen(t *testing.T) {
+	m, err := Train([][]byte{{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Seen([]byte{1, 2, 3}) {
+		t.Error("training value not Seen")
+	}
+	if m.Seen([]byte{9, 9, 9}) {
+		t.Error("unseen value reported Seen")
+	}
+}
+
+func TestAnomalous(t *testing.T) {
+	m, err := Train(ipv4Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Anomalous([]byte{10, 3, 0, 31}, 1.5) {
+		t.Error("in-domain value flagged anomalous")
+	}
+	if !m.Anomalous([]byte{0xde, 0xad, 0xbe, 0xef}, 1.5) {
+		t.Error("out-of-domain value not flagged anomalous")
+	}
+}
+
+func TestMarkovTransitionsLearned(t *testing.T) {
+	// Values where byte pairs determine the next byte exactly:
+	// "abcabc..." patterns.
+	var vals [][]byte
+	for i := 0; i < 20; i++ {
+		vals = append(vals, []byte("abcabc"))
+	}
+	m, err := Train(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	v := m.Generate(rng)
+	if string(v) != "abcabc" {
+		t.Errorf("deterministic pattern generated %q, want abcabc", v)
+	}
+}
+
+// Property: Generate always produces a length from the training
+// distribution and Score of a training value is finite.
+func TestModelProperties(t *testing.T) {
+	f := func(raw [][]byte, seed int64) bool {
+		var vals [][]byte
+		lens := make(map[int]bool)
+		for _, v := range raw {
+			if len(v) == 0 || len(v) > 32 {
+				continue
+			}
+			vals = append(vals, v)
+			lens[len(v)] = true
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		m, err := Train(vals)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := m.Generate(rng)
+		if !lens[len(g)] {
+			return false
+		}
+		s := m.Score(vals[0])
+		return !math.IsNaN(s) && !math.IsInf(s, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package vecmath provides small numeric helpers shared by the
+// clustering pipeline: means, medians, standard deviation, percentiles,
+// percent rank, and argmax/argmin over float64 slices.
+//
+// All functions treat their inputs as read-only; functions that need to
+// sort operate on an internal copy.
+package vecmath
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs, or NaN for an empty slice. For an
+// even number of elements it returns the mean of the two central ones.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// StdDev returns the population standard deviation of xs, or NaN for an
+// empty slice.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mean := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	min := math.Inf(1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest element of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 for an
+// empty slice. Ties resolve to the first occurrence.
+func ArgMax(xs []float64) int {
+	idx := -1
+	max := math.Inf(-1)
+	for i, x := range xs {
+		if x > max {
+			max = x
+			idx = i
+		}
+	}
+	return idx
+}
+
+// ArgMin returns the index of the smallest element of xs, or -1 for an
+// empty slice. Ties resolve to the first occurrence.
+func ArgMin(xs []float64) int {
+	idx := -1
+	min := math.Inf(1)
+	for i, x := range xs {
+		if x < min {
+			min = x
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks. It returns NaN for an
+// empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// PercentRank returns the percent rank of value v within xs following
+// Roscoe: the percentage of observations strictly below v plus half the
+// observations equal to v. The result is in [0, 100]; NaN for empty xs.
+func PercentRank(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var below, equal int
+	for _, x := range xs {
+		switch {
+		case x < v:
+			below++
+		case x == v:
+			equal++
+		}
+	}
+	return (float64(below) + float64(equal)/2) / float64(len(xs)) * 100
+}
+
+// Diff returns the successive differences xs[i+1]-xs[i]. The result has
+// length len(xs)-1, or is nil when xs has fewer than two elements.
+func Diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

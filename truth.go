@@ -1,0 +1,65 @@
+package protoclust
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"protoclust/internal/netmsg"
+)
+
+// truthMessageJSON mirrors the sidecar format cmd/tracegen writes next
+// to generated pcaps.
+type truthMessageJSON struct {
+	Index  int    `json:"index"`
+	Src    string `json:"src"`
+	Dst    string `json:"dst"`
+	Fields []struct {
+		Name   string `json:"name"`
+		Offset int    `json:"offset"`
+		Length int    `json:"length"`
+		Type   string `json:"type"`
+	} `json:"fields"`
+}
+
+// AttachTruth reads a ground-truth sidecar (the `<trace>.pcap.truth.json`
+// format written by cmd/tracegen) and attaches the dissections to the
+// trace's messages, enabling Evaluate on traces loaded from pcap files.
+// The sidecar must describe exactly the trace's messages in order; each
+// dissection must tile its message.
+func AttachTruth(tr *Trace, r io.Reader) error {
+	var truth []truthMessageJSON
+	if err := json.NewDecoder(r).Decode(&truth); err != nil {
+		return fmt.Errorf("protoclust: parse truth json: %w", err)
+	}
+	if len(truth) != len(tr.Messages) {
+		return fmt.Errorf("protoclust: truth describes %d messages, trace has %d",
+			len(truth), len(tr.Messages))
+	}
+	for i, tm := range truth {
+		m := tr.Messages[i]
+		fields := make([]netmsg.Field, 0, len(tm.Fields))
+		for _, f := range tm.Fields {
+			fields = append(fields, netmsg.Field{
+				Name:   f.Name,
+				Offset: f.Offset,
+				Length: f.Length,
+				Type:   netmsg.FieldType(f.Type),
+			})
+		}
+		m.Fields = fields
+		if err := m.ValidateFields(); err != nil {
+			m.Fields = nil
+			return fmt.Errorf("protoclust: truth message %d: %w", i, err)
+		}
+		// Restore endpoint metadata lost by IP re-encapsulation (AWDL
+		// MAC addresses, AU device names).
+		if tm.Src != "" {
+			m.SrcAddr = tm.Src
+		}
+		if tm.Dst != "" {
+			m.DstAddr = tm.Dst
+		}
+	}
+	return nil
+}
