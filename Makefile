@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench eval fuzz clean
+.PHONY: all build test test-short test-race vet bench bench-json eval fuzz clean
 
 all: build vet test
 
@@ -18,9 +18,20 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race detector over the concurrent matrix build, k-NN selection, and
+# the rest of the pipeline.
+test-race:
+	$(GO) test -race -short ./...
+
 # Regenerates every benchmark, including one run per paper table/figure.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates the perf-trajectory artifact for the dissimilarity hot
+# path (kernel, matrix build, k-NN table at n = 500/2000/8000, optimized
+# vs pre-kernel reference). See docs/tuning.md § Performance.
+bench-json:
+	$(GO) run ./cmd/benchperf -out BENCH_1.json
 
 # Regenerates Tables I/II, Figures 2/3, and the coverage comparison.
 eval:
@@ -33,7 +44,8 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzSegmentMessage -fuzztime 10s ./internal/segment/nemesys/
 	$(GO) test -run XXX -fuzz FuzzSegment -fuzztime 10s ./internal/segment/csp/
 	$(GO) test -run XXX -fuzz FuzzSegment -fuzztime 10s ./internal/segment/netzob/
-	$(GO) test -run XXX -fuzz FuzzDissimilarity -fuzztime 10s ./internal/canberra/
+	$(GO) test -run XXX -fuzz 'FuzzDissimilarity$$' -fuzztime 10s ./internal/canberra/
+	$(GO) test -run XXX -fuzz FuzzKernelDifferential -fuzztime 10s ./internal/canberra/
 
 clean:
 	$(GO) clean ./...

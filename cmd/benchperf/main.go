@@ -1,0 +1,270 @@
+// Command benchperf measures the dissimilarity hot path — kernel,
+// pairwise matrix build, and k-NN table — at several population sizes
+// and writes the results as a BENCH_*.json artifact. Each optimized
+// number is paired with the pre-kernel reference implementation
+// (dissim.ComputeReference, dissim.KNNTableSort,
+// canberra.DissimilarityPenalty), so the file records the before/after
+// of this optimization round and gives later PRs a trajectory to
+// compare against.
+//
+// Regenerate with:
+//
+//	make bench-json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"protoclust/internal/canberra"
+	"protoclust/internal/dissim"
+	"protoclust/internal/netmsg"
+)
+
+// mixedLens approximates heuristic segmentation output: mostly short
+// fields with a tail of longer ones.
+var mixedLens = []int{2, 3, 4, 6, 8, 12, 16}
+
+type kernelResult struct {
+	// Per-call nanoseconds for one dissimilarity evaluation.
+	EqualLengthNsOp   float64 `json:"equal_length_ns_op"`
+	SlidingNsOp       float64 `json:"sliding_ns_op"`
+	RefEqualLengthNs  float64 `json:"reference_equal_length_ns_op"`
+	RefSlidingNs      float64 `json:"reference_sliding_ns_op"`
+	EqualLengthSpeedx float64 `json:"equal_length_speedup"`
+	SlidingSpeedx     float64 `json:"sliding_speedup"`
+}
+
+type stageResult struct {
+	OptimizedNs int64   `json:"optimized_ns"`
+	ReferenceNs int64   `json:"reference_ns"`
+	NsPerOp     float64 `json:"optimized_ns_per_op"`
+	RefNsPerOp  float64 `json:"reference_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type shapeResult struct {
+	N           int          `json:"n"`
+	Pairs       int          `json:"pairs"`
+	KMax        int          `json:"kmax"`
+	Kernel      kernelResult `json:"kernel"`
+	MatrixBuild stageResult  `json:"matrix_build"`
+	KNNTable    stageResult  `json:"knn_table"`
+}
+
+type benchFile struct {
+	Bench      int           `json:"bench"`
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Note       string        `json:"note"`
+	Shapes     []shapeResult `json:"shapes"`
+}
+
+// genPool builds a deterministic pool of n unique segments.
+func genPool(n int, lens []int, seed int64) *dissim.Pool {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool)
+	var segs []netmsg.Segment
+	for len(seen) < n {
+		l := lens[rng.Intn(len(lens))]
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		if seen[string(b)] {
+			continue
+		}
+		seen[string(b)] = true
+		segs = append(segs, netmsg.Segment{Msg: &netmsg.Message{Data: b}, Offset: 0, Length: l})
+	}
+	return dissim.NewPool(segs)
+}
+
+// timeIt runs fn at least once and until minDuration has elapsed,
+// returning nanoseconds per call.
+func timeIt(minDuration time.Duration, fn func()) float64 {
+	var (
+		total time.Duration
+		calls int
+	)
+	for total < minDuration {
+		start := time.Now()
+		fn()
+		total += time.Since(start)
+		calls++
+	}
+	return float64(total.Nanoseconds()) / float64(calls)
+}
+
+func measureKernel(rng *rand.Rand) kernelResult {
+	const reps = 200000
+	eqA, eqB := make([]byte, 8), make([]byte, 8)
+	short, long := make([]byte, 4), make([]byte, 16)
+	for _, b := range [][]byte{eqA, eqB, short, long} {
+		rng.Read(b)
+	}
+	vEqA, vEqB := canberra.NewView(eqA), canberra.NewView(eqB)
+	vShort, vLong := canberra.NewView(short), canberra.NewView(long)
+
+	var sink float64
+	run := func(fn func()) float64 {
+		ns := timeIt(100*time.Millisecond, func() {
+			for i := 0; i < reps; i++ {
+				fn()
+			}
+		})
+		return ns / reps
+	}
+	r := kernelResult{}
+	r.EqualLengthNsOp = run(func() { sink += canberra.DissimViews(vEqA, vEqB, canberra.DefaultPenalty) })
+	r.SlidingNsOp = run(func() { sink += canberra.DissimViews(vShort, vLong, canberra.DefaultPenalty) })
+	r.RefEqualLengthNs = run(func() {
+		d, _ := canberra.DissimilarityPenalty(eqA, eqB, canberra.DefaultPenalty)
+		sink += d
+	})
+	r.RefSlidingNs = run(func() {
+		d, _ := canberra.DissimilarityPenalty(short, long, canberra.DefaultPenalty)
+		sink += d
+	})
+	if sink == math.Inf(1) {
+		log.Fatal("benchperf: sink overflow")
+	}
+	r.EqualLengthSpeedx = r.RefEqualLengthNs / r.EqualLengthNsOp
+	r.SlidingSpeedx = r.RefSlidingNs / r.SlidingNsOp
+	return r
+}
+
+func kMax(n int) int {
+	k := int(math.Round(math.Log(float64(n))))
+	if k < 2 {
+		k = 2
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	return k
+}
+
+func measureShape(n int, seed int64) shapeResult {
+	pool := genPool(n, mixedLens, seed)
+	pairs := n * (n - 1) / 2
+	res := shapeResult{N: n, Pairs: pairs, KMax: kMax(n)}
+
+	rng := rand.New(rand.NewSource(seed + 1))
+	res.Kernel = measureKernel(rng)
+
+	// Average over at least half a second per stage so small shapes do
+	// not report single-run noise; the n = 8000 matrix builds exceed
+	// the floor in one run anyway.
+	const floor = 500 * time.Millisecond
+	optNs := int64(timeIt(floor, func() {
+		if _, err := dissim.Compute(pool, canberra.DefaultPenalty); err != nil {
+			log.Fatalf("benchperf: Compute(n=%d): %v", n, err)
+		}
+	}))
+	refNs := int64(timeIt(floor, func() {
+		if _, err := dissim.ComputeReference(pool, canberra.DefaultPenalty); err != nil {
+			log.Fatalf("benchperf: ComputeReference(n=%d): %v", n, err)
+		}
+	}))
+	res.MatrixBuild = stageResult{
+		OptimizedNs: optNs,
+		ReferenceNs: refNs,
+		NsPerOp:     float64(optNs) / float64(pairs),
+		RefNsPerOp:  float64(refNs) / float64(pairs),
+		Speedup:     float64(refNs) / float64(optNs),
+	}
+
+	m, err := dissim.Compute(pool, canberra.DefaultPenalty)
+	if err != nil {
+		log.Fatalf("benchperf: Compute(n=%d): %v", n, err)
+	}
+	optKNN := int64(timeIt(floor, func() {
+		if _, err := m.KNNTable(res.KMax); err != nil {
+			log.Fatalf("benchperf: KNNTable(n=%d): %v", n, err)
+		}
+	}))
+	refKNN := int64(timeIt(floor, func() {
+		if _, err := m.KNNTableSort(res.KMax); err != nil {
+			log.Fatalf("benchperf: KNNTableSort(n=%d): %v", n, err)
+		}
+	}))
+	res.KNNTable = stageResult{
+		OptimizedNs: optKNN,
+		ReferenceNs: refKNN,
+		NsPerOp:     float64(optKNN) / float64(n),
+		RefNsPerOp:  float64(refKNN) / float64(n),
+		Speedup:     float64(refKNN) / float64(optKNN),
+	}
+	return res
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output path")
+	sizes := flag.String("sizes", "500,2000,8000", "comma-separated unique-segment counts")
+	seed := flag.Int64("seed", 1, "pool generation seed")
+	flag.Parse()
+
+	var ns []int
+	for _, s := range splitComma(*sizes) {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 10 {
+			log.Fatalf("benchperf: bad size %q", s)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		log.Fatal("benchperf: no sizes given")
+	}
+
+	f := benchFile{
+		Bench:      1,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "dissimilarity hot path: optimized = view kernel + early abandon + " +
+			"tiled scheduling + bounded-heap k-NN; reference = pre-kernel per-pair/" +
+			"per-row implementations kept in internal/dissim/reference.go",
+	}
+	for _, n := range ns {
+		log.Printf("benchperf: measuring n=%d ...", n)
+		f.Shapes = append(f.Shapes, measureShape(n, *seed))
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("benchperf: wrote %s", *out)
+	for _, s := range f.Shapes {
+		fmt.Printf("n=%5d  matrix %6.2fx  knn %6.2fx  kernel eq %5.2fx sliding %5.2fx\n",
+			s.N, s.MatrixBuild.Speedup, s.KNNTable.Speedup,
+			s.Kernel.EqualLengthSpeedx, s.Kernel.SlidingSpeedx)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

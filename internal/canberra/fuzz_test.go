@@ -1,6 +1,9 @@
 package canberra
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // FuzzDissimilarity checks the metric's contract on arbitrary inputs:
 // symmetric, bounded to [0,1], zero on identity.
@@ -33,6 +36,35 @@ func FuzzDissimilarity(f *testing.F) {
 		}
 		if self != 0 {
 			t.Fatalf("D(a,a) = %v", self)
+		}
+	})
+}
+
+// FuzzKernelDifferential compares the optimized kernel against the
+// reference DissimilarityPenalty on arbitrary segment pairs and penalty
+// factors: the kernel's early abandoning and fast paths must never move
+// a result by more than 1e-12.
+func FuzzKernelDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1}, DefaultPenalty)
+	f.Add([]byte{0}, []byte{0, 0, 0, 0, 0, 0, 0, 0}, 0.0)
+	f.Add([]byte{255, 255}, []byte{1}, 1.0)
+	f.Add([]byte{9, 9}, []byte{9, 9, 1, 2, 3, 4}, 3.0)
+	f.Add([]byte{5, 6, 7}, []byte{1, 2, 5, 6, 7, 9}, -0.5)
+
+	f.Fuzz(func(t *testing.T, a, b []byte, pf float64) {
+		if len(a) == 0 || len(b) == 0 {
+			return
+		}
+		if math.IsNaN(pf) || math.IsInf(pf, 0) {
+			return
+		}
+		want, err := DissimilarityPenalty(a, b, pf)
+		if err != nil {
+			t.Fatalf("DissimilarityPenalty(%x,%x,%v): %v", a, b, pf, err)
+		}
+		got := DissimViews(NewView(a), NewView(b), pf)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("kernel diverges: DissimViews(%x,%x,%v) = %v, reference = %v", a, b, pf, got, want)
 		}
 	})
 }

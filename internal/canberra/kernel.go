@@ -1,0 +1,207 @@
+package canberra
+
+import "math"
+
+// This file is the optimized dissimilarity kernel behind the pairwise
+// matrix build. The reference implementations in canberra.go stay in
+// place as the readable oracle; the kernel must remain numerically
+// equivalent to them (the differential fuzz target FuzzKernelDifferential
+// and internal/dissim's matrix tests enforce this).
+//
+// Four ideas make the kernel fast:
+//
+//  1. Precomputed float views. Interpreting a segment as a float vector
+//     costs one byte→float64 conversion per element. The reference path
+//     pays it on every pair (O(n²) conversions of the same bytes); a
+//     View pays it once per unique segment.
+//
+//  2. A reciprocal table instead of division. Byte-pair sums a+b only
+//     take 511 values, so the per-term division becomes a branchless
+//     L1-resident table load and a multiply (see recipSum).
+//
+//  3. Equal-length fast path. Equal-length segments skip the sliding
+//     window entirely — a single straight accumulation loop.
+//
+//  4. Branch-and-bound early abandoning in the sliding window. The
+//     per-byte Canberra terms are non-negative, so the partial sum at a
+//     window offset only grows; as soon as it reaches the raw sum of the
+//     best window seen so far, this offset cannot improve dmin and the
+//     inner loop aborts. The blended dissimilarity is monotone in dmin,
+//     so when even dmin = 0 saturates the clamp the window is skipped
+//     altogether.
+
+// View is a segment's byte values precomputed as float64s, converted
+// once per unique segment instead of once per compared pair.
+type View []float64
+
+// NewView converts a byte segment into a kernel view.
+func NewView(b []byte) View {
+	v := make(View, len(b))
+	for i, x := range b {
+		v[i] = float64(x)
+	}
+	return v
+}
+
+// recipSum[v] is 1/v for every possible byte-pair sum a+b ∈ [0, 510]
+// (4 KB, lives in L1). The per-term division d/(a+b) — the single most
+// expensive operation of the whole pipeline — becomes a table load and a
+// multiply. recipSum[0] is 0, which makes the inner loops branchless:
+// the reference's a==0 && b==0 skip falls out as d·recipSum[0] = 0·0,
+// and a == b ≠ 0 contributes 0·(1/2a) = 0 either way. The table is
+// sized to a power of two so the index can be masked instead of
+// bounds-checked (byte-pair sums never exceed 510, so the mask is the
+// identity).
+var recipSum = func() [512]float64 {
+	var r [512]float64
+	for i := 1; i <= 510; i++ {
+		r[i] = 1 / float64(i)
+	}
+	return r
+}()
+
+// distView returns the raw Canberra distance between two equal-length
+// views, mirroring Distance term by term. Branchless: math.Abs compiles
+// to a sign mask (the reference's if d < 0 mispredicts half the time on
+// random content), and zero terms multiply out instead of being
+// skipped. Terms alternate between two accumulators so consecutive adds
+// overlap instead of serializing on add latency; the reordered
+// summation and the d·(1/(a+b)) rounding keep the result within the
+// kernel's 1e-12 equivalence contract rather than bitwise equal.
+func distView(x, y View) float64 {
+	y = y[:len(x)] // bounds-check elimination for y[i]
+	var s0, s1 float64
+	i := 0
+	for ; i+1 < len(x); i += 2 {
+		a0, b0 := x[i], y[i]
+		a1, b1 := x[i+1], y[i+1]
+		s0 += math.Abs(a0-b0) * recipSum[int(a0+b0)&511]
+		s1 += math.Abs(a1-b1) * recipSum[int(a1+b1)&511]
+	}
+	if i < len(x) {
+		a, b := x[i], y[i]
+		s0 += math.Abs(a-b) * recipSum[int(a+b)&511]
+	}
+	return s0 + s1
+}
+
+// distViewAbandon accumulates the raw Canberra distance of one window
+// but gives up as soon as the partial sum reaches bound. Because every
+// term is ≥ 0 and IEEE addition of non-negative values is monotone, a
+// partial sum ≥ bound proves the full sum is ≥ bound too, so the caller
+// learns everything it needs: this window cannot beat the best one.
+func distViewAbandon(x, y View, bound float64) float64 {
+	y = y[:len(x)]
+	var sum float64
+	for i, a := range x {
+		b := y[i]
+		sum += math.Abs(a-b) * recipSum[int(a+b)&511]
+		if sum >= bound {
+			return sum
+		}
+	}
+	return sum
+}
+
+// distViewAbandon2 accumulates two adjacent windows at once. The two
+// sums are independent dependency chains, so the CPU overlaps their
+// floating-point adds where a single window is latency-bound; each
+// window's own terms still accumulate in reference order, so its final
+// sum is identical to a solo scan. The pair is abandoned only when both
+// windows have reached bound — a window past bound keeps accumulating
+// harmlessly (sums only grow, and the caller discards any sum ≥ bound).
+func distViewAbandon2(x, y0, y1 View, bound float64) (float64, float64) {
+	y0 = y0[:len(x)]
+	y1 = y1[:len(x)]
+	var s0, s1 float64
+	for i, a := range x {
+		b0, b1 := y0[i], y1[i]
+		s0 += math.Abs(a-b0) * recipSum[int(a+b0)&511]
+		s1 += math.Abs(a-b1) * recipSum[int(a+b1)&511]
+		if s0 >= bound && s1 >= bound {
+			return s0, s1
+		}
+	}
+	return s0, s1
+}
+
+// DissimViews computes the variable-length Canberra dissimilarity of
+// DissimilarityPenalty on precomputed views, allocation-free. Both views
+// must be non-empty (callers validate; empty inputs return 0 instead of
+// an error so the hot loop carries no error plumbing).
+//
+// The result is numerically equivalent to
+// DissimilarityPenalty(bytes(s), bytes(t), pf) within 1e-12: windows
+// abandoned early are exactly those that could not have updated dmin,
+// and the reciprocal-table terms differ from the reference's divisions
+// by at most 1 ulp each.
+func DissimViews(s, t View, pf float64) float64 {
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	if len(s) == 0 {
+		return 0
+	}
+	if pf < 0 {
+		pf = 0
+	}
+	ls, lt := len(s), len(t)
+	fls := float64(ls)
+	if ls == lt {
+		return distView(s, t) / fls
+	}
+	flt := float64(lt)
+
+	// The blend is monotone in dmin: if even a perfect overlap
+	// (dmin = 0) saturates the [0, 1] clamp, no window can change the
+	// outcome. (Only reachable for pf > 1.)
+	if pf*(flt-fls) >= flt {
+		return 1
+	}
+
+	// dmin is tracked alongside the raw (un-normalized) sum that
+	// produced it; the raw sum is the exact abandon bound, free of the
+	// rounding a dmin·ls reconstruction would introduce. A sum ≥ bound
+	// implies d ≥ dmin, so such windows skip the normalization division
+	// entirely; windows are visited in reference order (ties keep the
+	// first minimum), two at a time.
+	dmin := 2.0
+	bound := dmin * fls
+	last := lt - ls
+	off := 0
+pairs:
+	for ; off < last; off += 2 {
+		s0, s1 := distViewAbandon2(s, t[off:], t[off+1:], bound)
+		if s0 < bound {
+			if d := s0 / fls; d < dmin {
+				dmin = d
+				if dmin == 0 {
+					break pairs
+				}
+				bound = s0
+			}
+		}
+		if s1 < bound {
+			if d := s1 / fls; d < dmin {
+				dmin = d
+				if dmin == 0 {
+					break pairs
+				}
+				bound = s1
+			}
+		}
+	}
+	if off == last && dmin > 0 {
+		if sum := distViewAbandon(s, t[off:off+ls], bound); sum < bound {
+			if d := sum / fls; d < dmin {
+				dmin = d
+			}
+		}
+	}
+
+	dis := (fls*dmin + (flt-fls)*pf*(1+dmin)) / flt
+	if dis > 1 {
+		dis = 1
+	}
+	return dis
+}

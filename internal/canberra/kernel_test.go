@@ -1,0 +1,170 @@
+package canberra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewView(t *testing.T) {
+	v := NewView([]byte{0, 1, 255})
+	if len(v) != 3 || v[0] != 0 || v[1] != 1 || v[2] != 255 {
+		t.Errorf("NewView = %v", v)
+	}
+	if NewView(nil) == nil {
+		// A nil input yields an empty, non-nil view; callers only ever
+		// index it, so either would do — pin the current contract.
+		t.Log("NewView(nil) is nil")
+	}
+}
+
+func TestDissimViewsEmpty(t *testing.T) {
+	if d := DissimViews(nil, NewView([]byte{1, 2}), DefaultPenalty); d != 0 {
+		t.Errorf("empty view dissimilarity = %v, want 0", d)
+	}
+	if d := DissimViews(NewView([]byte{1, 2}), nil, DefaultPenalty); d != 0 {
+		t.Errorf("empty view dissimilarity = %v, want 0", d)
+	}
+}
+
+// TestDissimViewsMatchesReference sweeps random segment pairs and
+// penalties and demands numerical equivalence with the reference
+// implementation, the kernel's correctness oracle.
+func TestDissimViewsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	penalties := []float64{0, 0.1, DefaultPenalty, 0.5, 1, 2, -1}
+	for trial := 0; trial < 5000; trial++ {
+		s := make([]byte, 1+rng.Intn(24))
+		u := make([]byte, 1+rng.Intn(24))
+		for i := range s {
+			s[i] = byte(rng.Intn(256))
+		}
+		for i := range u {
+			u[i] = byte(rng.Intn(256))
+		}
+		// Low-entropy variants exercise the zero-term skip and the
+		// dmin = 0 break.
+		if trial%7 == 0 {
+			for i := range s {
+				s[i] &= 1
+			}
+			for i := range u {
+				u[i] &= 1
+			}
+		}
+		pf := penalties[trial%len(penalties)]
+		want, err := DissimilarityPenalty(s, u, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DissimViews(NewView(s), NewView(u), pf)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("DissimViews(%x, %x, %v) = %v, reference = %v", s, u, pf, got, want)
+		}
+	}
+}
+
+func TestDissimViewsContract(t *testing.T) {
+	s := NewView([]byte{5, 6, 7})
+	u := NewView([]byte{1, 2, 5, 6, 7, 9})
+	if d := DissimViews(s, s, DefaultPenalty); d != 0 {
+		t.Errorf("D(s,s) = %v, want 0", d)
+	}
+	if a, b := DissimViews(s, u, DefaultPenalty), DissimViews(u, s, DefaultPenalty); a != b {
+		t.Errorf("asymmetric: %v vs %v", a, b)
+	}
+	want := DefaultPenalty * 3.0 / 6.0
+	if d := DissimViews(s, u, DefaultPenalty); math.Abs(d-want) > 1e-12 {
+		t.Errorf("contained segment: D = %v, want %v", d, want)
+	}
+}
+
+func TestDissimViewsSaturatingPenalty(t *testing.T) {
+	// pf large enough that even a perfect overlap clamps to 1; the
+	// kernel's offset skip must agree with the reference's clamp.
+	s := []byte{9, 9}
+	u := []byte{9, 9, 1, 2, 3, 4, 5, 6}
+	want, err := DissimilarityPenalty(s, u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DissimViews(NewView(s), NewView(u), 3)
+	if got != want || got != 1 {
+		t.Errorf("saturating penalty: kernel %v, reference %v, want 1", got, want)
+	}
+}
+
+// BenchmarkDissimilarityKernel measures the kernel on its two extreme
+// shapes: equal length (best case, fast path) and maximal length
+// mismatch (worst case, full sliding window with early abandoning).
+func BenchmarkDissimilarityKernel(b *testing.B) {
+	equalA := make([]byte, 8)
+	equalB := make([]byte, 8)
+	short := make([]byte, 2)
+	long := make([]byte, 64)
+	for i := range equalA {
+		equalA[i] = byte(i * 31)
+		equalB[i] = byte(i * 17)
+	}
+	short[0], short[1] = 200, 100
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	cases := []struct {
+		name string
+		s, t View
+	}{
+		{"EqualLength8", NewView(equalA), NewView(equalB)},
+		{"MaxMismatch2x64", NewView(short), NewView(long)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += DissimViews(c.s, c.t, DefaultPenalty)
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// BenchmarkDissimilarityReference is the pre-kernel baseline on the same
+// shapes, for BENCH_*.json before/after comparisons.
+func BenchmarkDissimilarityReference(b *testing.B) {
+	equalA := make([]byte, 8)
+	equalB := make([]byte, 8)
+	short := make([]byte, 2)
+	long := make([]byte, 64)
+	for i := range equalA {
+		equalA[i] = byte(i * 31)
+		equalB[i] = byte(i * 17)
+	}
+	short[0], short[1] = 200, 100
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	cases := []struct {
+		name string
+		s, t []byte
+	}{
+		{"EqualLength8", equalA, equalB},
+		{"MaxMismatch2x64", short, long},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				d, err := DissimilarityPenalty(c.s, c.t, DefaultPenalty)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink += d
+			}
+			benchSink = sink
+		})
+	}
+}
+
+var benchSink float64

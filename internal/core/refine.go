@@ -13,6 +13,14 @@ type distances interface {
 	Dist(i, j int) float64
 }
 
+// pairwiser is the optional bulk path: *dissim.Matrix serves all
+// intra-cluster pairs in one exactly-sized slice straight off its dense
+// storage (built from the precomputed kernel views), which the pipeline
+// prefers over n² single-pair Dist calls.
+type pairwiser interface {
+	PairwiseWithin(idx []int) []float64
+}
+
 // clusterStats caches the per-cluster quantities used by the merge
 // conditions of Section III-F.
 type clusterStats struct {
@@ -26,10 +34,15 @@ type clusterStats struct {
 }
 
 func computeStats(c []int, m distances) clusterStats {
-	pair := make([]float64, 0, len(c)*(len(c)-1)/2)
-	for a := 0; a < len(c); a++ {
-		for b := a + 1; b < len(c); b++ {
-			pair = append(pair, m.Dist(c[a], c[b]))
+	var pair []float64
+	if pw, ok := m.(pairwiser); ok {
+		pair = pw.PairwiseWithin(c)
+	} else {
+		pair = make([]float64, 0, len(c)*(len(c)-1)/2)
+		for a := 0; a < len(c); a++ {
+			for b := a + 1; b < len(c); b++ {
+				pair = append(pair, m.Dist(c[a], c[b]))
+			}
 		}
 	}
 	st := clusterStats{

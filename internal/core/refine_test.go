@@ -26,6 +26,40 @@ func TestComputeStats(t *testing.T) {
 	}
 }
 
+// fakePairDist adds the bulk PairwiseWithin path on top of fakeDist,
+// mimicking *dissim.Matrix.
+type fakePairDist struct {
+	fakeDist
+	calls int
+}
+
+func (f *fakePairDist) PairwiseWithin(idx []int) []float64 {
+	f.calls++
+	out := make([]float64, 0, len(idx)*(len(idx)-1)/2)
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			out = append(out, f.Dist(idx[a], idx[b]))
+		}
+	}
+	return out
+}
+
+// TestComputeStatsUsesPairwiseWithin pins the wiring: when the distance
+// source offers the bulk path (as the pipeline's matrix does), the
+// refinement statistics must use it and agree with the per-pair loop.
+func TestComputeStatsUsesPairwiseWithin(t *testing.T) {
+	points := fakeDist{0, 0.1, 0.2}
+	fp := &fakePairDist{fakeDist: points}
+	got := computeStats([]int{0, 1, 2}, fp)
+	want := computeStats([]int{0, 1, 2}, points)
+	if fp.calls != 1 {
+		t.Fatalf("PairwiseWithin called %d times, want 1", fp.calls)
+	}
+	if got != want {
+		t.Errorf("stats via PairwiseWithin = %+v, per-pair = %+v", got, want)
+	}
+}
+
 func TestLinkSegments(t *testing.T) {
 	m := fakeDist{0, 1, 5, 6}
 	a, b, d := linkSegments([]int{0, 1}, []int{2, 3}, m)

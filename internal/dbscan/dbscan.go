@@ -180,3 +180,10 @@ func (d *DenseMatrix) Set(i, j int, v float64) {
 	d.data[i*d.n+j] = float32(v)
 	d.data[j*d.n+i] = float32(v)
 }
+
+// Row returns row i as a raw float32 slice, aliasing the matrix storage.
+// Hot scans (k-NN selection) iterate it directly instead of paying one
+// bounds-checked Dist call per entry. Callers must not mutate it.
+func (d *DenseMatrix) Row(i int) []float32 {
+	return d.data[i*d.n : (i+1)*d.n]
+}

@@ -1,0 +1,88 @@
+package dissim
+
+import (
+	"fmt"
+	"testing"
+
+	"protoclust/internal/canberra"
+)
+
+// Benchmark shapes: "equalLength" pools take the kernel's fast path on
+// every pair (best case), "maxMismatch" pools pay the full sliding
+// window on every cross pair (worst case), and "mixed" approximates real
+// heuristic segmentation output. Each optimized variant has a reference
+// sibling measuring the pre-kernel implementation kept in reference.go.
+
+func benchMatrix(b *testing.B, n int, lens []int) *Matrix {
+	b.Helper()
+	m, err := Compute(randomPool(b, n, lens, 1), canberra.DefaultPenalty)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkComputeMatrix(b *testing.B) {
+	shapes := []struct {
+		name string
+		n    int
+		lens []int
+	}{
+		{"n=500/equalLength", 500, []int{8}},
+		{"n=500/mixed", 500, []int{2, 3, 4, 6, 8, 12, 16}},
+		{"n=500/maxMismatch", 500, []int{2, 64}},
+		{"n=2000/mixed", 2000, []int{2, 3, 4, 6, 8, 12, 16}},
+	}
+	for _, s := range shapes {
+		pool := randomPool(b, s.n, s.lens, 1)
+		b.Run(s.name+"/optimized", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(pool, canberra.DefaultPenalty); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(s.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeReference(pool, canberra.DefaultPenalty); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKNNTable(b *testing.B) {
+	const kmax = 8 // ≈ ln 2000, Algorithm 1's kMax regime
+	for _, n := range []int{500, 2000} {
+		m := benchMatrix(b, n, []int{2, 3, 4, 6, 8, 12, 16})
+		b.Run(fmt.Sprintf("n=%d/heap", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.KNNTable(kmax); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/sort", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.KNNTableSort(kmax); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKNNDistances(b *testing.B) {
+	m := benchMatrix(b, 2000, []int{2, 3, 4, 6, 8, 12, 16})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.KNNDistances(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,15 @@
 // considered only once, and the Canberra dissimilarity of every
 // remaining pair is stored in a matrix D that drives DBSCAN and the ε
 // auto-configuration.
+//
+// The matrix build is the pipeline's hot path — O(n²) kernel calls — and
+// is organized for throughput: segments are converted to float views
+// once (canberra.View), the upper triangle is split into fixed-size
+// tiles handed to workers through an atomic counter (balanced, unlike
+// per-row scheduling where row i carries n−i−1 pairs), and tiles walk a
+// length-sorted traversal order so runs of equal-length segments hit the
+// kernel's fast path together. ComputeReference retains the original
+// per-row implementation as the perf baseline and correctness oracle.
 package dissim
 
 import (
@@ -12,6 +21,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"protoclust/internal/canberra"
 	"protoclust/internal/dbscan"
@@ -78,10 +88,22 @@ func (p *Pool) TotalOccurrences() int {
 	return n
 }
 
+// Views converts every unique segment into a kernel view, once.
+func (p *Pool) Views() []canberra.View {
+	views := make([]canberra.View, len(p.Unique))
+	for i, s := range p.Unique {
+		views[i] = canberra.NewView(s.Bytes())
+	}
+	return views
+}
+
 // Matrix stores the pairwise Canberra dissimilarities between the
-// pool's unique segments.
+// pool's unique segments, plus the float views they were computed from
+// so downstream stages (refinement, reporting) can reuse them without
+// reconverting bytes.
 type Matrix struct {
 	dense *dbscan.DenseMatrix
+	views []canberra.View
 }
 
 var _ dbscan.Matrix = (*Matrix)(nil)
@@ -99,9 +121,20 @@ var ErrPoolTooLarge = errors.New("dissim: segment pool too large for a dense mat
 // entries; 30k uniques ≈ 3.6 GB.
 const MaxUniqueSegments = 30000
 
+// tileSize is the edge length of one scheduling tile over the upper
+// triangle: 64×64 ≈ 4k pairs per tile keeps the per-tile atomic fetch
+// negligible while giving enough tiles for balanced parallelism even on
+// small pools.
+const tileSize = 64
+
+// computeTileHook, when non-nil, is called once per tile a worker picks
+// up. Test instrumentation only (cancellation promptness).
+var computeTileHook func()
+
 // Compute fills the dissimilarity matrix for the pool using the given
 // Canberra length-mismatch penalty factor (canberra.DefaultPenalty for
-// the paper's configuration). Rows are computed concurrently.
+// the paper's configuration). Pairs are computed concurrently in
+// balanced tiles over the upper triangle.
 func Compute(pool *Pool, penalty float64) (*Matrix, error) {
 	n := pool.Size()
 	if n == 0 {
@@ -110,48 +143,99 @@ func Compute(pool *Pool, penalty float64) (*Matrix, error) {
 	if n > MaxUniqueSegments {
 		return nil, fmt.Errorf("%w: %d unique segments (max %d)", ErrPoolTooLarge, n, MaxUniqueSegments)
 	}
+	views := pool.Views()
 	dense := dbscan.NewDenseMatrix(n)
+	if err := fillMatrix(dense, views, penalty); err != nil {
+		return nil, err
+	}
+	return &Matrix{dense: dense, views: views}, nil
+}
+
+// fillMatrix computes every upper-triangle pair of views into dense.
+func fillMatrix(dense *dbscan.DenseMatrix, views []canberra.View, penalty float64) error {
+	n := len(views)
+
+	// Traversal order sorted by segment length (stable, so equal
+	// lengths keep pool order): a tile then sees runs of equal-length
+	// rows and columns and hits the kernel's equal-length fast path in
+	// batches. Results are stored at the original pool indices, so the
+	// matrix itself is unaffected.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(views[order[a]]) < len(views[order[b]])
+	})
+
+	nb := (n + tileSize - 1) / tileSize
+	tiles := make([][2]int, 0, nb*(nb+1)/2)
+	for bi := 0; bi < nb; bi++ {
+		for bj := bi; bj < nb; bj++ {
+			tiles = append(tiles, [2]int{bi, bj})
+		}
+	}
 
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if workers > len(tiles) {
+		workers = len(tiles)
 	}
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstEr error
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
 	)
-	rows := make(chan int, n)
-	for i := 0; i < n; i++ {
-		rows <- i
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
 	}
-	close(rows)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range rows {
-				si := pool.Unique[i].Bytes()
-				for j := i + 1; j < n; j++ {
-					d, err := canberra.DissimilarityPenalty(si, pool.Unique[j].Bytes(), penalty)
-					if err != nil {
-						mu.Lock()
-						if firstEr == nil {
-							firstEr = fmt.Errorf("dissim: pair (%d,%d): %w", i, j, err)
-						}
-						mu.Unlock()
+			for {
+				t := int(next.Add(1) - 1)
+				if t >= len(tiles) || stop.Load() {
+					return
+				}
+				if computeTileHook != nil {
+					computeTileHook()
+				}
+				bi, bj := tiles[t][0], tiles[t][1]
+				aHi := min((bi+1)*tileSize, n)
+				bHi := min((bj+1)*tileSize, n)
+				for a := bi * tileSize; a < aHi; a++ {
+					i := order[a]
+					vi := views[i]
+					if len(vi) == 0 {
+						fail(fmt.Errorf("dissim: segment %d: %w", i, canberra.ErrEmpty))
 						return
 					}
-					dense.Set(i, j, d)
+					bLo := bj * tileSize
+					if bi == bj {
+						bLo = a + 1
+					}
+					for b := bLo; b < bHi; b++ {
+						j := order[b]
+						vj := views[j]
+						if len(vj) == 0 {
+							fail(fmt.Errorf("dissim: segment %d: %w", j, canberra.ErrEmpty))
+							return
+						}
+						dense.Set(i, j, canberra.DissimViews(vi, vj, penalty))
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
-	}
-	return &Matrix{dense: dense}, nil
+	return firstErr
 }
 
 // Len returns the number of unique segments.
@@ -160,84 +244,41 @@ func (m *Matrix) Len() int { return m.dense.Len() }
 // Dist returns the dissimilarity between unique segments i and j.
 func (m *Matrix) Dist(i, j int) float64 { return m.dense.Dist(i, j) }
 
-// KNNDistances returns, for every unique segment, the dissimilarity to
-// its k-th nearest neighbor (k ≥ 1, self excluded). This is the sample
-// population for the ECDF Ê_k of Algorithm 1.
-func (m *Matrix) KNNDistances(k int) ([]float64, error) {
-	tab, err := m.KNNTable(k)
-	if err != nil {
-		return nil, err
-	}
-	return tab[k-1], nil
-}
-
-// KNNTable returns the k-NN dissimilarities for every k in [1, kmax] at
-// once: table[k-1][i] is segment i's distance to its k-th nearest
-// neighbor. One sort per row serves all k, which is what Algorithm 1's
-// loop over k needs.
-func (m *Matrix) KNNTable(kmax int) ([][]float64, error) {
-	n := m.Len()
-	if kmax < 1 || kmax > n-1 {
-		return nil, fmt.Errorf("dissim: k = %d out of range [1, %d]", kmax, n-1)
-	}
-	table := make([][]float64, kmax)
-	for k := range table {
-		table[k] = make([]float64, n)
-	}
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	rows := make(chan int, n)
-	for i := 0; i < n; i++ {
-		rows <- i
-	}
-	close(rows)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			row := make([]float64, 0, n-1)
-			for i := range rows {
-				row = row[:0]
-				for j := 0; j < n; j++ {
-					if j == i {
-						continue
-					}
-					row = append(row, m.Dist(i, j))
-				}
-				sort.Float64s(row)
-				for k := 0; k < kmax; k++ {
-					table[k][i] = row[k]
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return table, nil
-}
+// Views returns the precomputed float views the matrix was built from,
+// indexed like the pool's unique segments. Callers must not mutate them.
+func (m *Matrix) Views() []canberra.View { return m.views }
 
 // PairwiseWithin returns all pairwise dissimilarities among the given
 // unique-segment indices (used by cluster refinement for per-cluster
-// statistics).
+// statistics). Fewer than two indices yield nil.
 func (m *Matrix) PairwiseWithin(idx []int) []float64 {
 	if len(idx) < 2 {
 		return nil
 	}
-	out := make([]float64, 0, len(idx)*(len(idx)-1)/2)
+	out := make([]float64, len(idx)*(len(idx)-1)/2)
+	p := 0
 	for a := 0; a < len(idx); a++ {
 		for b := a + 1; b < len(idx); b++ {
-			out = append(out, m.Dist(idx[a], idx[b]))
+			out[p] = m.Dist(idx[a], idx[b])
+			p++
 		}
 	}
 	return out
 }
 
-// UpperTriangle returns every pairwise dissimilarity once.
+// UpperTriangle returns every pairwise dissimilarity once. Fewer than
+// two segments yield nil, matching PairwiseWithin.
 func (m *Matrix) UpperTriangle() []float64 {
 	n := m.Len()
-	out := make([]float64, 0, n*(n-1)/2)
+	if n < 2 {
+		return nil
+	}
+	out := make([]float64, n*(n-1)/2)
+	p := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			out = append(out, m.Dist(i, j))
+			out[p] = m.Dist(i, j)
+			p++
 		}
 	}
 	return out

@@ -1,0 +1,157 @@
+package dissim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// k-NN selection over the dense matrix. Algorithm 1 only ever needs the
+// kmax ≈ ln n smallest distances of each row, so a full O(n log n) sort
+// per row (KNNTableSort, kept as the baseline) wastes almost all of its
+// work. Each row instead streams through a bounded max-heap of size
+// kmax: O(n log kmax) worst case, and in practice most elements fail the
+// d < heap-root test and cost a single comparison.
+
+// maxHeap is a bounded max-heap laid out in a reusable slice; h[0] is
+// the largest of the k smallest values seen so far.
+type maxHeap []float64
+
+func (h maxHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] >= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (h maxHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h[l] > h[largest] {
+			largest = l
+		}
+		if r < n && h[r] > h[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// rowKNN fills h (capacity k, length 0 on entry) with the k smallest
+// off-diagonal entries of row i and returns the heap at full length.
+func rowKNN(m *Matrix, i, k int, h maxHeap) maxHeap {
+	row := m.dense.Row(i)
+	for j, d32 := range row {
+		if j == i {
+			continue
+		}
+		d := float64(d32)
+		if len(h) < k {
+			h = append(h, d)
+			h.siftUp(len(h) - 1)
+		} else if d < h[0] {
+			h[0] = d
+			h.siftDown(0)
+		}
+	}
+	return h
+}
+
+// popMax removes and returns the heap's largest element.
+func (h *maxHeap) popMax() float64 {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	(*h).siftDown(0)
+	return top
+}
+
+// forEachRow distributes row indices [0, n) over workers in batches;
+// every call to fn receives the worker's reusable heap buffer of
+// capacity kcap, reset to length zero.
+func forEachRow(n, kcap int, fn func(i int, h maxHeap)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	const batch = 32
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make(maxHeap, 0, kcap)
+			for {
+				lo := int(next.Add(batch) - batch)
+				if lo >= n {
+					return
+				}
+				hi := min(lo+batch, n)
+				for i := lo; i < hi; i++ {
+					fn(i, buf[:0])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (m *Matrix) checkK(k int) error {
+	if n := m.Len(); k < 1 || k > n-1 {
+		return fmt.Errorf("dissim: k = %d out of range [1, %d]", k, n-1)
+	}
+	return nil
+}
+
+// KNNDistances returns, for every unique segment, the dissimilarity to
+// its k-th nearest neighbor (k ≥ 1, self excluded). This is the sample
+// population for the ECDF Ê_k of Algorithm 1. Only the k-th column is
+// materialized — the heap root after a row scan — not the whole table.
+func (m *Matrix) KNNDistances(k int) ([]float64, error) {
+	if err := m.checkK(k); err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.Len())
+	forEachRow(m.Len(), k, func(i int, h maxHeap) {
+		out[i] = rowKNN(m, i, k, h)[0]
+	})
+	return out, nil
+}
+
+// KNNTable returns the k-NN dissimilarities for every k in [1, kmax] at
+// once: table[k-1][i] is segment i's distance to its k-th nearest
+// neighbor. One bounded-heap row scan serves all k, which is what
+// Algorithm 1's loop over k needs.
+func (m *Matrix) KNNTable(kmax int) ([][]float64, error) {
+	if err := m.checkK(kmax); err != nil {
+		return nil, err
+	}
+	n := m.Len()
+	table := make([][]float64, kmax)
+	for k := range table {
+		table[k] = make([]float64, n)
+	}
+	forEachRow(n, kmax, func(i int, h maxHeap) {
+		h = rowKNN(m, i, kmax, h)
+		for k := len(h) - 1; k >= 0; k-- {
+			table[k][i] = h.popMax()
+		}
+	})
+	return table, nil
+}
