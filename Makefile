@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-json eval fuzz clean
+.PHONY: all build test test-short test-race test-service vet bench bench-json eval fuzz serve clean
 
 all: build vet test
 
@@ -22,6 +22,16 @@ test-short:
 # the rest of the pipeline.
 test-race:
 	$(GO) test -race -short ./...
+
+# Race detector over the analysis service: worker pool, cancellation,
+# cache, and HTTP lifecycle (the full suite, not just -short).
+test-service:
+	$(GO) test -race ./internal/service/ ./cmd/protoclustd/
+
+# Run the analysis daemon locally. See docs/service.md for the API and
+# a curl walkthrough.
+serve:
+	$(GO) run ./cmd/protoclustd -addr :8077
 
 # Regenerates every benchmark, including one run per paper table/figure.
 bench:

@@ -14,27 +14,37 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"protoclust"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the analysis context: the pipeline aborts
+	// mid-matrix instead of finishing the O(n²) build.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "protoclust:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("protoclust", flag.ContinueOnError)
 	var (
+		timeout   = fs.Duration("timeout", 0, "abort the analysis after this duration (0 = unbounded)")
 		pcapPath  = fs.String("pcap", "", "pcap file to analyze")
 		truthPath = fs.String("truth", "", "with -pcap: ground-truth sidecar json (as written by tracegen) to score against")
 		port      = fs.Int("port", 0, "with -pcap: keep only payloads to/from this port")
@@ -53,6 +63,11 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var (
@@ -112,8 +127,14 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
-	analysis, err := protoclust.Analyze(tr, opts)
-	if err != nil {
+	start := time.Now()
+	analysis, err := protoclust.AnalyzeContext(ctx, tr, opts)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("analysis exceeded -timeout after %s: %w", time.Since(start).Round(time.Millisecond), err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("analysis interrupted after %s: %w", time.Since(start).Round(time.Millisecond), err)
+	case err != nil:
 		return err
 	}
 

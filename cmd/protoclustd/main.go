@@ -1,0 +1,106 @@
+// Command protoclustd serves protocol field-type clustering as a
+// long-running HTTP/JSON service: clients submit trace-analysis jobs
+// (built-in generated traces or uploaded pcap captures), poll their
+// status, fetch results, and cancel runs. Jobs execute on a bounded
+// worker pool with per-job deadlines; identical submissions are served
+// from a content-addressed result cache.
+//
+// Usage:
+//
+//	protoclustd -addr :8077 -workers 4 -default-timeout 2m -cache-dir /var/cache/protoclust
+//
+// See docs/service.md for the API reference and a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"protoclust/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "protoclustd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("protoclustd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8077", "listen address")
+		workers      = fs.Int("workers", 2, "concurrent analysis workers")
+		queueSize    = fs.Int("queue", 64, "max queued jobs before submits are rejected with 429")
+		defTimeout   = fs.Duration("default-timeout", 5*time.Minute, "per-job deadline for jobs without their own (0 = unbounded)")
+		grace        = fs.Duration("grace", 10*time.Second, "shutdown drain period for running jobs")
+		cacheEntries = fs.Int("cache-entries", 128, "in-memory result cache entries")
+		cacheDir     = fs.String("cache-dir", "", "directory for the result-cache disk spill (empty = memory only)")
+		verbose      = fs.Bool("v", false, "debug-level logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		DefaultTimeout: *defTimeout,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		Logger:         logger,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queueSize)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listen failed outright; stop the idle worker pool before
+		// reporting.
+		stopCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = svc.Shutdown(stopCtx)
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain running
+	// jobs for up to the grace period; queued jobs fail retryable.
+	logger.Info("signal received; shutting down", "grace", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("http shutdown", "err", err)
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	logger.Info("shutdown complete")
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	err := run([]string{"-addr", "256.256.256.256:99999"})
+	if err == nil {
+		t.Fatal("unbindable address should error")
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Errorf("err = %v, want a listen error", err)
+	}
+}

@@ -1,7 +1,10 @@
 package protoclust_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"protoclust"
 )
@@ -29,6 +32,36 @@ func ExampleAnalyze() {
 	// clusters found: true
 	// coverage above half: true
 	// precision at least 0.95: true
+}
+
+// ExampleAnalyzeContext bounds an analysis with a timeout: the context
+// is threaded through the segmenter, the O(n²) dissimilarity matrix
+// build, and refinement, so an expired deadline aborts the run promptly
+// with context.DeadlineExceeded instead of finishing the matrix.
+func ExampleAnalyzeContext() {
+	tr, err := protoclust.GenerateTrace("ntp", 200, 1)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	opts := protoclust.DefaultOptions()
+	opts.Segmenter = protoclust.SegmenterTruth
+	analysis, err := protoclust.AnalyzeContext(ctx, tr, opts)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("analysis exceeded the deadline")
+		return
+	}
+	if err != nil {
+		fmt.Println("analyze:", err)
+		return
+	}
+	fmt.Println("clusters found:", len(analysis.PseudoTypes()) > 0)
+	fmt.Println("stages timed:", len(analysis.Timings()))
+	// Output:
+	// clusters found: true
+	// stages timed: 3
 }
 
 // ExampleGenerateTrace lists the built-in protocol generators.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -57,13 +58,20 @@ const kneeProminenceShare = 0.33
 // Configure runs the ε auto-configuration of Algorithm 1 on the full
 // dissimilarity population.
 func Configure(m *dissim.Matrix, p Params) (*AutoConfig, error) {
-	return configure(m, p, math.Inf(1))
+	return configure(context.Background(), m, p, math.Inf(1))
+}
+
+// ConfigureContext is Configure with a cancellation checkpoint per
+// candidate k — each iteration sorts, smooths, and knee-detects one
+// ECDF, so a cancelled context aborts within one curve's work.
+func ConfigureContext(ctx context.Context, m *dissim.Matrix, p Params) (*AutoConfig, error) {
+	return configure(ctx, m, p, math.Inf(1))
 }
 
 // configure implements Algorithm 1, considering only k-NN distances
 // strictly below cut (math.Inf(1) for the full population; the
 // 60 %-guard re-runs with cut = d_κ, realising Ê'_k of Section III-E).
-func configure(m *dissim.Matrix, p Params, cut float64) (*AutoConfig, error) {
+func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*AutoConfig, error) {
 	n := m.Len()
 	if n < 3 {
 		return nil, fmt.Errorf("%w (have %d)", ErrTooFewSegments, n)
@@ -88,6 +96,9 @@ func configure(m *dissim.Matrix, p Params, cut float64) (*AutoConfig, error) {
 		return nil, fmt.Errorf("core: k-NN distances: %w", err)
 	}
 	for k := 2; k <= kMax(n); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: auto-configuration: %w", err)
+		}
 		knn := table[k-1]
 		xs := make([]float64, 0, len(knn))
 		for _, d := range knn {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -107,7 +108,7 @@ func TestConfigureTrimmedYieldsSmallerEpsilon(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg2, err := configure(m, p, cfg.Epsilon)
+	cfg2, err := configure(context.Background(), m, p, cfg.Epsilon)
 	if err != nil {
 		t.Fatalf("trimmed configure: %v", err)
 	}
@@ -119,7 +120,7 @@ func TestConfigureTrimmedYieldsSmallerEpsilon(t *testing.T) {
 func TestConfigureTrimBelowEverythingFails(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	_, m := poolFromValues(t, bimodalValues(rng, 20))
-	if _, err := configure(m, DefaultParams(), 1e-12); !errors.Is(err, ErrTooFewSegments) {
+	if _, err := configure(context.Background(), m, DefaultParams(), 1e-12); !errors.Is(err, ErrTooFewSegments) {
 		t.Errorf("err = %v, want ErrTooFewSegments after total trim", err)
 	}
 }

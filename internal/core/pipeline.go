@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"protoclust/internal/dbscan"
@@ -70,20 +71,35 @@ func runClusterer(m dbscan.Matrix, eps float64, minPts int, p Params) (*dbscan.R
 // segments: dedup → dissimilarity matrix → ε auto-configuration →
 // DBSCAN → 60 %-guard → refinement.
 func ClusterSegments(segs []netmsg.Segment, p Params) (*Result, error) {
+	return ClusterSegmentsContext(context.Background(), segs, p)
+}
+
+// ClusterSegmentsContext is ClusterSegments with cancellation threaded
+// through the hot stages: the matrix build aborts per tile, the ε
+// auto-configuration per candidate k, and refinement between cluster
+// pairs. A cancelled or expired context surfaces as an error wrapping
+// ctx.Err().
+func ClusterSegmentsContext(ctx context.Context, segs []netmsg.Segment, p Params) (*Result, error) {
 	pool := dissim.NewPool(segs)
 	if pool.Size() < 3 {
 		return nil, fmt.Errorf("%w (pool has %d)", ErrTooFewSegments, pool.Size())
 	}
-	m, err := dissim.Compute(pool, p.Penalty)
+	m, err := dissim.ComputeContext(ctx, pool, p.Penalty)
 	if err != nil {
 		return nil, fmt.Errorf("core: dissimilarity matrix: %w", err)
 	}
-	return ClusterPool(pool, m, p)
+	return ClusterPoolContext(ctx, pool, m, p)
 }
 
 // ClusterPool runs the pipeline on an already-prepared pool and matrix
 // (used by benchmarks that sweep parameters over one matrix).
 func ClusterPool(pool *dissim.Pool, m *dissim.Matrix, p Params) (*Result, error) {
+	return ClusterPoolContext(context.Background(), pool, m, p)
+}
+
+// ClusterPoolContext is ClusterPool with cancellation checkpoints
+// between and inside the pipeline stages.
+func ClusterPoolContext(ctx context.Context, pool *dissim.Pool, m *dissim.Matrix, p Params) (*Result, error) {
 	var (
 		cfg *AutoConfig
 		err error
@@ -91,12 +107,15 @@ func ClusterPool(pool *dissim.Pool, m *dissim.Matrix, p Params) (*Result, error)
 	if p.FixedEpsilon > 0 {
 		cfg = &AutoConfig{Epsilon: p.FixedEpsilon, MinSamples: minSamples(pool.Size())}
 	} else {
-		cfg, err = Configure(m, p)
+		cfg, err = ConfigureContext(ctx, m, p)
 		if err != nil {
 			return nil, err
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: clusterer: %w", err)
+	}
 	res, err := runClusterer(m, cfg.Epsilon, cfg.MinSamples, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: clusterer: %w", err)
@@ -109,7 +128,7 @@ func ClusterPool(pool *dissim.Pool, m *dissim.Matrix, p Params) (*Result, error)
 	reconfigured := false
 	if p.FixedEpsilon <= 0 {
 		if share, _ := res.LargestClusterShare(); share > p.LargeClusterShare {
-			if cfg2, err2 := configure(m, p, cfg.Epsilon); err2 == nil && cfg2.Epsilon < cfg.Epsilon {
+			if cfg2, err2 := configure(ctx, m, p, cfg.Epsilon); err2 == nil && cfg2.Epsilon < cfg.Epsilon {
 				if res2, err3 := runClusterer(m, cfg2.Epsilon, cfg2.MinSamples, p); err3 == nil {
 					cfg = cfg2
 					res = res2
@@ -123,7 +142,10 @@ func ClusterPool(pool *dissim.Pool, m *dissim.Matrix, p Params) (*Result, error)
 
 	clusters := rawClusters
 	if !p.DisableRefinement {
-		clusters = mergeClusters(clusters, m, p)
+		clusters, err = mergeClusters(ctx, clusters, m, p)
+		if err != nil {
+			return nil, err
+		}
 		clusters = splitClusters(clusters, func(i int) int { return len(pool.Occurrences[i]) }, p)
 	}
 

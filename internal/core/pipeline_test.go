@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -381,5 +382,30 @@ func TestClusterSegmentsUnknownClusterer(t *testing.T) {
 	p.Clusterer = "kmeans"
 	if _, err := ClusterSegments(segs, p); err == nil {
 		t.Error("unknown clusterer should error")
+	}
+}
+
+func TestClusterSegmentsContextCanceled(t *testing.T) {
+	segs, _ := synthSegments(40, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ClusterSegmentsContext(ctx, segs, DefaultParams()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClusterSegmentsContextUncancelledMatches(t *testing.T) {
+	segs, _ := synthSegments(30, 2)
+	want, err := ClusterSegments(segs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ClusterSegmentsContext(context.Background(), segs, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Clusters) != len(got.Clusters) || want.Config.Epsilon != got.Config.Epsilon {
+		t.Fatalf("context path diverged: %d/%f vs %d/%f clusters/eps",
+			len(got.Clusters), got.Config.Epsilon, len(want.Clusters), want.Config.Epsilon)
 	}
 }

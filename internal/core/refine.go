@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -103,11 +105,13 @@ func rhoEps(link int, cluster []int, eps float64, m distances) (float64, int) {
 // mergeClusters applies the two merge conditions of Section III-F
 // transitively (via union-find) and returns the merged clustering.
 // Clusters with fewer than two members cannot supply the required
-// statistics and are never merged.
-func mergeClusters(clusters [][]int, m distances, p Params) [][]int {
+// statistics and are never merged. The context is checked once per
+// outer cluster — linkSegments makes each pair O(|ci|·|cj|) — so a
+// cancelled context aborts within one cluster's comparisons.
+func mergeClusters(ctx context.Context, clusters [][]int, m distances, p Params) ([][]int, error) {
 	n := len(clusters)
 	if n < 2 {
-		return clusters
+		return clusters, nil
 	}
 	stats := make([]clusterStats, n)
 	for i, c := range clusters {
@@ -130,6 +134,9 @@ func mergeClusters(clusters [][]int, m distances, p Params) [][]int {
 	union := func(a, b int) { parent[find(a)] = find(b) }
 
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: refinement: %w", err)
+		}
 		if len(clusters[i]) < 2 {
 			continue
 		}
@@ -188,7 +195,7 @@ func mergeClusters(clusters [][]int, m distances, p Params) [][]int {
 		sort.Ints(c)
 		out = append(out, c)
 	}
-	return out
+	return out, nil
 }
 
 // splitClusters applies the under-classification correction of Section

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -90,7 +91,7 @@ func TestMergeClustersJoinsNearbySimilarDensity(t *testing.T) {
 	m := fakeDist{0, 0.1, 0.2, 0.35, 0.45, 0.55}
 	clusters := [][]int{{0, 1, 2}, {3, 4, 5}}
 	p := DefaultParams()
-	out := mergeClusters(clusters, m, p)
+	out, _ := mergeClusters(context.Background(), clusters, m, p)
 	if len(out) != 1 {
 		t.Fatalf("merged into %d clusters, want 1", len(out))
 	}
@@ -102,7 +103,7 @@ func TestMergeClustersJoinsNearbySimilarDensity(t *testing.T) {
 func TestMergeClustersKeepsDistantApart(t *testing.T) {
 	m := fakeDist{0, 0.01, 0.02, 5, 5.01, 5.02}
 	clusters := [][]int{{0, 1, 2}, {3, 4, 5}}
-	out := mergeClusters(clusters, m, DefaultParams())
+	out, _ := mergeClusters(context.Background(), clusters, m, DefaultParams())
 	if len(out) != 2 {
 		t.Fatalf("distant clusters merged: %v", out)
 	}
@@ -114,7 +115,7 @@ func TestMergeClustersKeepsDifferentDensityApart(t *testing.T) {
 	// the links (0.03 vs 0 ≥ 0.01) and Condition 2 on the minmed gap.
 	m := fakeDist{0, 0.03, 0.06, 0.3, 0.5, 0.7}
 	clusters := [][]int{{0, 1, 2}, {3, 4, 5}}
-	out := mergeClusters(clusters, m, DefaultParams())
+	out, _ := mergeClusters(context.Background(), clusters, m, DefaultParams())
 	if len(out) != 2 {
 		t.Fatalf("dissimilar-density clusters merged: %v", out)
 	}
@@ -123,7 +124,7 @@ func TestMergeClustersKeepsDifferentDensityApart(t *testing.T) {
 func TestMergeClustersSkipsSingletons(t *testing.T) {
 	m := fakeDist{0, 0.1, 0.15}
 	clusters := [][]int{{0, 1}, {2}}
-	out := mergeClusters(clusters, m, DefaultParams())
+	out, _ := mergeClusters(context.Background(), clusters, m, DefaultParams())
 	if len(out) != 2 {
 		t.Fatalf("singleton was merged: %v", out)
 	}
@@ -134,7 +135,7 @@ func TestMergeClustersTransitive(t *testing.T) {
 	// end up together via union-find.
 	m := fakeDist{0, 0.1, 0.2, 0.32, 0.42, 0.52, 0.64, 0.74, 0.84}
 	clusters := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}}
-	out := mergeClusters(clusters, m, DefaultParams())
+	out, _ := mergeClusters(context.Background(), clusters, m, DefaultParams())
 	if len(out) != 1 {
 		t.Fatalf("transitive merge produced %d clusters, want 1", len(out))
 	}
@@ -143,7 +144,7 @@ func TestMergeClustersTransitive(t *testing.T) {
 func TestMergeSingleClusterNoop(t *testing.T) {
 	m := fakeDist{0, 1}
 	clusters := [][]int{{0, 1}}
-	out := mergeClusters(clusters, m, DefaultParams())
+	out, _ := mergeClusters(context.Background(), clusters, m, DefaultParams())
 	if len(out) != 1 || len(out[0]) != 2 {
 		t.Errorf("single-cluster merge output: %v", out)
 	}

@@ -16,6 +16,7 @@
 package dissim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -136,6 +137,16 @@ var computeTileHook func()
 // the paper's configuration). Pairs are computed concurrently in
 // balanced tiles over the upper triangle.
 func Compute(pool *Pool, penalty float64) (*Matrix, error) {
+	return ComputeContext(context.Background(), pool, penalty)
+}
+
+// ComputeContext is Compute with cancellation: workers re-check ctx
+// before every tile they pick up, so a cancelled or expired context
+// aborts the O(n²) build after at most one in-flight tile per worker
+// instead of finishing the matrix. The returned error wraps ctx's
+// cause, so errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// holds.
+func ComputeContext(ctx context.Context, pool *Pool, penalty float64) (*Matrix, error) {
 	n := pool.Size()
 	if n == 0 {
 		return nil, ErrEmptyPool
@@ -145,14 +156,14 @@ func Compute(pool *Pool, penalty float64) (*Matrix, error) {
 	}
 	views := pool.Views()
 	dense := dbscan.NewDenseMatrix(n)
-	if err := fillMatrix(dense, views, penalty); err != nil {
+	if err := fillMatrix(ctx, dense, views, penalty); err != nil {
 		return nil, err
 	}
 	return &Matrix{dense: dense, views: views}, nil
 }
 
 // fillMatrix computes every upper-triangle pair of views into dense.
-func fillMatrix(dense *dbscan.DenseMatrix, views []canberra.View, penalty float64) error {
+func fillMatrix(ctx context.Context, dense *dbscan.DenseMatrix, views []canberra.View, penalty float64) error {
 	n := len(views)
 
 	// Traversal order sorted by segment length (stable, so equal
@@ -202,6 +213,10 @@ func fillMatrix(dense *dbscan.DenseMatrix, views []canberra.View, penalty float6
 			for {
 				t := int(next.Add(1) - 1)
 				if t >= len(tiles) || stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(fmt.Errorf("dissim: matrix build: %w", err))
 					return
 				}
 				if computeTileHook != nil {

@@ -1,9 +1,13 @@
 package dissim
 
 import (
+	"context"
 	"errors"
 	"math"
+	"math/rand"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -283,5 +287,82 @@ func TestComputeRejectsHugePool(t *testing.T) {
 	}
 	if _, err := Compute(p, canberra.DefaultPenalty); !errors.Is(err, ErrPoolTooLarge) {
 		t.Errorf("err = %v, want ErrPoolTooLarge", err)
+	}
+}
+
+// genSegments builds n distinct pseudo-random segments, mimicking the
+// benchperf harness shapes (mixed short lengths, deterministic seed).
+func genSegments(n int, seed int64) []netmsg.Segment {
+	lens := []int{2, 3, 4, 6, 8, 12, 16}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool)
+	var segs []netmsg.Segment
+	for len(seen) < n {
+		l := lens[rng.Intn(len(lens))]
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		if seen[string(b)] {
+			continue
+		}
+		seen[string(b)] = true
+		m := &netmsg.Message{Data: b}
+		segs = append(segs, netmsg.Segment{Msg: m, Offset: 0, Length: l})
+	}
+	return segs
+}
+
+func TestComputeContextCanceledUpFront(t *testing.T) {
+	pool := NewPool(genSegments(64, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeContext(ctx, pool, canberra.DefaultPenalty); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A context canceled mid-build stops the workers within a bounded
+// number of work units: each worker may finish its in-flight tile, but
+// no new tiles are picked up, so the number of processed tiles is at
+// most the pre-cancel count plus one per worker — far below the full
+// tile count of a large pool.
+func TestComputeContextCancelBoundedTiles(t *testing.T) {
+	pool := NewPool(genSegments(2048, 2)) // 32×32 tile grid → 528 tiles
+	ctx, cancel := context.WithCancel(context.Background())
+	var tiles atomic.Int64
+	computeTileHook = func() {
+		if tiles.Add(1) == 1 {
+			cancel()
+		}
+	}
+	defer func() { computeTileHook = nil }()
+
+	_, err := ComputeContext(ctx, pool, canberra.DefaultPenalty)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	bound := int64(1 + runtime.GOMAXPROCS(0))
+	if got := tiles.Load(); got > bound {
+		t.Errorf("processed %d tiles after cancellation, want ≤ %d", got, bound)
+	}
+}
+
+func TestComputeContextUncancelledMatchesCompute(t *testing.T) {
+	pool := NewPool(genSegments(100, 3))
+	want, err := Compute(pool, canberra.DefaultPenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComputeContext(context.Background(), pool, canberra.DefaultPenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pool.Size(); i++ {
+		for j := 0; j < pool.Size(); j++ {
+			if want.Dist(i, j) != got.Dist(i, j) {
+				t.Fatalf("Dist(%d,%d) mismatch", i, j)
+			}
+		}
 	}
 }

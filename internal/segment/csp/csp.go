@@ -14,6 +14,7 @@
 package csp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,7 +52,7 @@ type Segmenter struct {
 	Budget int
 }
 
-var _ segment.Segmenter = (*Segmenter)(nil)
+var _ segment.ContextSegmenter = (*Segmenter)(nil)
 
 // Name returns "csp".
 func (*Segmenter) Name() string { return "csp" }
@@ -59,6 +60,13 @@ func (*Segmenter) Name() string { return "csp" }
 // Segment mines frequent contiguous patterns and splits every message
 // at the match boundaries.
 func (s *Segmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
+	return s.SegmentContext(context.Background(), tr)
+}
+
+// SegmentContext is Segment with cooperative cancellation, checked once
+// per message during both pattern mining and match splitting (one
+// message scan is the bounded unit of work).
+func (s *Segmenter) SegmentContext(ctx context.Context, tr *netmsg.Trace) ([]netmsg.Segment, error) {
 	maxLen := s.MaxPatternLength
 	if maxLen <= 0 {
 		maxLen = DefaultMaxPatternLength
@@ -75,13 +83,16 @@ func (s *Segmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
 		}
 	}
 
-	frequent, err := minePatterns(tr, maxLen, minCount, budget)
+	frequent, err := minePatterns(ctx, tr, maxLen, minCount, budget)
 	if err != nil {
 		return nil, err
 	}
 
 	var out []netmsg.Segment
 	for _, m := range tr.Messages {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("csp: %w", err)
+		}
 		out = append(out, segmentMessage(m, frequent, maxLen)...)
 	}
 	return out, nil
@@ -100,7 +111,7 @@ func PatternCount(tr *netmsg.Trace, maxPatternLength, minCount int) (int, error)
 			minCount = minCountFloor
 		}
 	}
-	frequent, err := minePatterns(tr, maxPatternLength, minCount, math.MaxInt)
+	frequent, err := minePatterns(context.Background(), tr, maxPatternLength, minCount, math.MaxInt)
 	if err != nil {
 		return 0, err
 	}
@@ -109,13 +120,17 @@ func PatternCount(tr *netmsg.Trace, maxPatternLength, minCount int) (int, error)
 
 // minePatterns runs Apriori-style frequent contiguous pattern mining.
 // The returned set maps pattern bytes (as string) to true for every
-// frequent pattern of any mined length.
-func minePatterns(tr *netmsg.Trace, maxLen, minCount, budget int) (map[string]bool, error) {
+// frequent pattern of any mined length. The context is checked once per
+// message scan.
+func minePatterns(ctx context.Context, tr *netmsg.Trace, maxLen, minCount, budget int) (map[string]bool, error) {
 	frequent := make(map[string]bool)
 
 	// Level 2: count all 2-grams.
 	counts := make(map[string]int)
 	for _, m := range tr.Messages {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("csp: %w", err)
+		}
 		for i := 0; i+2 <= len(m.Data); i++ {
 			counts[string(m.Data[i:i+2])]++
 		}
@@ -144,6 +159,9 @@ func minePatterns(tr *netmsg.Trace, maxLen, minCount, budget int) (map[string]bo
 		// frequent.
 		next := make(map[string]int)
 		for _, m := range tr.Messages {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("csp: %w", err)
+			}
 			for i := 0; i+k <= len(m.Data); i++ {
 				g := m.Data[i : i+k]
 				if !level[string(g[:k-1])] || !level[string(g[1:])] {

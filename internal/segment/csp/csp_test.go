@@ -1,6 +1,7 @@
 package csp
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestFrequentPatternBecomesSegment(t *testing.T) {
 
 func TestMinePatternsAprioriExtension(t *testing.T) {
 	tr := repeatedPatternTrace(60)
-	frequent, err := minePatterns(tr, 16, 30, 1<<20)
+	frequent, err := minePatterns(context.Background(), tr, 16, 30, 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,5 +181,18 @@ func TestDeterministic(t *testing.T) {
 		if !netmsg.SegmentsEqual(a[i], b[i]) {
 			t.Fatalf("segment %d differs", i)
 		}
+	}
+}
+
+func TestSegmentContextCanceled(t *testing.T) {
+	var msgs []*netmsg.Message
+	for i := 0; i < 40; i++ {
+		msgs = append(msgs, &netmsg.Message{Data: []byte{1, 2, 3, 4, byte(i), 6, 7, 8}})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &Segmenter{}
+	if _, err := s.SegmentContext(ctx, &netmsg.Trace{Messages: msgs}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -13,6 +13,8 @@
 package nemesys
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -31,7 +33,7 @@ type Segmenter struct {
 	MinCharRun int
 }
 
-var _ segment.Segmenter = (*Segmenter)(nil)
+var _ segment.ContextSegmenter = (*Segmenter)(nil)
 
 // Name returns "nemesys".
 func (*Segmenter) Name() string { return "nemesys" }
@@ -39,6 +41,13 @@ func (*Segmenter) Name() string { return "nemesys" }
 // Segment splits every message at the inferred boundaries. NEMESYS
 // operates per message and never fails on trace size.
 func (s *Segmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
+	return s.SegmentContext(context.Background(), tr)
+}
+
+// SegmentContext is Segment with cooperative cancellation, checked once
+// per message (one message is one bounded unit of smoothing and
+// boundary-extraction work).
+func (s *Segmenter) SegmentContext(ctx context.Context, tr *netmsg.Trace) ([]netmsg.Segment, error) {
 	sigma := s.Sigma
 	if sigma <= 0 {
 		sigma = 0.6
@@ -49,6 +58,9 @@ func (s *Segmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
 	}
 	var out []netmsg.Segment
 	for _, m := range tr.Messages {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("nemesys: %w", err)
+		}
 		out = append(out, segmentMessage(m, sigma, minRun)...)
 	}
 	return out, nil

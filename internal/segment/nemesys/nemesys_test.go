@@ -1,7 +1,10 @@
 package nemesys
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -216,5 +219,79 @@ func TestSegmentTilesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSegmentContextCanceled(t *testing.T) {
+	tr := &netmsg.Trace{Messages: []*netmsg.Message{
+		{Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Data: []byte("hello world padding")},
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &Segmenter{}
+	if _, err := s.SegmentContext(ctx, tr); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSegmentContextMatchesSegment(t *testing.T) {
+	tr := &netmsg.Trace{Messages: []*netmsg.Message{
+		{Data: []byte{0, 0, 1, 2, 3, 0xff, 0xfe, 'a', 'b', 'c', 'd', 'e', 1}},
+	}}
+	s := &Segmenter{}
+	want, err := s.Segment(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SegmentContext(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("segment count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if !netmsg.SegmentsEqual(want[i], got[i]) {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}
+
+// countdownCtx is a context whose Err flips to Canceled after the first
+// n polls — a deterministic probe for how many work units a segmenter
+// processes after cancellation.
+type countdownCtx struct {
+	context.Context
+	polls atomic.Int64
+	n     int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(1) > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+// The per-message checkpoint bounds post-cancel work to one message:
+// once Err reports cancellation, at most the in-flight message is
+// finished and no further message is segmented.
+func TestSegmentContextBoundedWorkAfterCancel(t *testing.T) {
+	const total, allowed = 100, 5
+	var msgs []*netmsg.Message
+	for i := 0; i < total; i++ {
+		msgs = append(msgs, &netmsg.Message{Data: []byte{1, 2, 3, byte(i), 5, 6, 7, 8}})
+	}
+	ctx := &countdownCtx{Context: context.Background(), n: allowed}
+	s := &Segmenter{}
+	_, err := s.SegmentContext(ctx, &netmsg.Trace{Messages: msgs})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One poll per message before segmenting it: the failing poll is
+	// allowed+1, so exactly `allowed` messages were processed.
+	if got := ctx.polls.Load(); got != allowed+1 {
+		t.Errorf("segmenter polled ctx %d times, want %d (bounded abort)", got, allowed+1)
 	}
 }

@@ -13,6 +13,7 @@
 package netzob
 
 import (
+	"context"
 	"fmt"
 
 	"protoclust/internal/netmsg"
@@ -44,7 +45,7 @@ type Segmenter struct {
 	Budget int64
 }
 
-var _ segment.Segmenter = (*Segmenter)(nil)
+var _ segment.ContextSegmenter = (*Segmenter)(nil)
 
 // Name returns "netzob".
 func (*Segmenter) Name() string { return "netzob" }
@@ -52,6 +53,13 @@ func (*Segmenter) Name() string { return "netzob" }
 // Segment aligns all messages and derives boundaries from conservation
 // changes across alignment columns.
 func (s *Segmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
+	return s.SegmentContext(context.Background(), tr)
+}
+
+// SegmentContext is Segment with cooperative cancellation, checked
+// before every pairwise alignment (one Needleman-Wunsch matrix is the
+// bounded unit of work).
+func (s *Segmenter) SegmentContext(ctx context.Context, tr *netmsg.Trace) ([]netmsg.Segment, error) {
 	budget := s.Budget
 	if budget <= 0 {
 		budget = DefaultBudget
@@ -82,6 +90,9 @@ func (s *Segmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
 	aligned[0] = toRow(msgs[0].Data)
 	var spent int64
 	for _, m := range msgs[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("netzob: %w", err)
+		}
 		consensus := consensusOf(aligned)
 		spent += int64(len(consensus)+1) * int64(len(m.Data)+1)
 		if spent > budget {

@@ -1,6 +1,7 @@
 package netzob
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -196,5 +197,18 @@ func TestConsensusOf(t *testing.T) {
 	c := consensusOf(aligned)
 	if c[0] != 5 || c[1] != 6 || c[2] != 8 {
 		t.Errorf("consensus = %v, want [5 6 8]", c)
+	}
+}
+
+func TestSegmentContextCanceled(t *testing.T) {
+	var msgs []*netmsg.Message
+	for i := 0; i < 8; i++ {
+		msgs = append(msgs, &netmsg.Message{Data: []byte{1, 2, 3, byte(i), 5, 6}})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &Segmenter{}
+	if _, err := s.SegmentContext(ctx, &netmsg.Trace{Messages: msgs}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -7,6 +7,7 @@
 package segment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,6 +22,28 @@ type Segmenter interface {
 	// segments of one message must tile it: sorted, gap-free, covering
 	// every byte.
 	Segment(tr *netmsg.Trace) ([]netmsg.Segment, error)
+}
+
+// ContextSegmenter is implemented by segmenters that support
+// cancellation. SegmentContext must abort with an error wrapping
+// ctx.Err() within a bounded number of work units (one message, one
+// alignment, one mining level) of the context being cancelled.
+type ContextSegmenter interface {
+	Segmenter
+	SegmentContext(ctx context.Context, tr *netmsg.Trace) ([]netmsg.Segment, error)
+}
+
+// Run segments the trace under the context: segmenters implementing
+// ContextSegmenter are cancelled cooperatively, others run to
+// completion after one up-front context check.
+func Run(ctx context.Context, s Segmenter, tr *netmsg.Trace) ([]netmsg.Segment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("segment: %s: %w", s.Name(), err)
+	}
+	if cs, ok := s.(ContextSegmenter); ok {
+		return cs.SegmentContext(ctx, tr)
+	}
+	return s.Segment(tr)
 }
 
 // ErrBudgetExceeded is returned by heuristic segmenters whose work

@@ -1,6 +1,8 @@
 package segment
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -113,5 +115,60 @@ func TestFromBoundariesTilesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// plainSegmenter implements only Segmenter (no context support).
+type plainSegmenter struct{ calls int }
+
+func (p *plainSegmenter) Name() string { return "plain" }
+func (p *plainSegmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
+	p.calls++
+	return nil, nil
+}
+
+// ctxSegmenter records the context Run hands it.
+type ctxSegmenter struct{ got context.Context }
+
+func (c *ctxSegmenter) Name() string { return "ctx" }
+func (c *ctxSegmenter) Segment(tr *netmsg.Trace) ([]netmsg.Segment, error) {
+	return nil, errors.New("Segment must not be called when SegmentContext exists")
+}
+func (c *ctxSegmenter) SegmentContext(ctx context.Context, tr *netmsg.Trace) ([]netmsg.Segment, error) {
+	c.got = ctx
+	return nil, nil
+}
+
+func TestRunPrefersContextSegmenter(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	cs := &ctxSegmenter{}
+	if _, err := Run(ctx, cs, &netmsg.Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	if cs.got != ctx {
+		t.Error("Run did not pass the caller's context through")
+	}
+}
+
+func TestRunFallsBackToPlainSegmenter(t *testing.T) {
+	ps := &plainSegmenter{}
+	if _, err := Run(context.Background(), ps, &netmsg.Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	if ps.calls != 1 {
+		t.Errorf("Segment called %d times, want 1", ps.calls)
+	}
+}
+
+func TestRunCanceledBeforePlainSegmenter(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ps := &plainSegmenter{}
+	if _, err := Run(ctx, ps, &netmsg.Trace{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ps.calls != 0 {
+		t.Error("plain segmenter ran despite cancelled context")
 	}
 }

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"protoclust"
+	"protoclust/internal/core"
+)
+
+// CacheKey derives the content address of an analysis: the SHA-256 of
+// the canonical Options encoding followed by the length-framed payloads
+// of the (already deduplicated) trace. Two submissions with identical
+// deduplicated payload bytes and identical effective configuration
+// therefore share a key, regardless of message order metadata,
+// duplicate count, or transport framing.
+func CacheKey(tr *protoclust.Trace, o protoclust.Options) string {
+	h := sha256.New()
+	writeCanonicalOptions(h, o)
+	var frame [8]byte
+	for _, m := range tr.Messages {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(m.Data)))
+		h.Write(frame[:])
+		h.Write(m.Data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonicalOptions encodes every analysis-relevant Options field in
+// a fixed order with explicit separators, so the encoding is injective
+// and stable across processes. New Params fields must be added here to
+// keep distinct configurations from sharing cache entries.
+func writeCanonicalOptions(h interface{ Write(p []byte) (int, error) }, o protoclust.Options) {
+	p := o.Params
+	if p == (core.Params{}) {
+		p = core.DefaultParams()
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(h, "v1\x00seg=%s\x00dedup=%t\x00penalty=%s\x00ks=%s\x00ss=%s\x00rho=%s\x00nd=%s\x00lcs=%s\x00prt=%s\x00norefine=%t\x00feps=%s\x00clusterer=%s\x00",
+		o.Segmenter, !o.NoDeduplicate, f(p.Penalty), f(p.KneedleSensitivity),
+		f(p.SplineSmoothness), f(p.EpsRhoThreshold), f(p.NeighborDensityThreshold),
+		f(p.LargeClusterShare), f(p.PercentRankThreshold), p.DisableRefinement,
+		f(p.FixedEpsilon), p.Clusterer)
+}
+
+// cacheEntry is one cached analysis outcome.
+type cacheEntry struct {
+	key    string
+	report *protoclust.Report
+}
+
+// Cache is a bounded, content-addressed LRU of analysis reports with an
+// optional disk spill: entries evicted from (or inserted into) memory
+// are kept as JSON blobs under Dir, so a warm directory survives
+// restarts and an in-memory miss can still be served without
+// recomputing the matrix.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// NewCache returns a cache bounded to maxEntries in memory (minimum 1),
+// spilling to dir when non-empty. The directory is created on first
+// write; disk errors are treated as misses, never as failures.
+func NewCache(maxEntries int, dir string) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		max:     maxEntries,
+		dir:     dir,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached report for key, consulting memory first and
+// then the disk spill. A disk hit is promoted back into memory.
+func (c *Cache) Get(key string) (*protoclust.Report, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		r := el.Value.(*cacheEntry).report
+		c.mu.Unlock()
+		return r, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.spillPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var r protoclust.Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, false
+	}
+	c.put(key, &r, false) // already on disk; no need to rewrite
+	return &r, true
+}
+
+// Put stores the report under key, evicting the least recently used
+// in-memory entry beyond the bound and spilling the new entry to disk
+// when a spill directory is configured.
+func (c *Cache) Put(key string, r *protoclust.Report) { c.put(key, r, true) }
+
+func (c *Cache) put(key string, r *protoclust.Report, spill bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).report = r
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, report: r})
+		for c.lru.Len() > c.max {
+			last := c.lru.Back()
+			c.lru.Remove(last)
+			delete(c.entries, last.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	if spill && c.dir != "" {
+		if b, err := json.Marshal(r); err == nil {
+			if err := os.MkdirAll(c.dir, 0o755); err == nil {
+				tmp := c.spillPath(key) + ".tmp"
+				if err := os.WriteFile(tmp, b, 0o644); err == nil {
+					_ = os.Rename(tmp, c.spillPath(key))
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+func (c *Cache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

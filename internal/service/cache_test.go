@@ -1,0 +1,135 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"protoclust"
+)
+
+func mustTrace(t *testing.T, proto string, n int, seed int64) *protoclust.Trace {
+	t.Helper()
+	tr, err := protoclust.GenerateTrace(proto, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCacheKeyStableAndInjective(t *testing.T) {
+	tr := mustTrace(t, "ntp", 40, 1)
+	opts := protoclust.DefaultOptions()
+
+	k1 := CacheKey(tr, opts)
+	k2 := CacheKey(tr, opts)
+	if k1 != k2 {
+		t.Fatalf("same inputs produced different keys: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Errorf("key length = %d, want 64 hex chars", len(k1))
+	}
+
+	// Any analysis-relevant knob must change the key.
+	variants := []protoclust.Options{opts, opts, opts, opts}
+	variants[1].Segmenter = protoclust.SegmenterNetzob
+	variants[2].NoDeduplicate = true
+	variants[3].Params = opts.Params
+	variants[3].Params.Penalty = 0.123
+	seen := map[string]int{}
+	for i, o := range variants {
+		k := CacheKey(tr, o)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("options variant %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+
+	// Different payload bytes change the key.
+	if CacheKey(mustTrace(t, "ntp", 40, 2), opts) == k1 {
+		t.Error("different trace shares the key")
+	}
+}
+
+func TestCacheKeyDeduplicationInvariant(t *testing.T) {
+	// The service keys on deduplicated payloads, so a trace and its
+	// duplicate-free projection address the same entry.
+	tr := mustTrace(t, "ntp", 80, 3)
+	opts := protoclust.DefaultOptions()
+	dedup := tr.Deduplicate()
+	if len(dedup.Messages) == len(tr.Messages) {
+		t.Skip("generated trace has no duplicates; nothing to assert")
+	}
+	if CacheKey(dedup, opts) != CacheKey(dedup.Deduplicate(), opts) {
+		t.Error("deduplication is not idempotent under CacheKey")
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	c := NewCache(2, "")
+	reports := make([]*protoclust.Report, 3)
+	for i := range reports {
+		reports[i] = &protoclust.Report{Messages: i + 1}
+		c.Put(fmt.Sprintf("k%d", i), reports[i])
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for i := 1; i <= 2; i++ {
+		r, ok := c.Get(fmt.Sprintf("k%d", i))
+		if !ok || r.Messages != i+1 {
+			t.Errorf("k%d: ok=%v r=%+v", i, ok, r)
+		}
+	}
+
+	// Touching k1 makes k2 the eviction victim.
+	c.Get("k1")
+	c.Put("k3", &protoclust.Report{Messages: 4})
+	if _, ok := c.Get("k2"); ok {
+		t.Error("recently-used entry was evicted instead of the LRU one")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("touched entry was evicted")
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(1, dir)
+	c.Put("aaaa", &protoclust.Report{Messages: 11, Epsilon: 0.25})
+	c.Put("bbbb", &protoclust.Report{Messages: 22}) // evicts aaaa from memory
+
+	// The evicted entry is still served from disk and promoted back.
+	r, ok := c.Get("aaaa")
+	if !ok || r.Messages != 11 || r.Epsilon != 0.25 {
+		t.Fatalf("disk spill miss: ok=%v r=%+v", ok, r)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (bounded after promotion)", c.Len())
+	}
+
+	// A fresh cache over the same directory is warm.
+	c2 := NewCache(4, dir)
+	if r, ok := c2.Get("bbbb"); !ok || r.Messages != 22 {
+		t.Errorf("warm-start miss: ok=%v r=%+v", ok, r)
+	}
+
+	// Corrupt spill files are treated as misses, not failures.
+	if err := os.WriteFile(filepath.Join(dir, "cccc.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("cccc"); ok {
+		t.Error("corrupt spill file served as a hit")
+	}
+}
+
+func TestCacheMemoryOnlyMiss(t *testing.T) {
+	c := NewCache(8, "")
+	if _, ok := c.Get("nope"); ok {
+		t.Error("empty cache returned a hit")
+	}
+}

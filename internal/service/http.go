@@ -1,0 +1,192 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// maxPCAPBytes bounds uploaded captures (64 MiB).
+const maxPCAPBytes = 64 << 20
+
+// submitRequest is the JSON body of POST /v1/jobs.
+type submitRequest struct {
+	Proto         string `json:"proto,omitempty"`
+	N             int    `json:"n,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+	Segmenter     string `json:"segmenter,omitempty"`
+	NoDeduplicate bool   `json:"no_deduplicate,omitempty"`
+	Samples       int    `json:"samples,omitempty"`
+	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
+}
+
+// submitResponse acknowledges an accepted job.
+type submitResponse struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable,omitempty"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs          submit a generated-trace job (JSON body)
+//	POST   /v1/jobs/pcap     submit an uploaded capture (raw pcap body)
+//	GET    /v1/jobs/{id}     job status snapshot
+//	GET    /v1/jobs/{id}/result  analysis report of a done job
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /healthz          liveness probe
+//	GET    /metrics          Prometheus text exposition
+//	GET    /debug/pprof/     runtime profiles
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJSON)
+	mux.HandleFunc("POST /v1/jobs/pcap", s.handleSubmitPCAP)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Service) handleSubmitJSON(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err), false)
+		return
+	}
+	s.submit(w, JobSpec{
+		Proto:         req.Proto,
+		N:             req.N,
+		Seed:          req.Seed,
+		Segmenter:     req.Segmenter,
+		NoDeduplicate: req.NoDeduplicate,
+		Samples:       req.Samples,
+		Timeout:       time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+}
+
+func (s *Service) handleSubmitPCAP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPCAPBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, false)
+		return
+	}
+	if len(body) > maxPCAPBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("pcap exceeds %d bytes", maxPCAPBytes), false)
+		return
+	}
+	q := r.URL.Query()
+	spec := JobSpec{
+		PCAP:          body,
+		Segmenter:     q.Get("segmenter"),
+		NoDeduplicate: q.Get("no_deduplicate") == "true",
+	}
+	if v := q.Get("port"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &spec.Port); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid port %q", v), false)
+			return
+		}
+	}
+	if v := q.Get("timeout_ms"); v != "" {
+		var ms int64
+		if _, err := fmt.Sscanf(v, "%d", &ms); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid timeout_ms %q", v), false)
+			return
+		}
+		spec.Timeout = time.Duration(ms) * time.Millisecond
+	}
+	if v := q.Get("samples"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &spec.Samples); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid samples %q", v), false)
+			return
+		}
+	}
+	s.submit(w, spec)
+}
+
+func (s *Service) submit(w http.ResponseWriter, spec JobSpec) {
+	id, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err, true)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err, true)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err, false)
+	default:
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: id, State: StateQueued})
+	}
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err, false)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	report, err := s.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err, false)
+	case errors.Is(err, ErrNotFinished):
+		writeError(w, http.StatusConflict, err, true)
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, err, false)
+	default:
+		writeJSON(w, http.StatusOK, report)
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err, false)
+		return
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err, false)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.metrics.WriteTo(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error, retryable bool) {
+	writeJSON(w, code, errorResponse{Error: err.Error(), Retryable: retryable})
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the service's operational counters and gauges; the
+// zero value is ready to use. Everything is lock-free except the
+// per-stage latency map, which takes a mutex only on the first
+// observation of a new stage name.
+type Metrics struct {
+	// Job lifecycle counters.
+	Submitted atomic.Int64
+	Done      atomic.Int64
+	Failed    atomic.Int64
+	Canceled  atomic.Int64
+	// Queue and worker gauges.
+	Queued  atomic.Int64
+	Running atomic.Int64
+	// Cache outcome counters.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+
+	mu     sync.Mutex
+	stages map[string]*stageStat
+}
+
+// stageStat accumulates the latency of one pipeline stage.
+type stageStat struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+}
+
+// ObserveStage records one stage execution.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	if m.stages == nil {
+		m.stages = make(map[string]*stageStat)
+	}
+	st, ok := m.stages[stage]
+	if !ok {
+		st = &stageStat{}
+		m.stages[stage] = st
+	}
+	m.mu.Unlock()
+	st.count.Add(1)
+	st.totalNs.Add(int64(d))
+}
+
+// CacheHitRate returns hits / (hits + misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRate() float64 {
+	h, mi := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	p := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(w, format, args...)
+		n += int64(c)
+		return err
+	}
+	if err := p("# HELP protoclustd_jobs_total Jobs by terminal state.\n# TYPE protoclustd_jobs_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, kv := range []struct {
+		label string
+		v     int64
+	}{
+		{"submitted", m.Submitted.Load()},
+		{"done", m.Done.Load()},
+		{"failed", m.Failed.Load()},
+		{"canceled", m.Canceled.Load()},
+	} {
+		if err := p("protoclustd_jobs_total{state=%q} %d\n", kv.label, kv.v); err != nil {
+			return n, err
+		}
+	}
+	if err := p("# HELP protoclustd_jobs_queued Jobs waiting for a worker.\n# TYPE protoclustd_jobs_queued gauge\nprotoclustd_jobs_queued %d\n",
+		m.Queued.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP protoclustd_jobs_running Jobs currently analyzed.\n# TYPE protoclustd_jobs_running gauge\nprotoclustd_jobs_running %d\n",
+		m.Running.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP protoclustd_cache_hits_total Result-cache hits.\n# TYPE protoclustd_cache_hits_total counter\nprotoclustd_cache_hits_total %d\n",
+		m.CacheHits.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP protoclustd_cache_misses_total Result-cache misses.\n# TYPE protoclustd_cache_misses_total counter\nprotoclustd_cache_misses_total %d\n",
+		m.CacheMisses.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP protoclustd_cache_hit_rate Result-cache hit rate.\n# TYPE protoclustd_cache_hit_rate gauge\nprotoclustd_cache_hit_rate %g\n",
+		m.CacheHitRate()); err != nil {
+		return n, err
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.stages))
+	for name := range m.stages {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	if len(names) > 0 {
+		if err := p("# HELP protoclustd_stage_seconds Cumulative stage latency.\n# TYPE protoclustd_stage_seconds counter\n"); err != nil {
+			return n, err
+		}
+	}
+	for _, name := range names {
+		m.mu.Lock()
+		st := m.stages[name]
+		m.mu.Unlock()
+		if err := p("protoclustd_stage_seconds_sum{stage=%q} %g\nprotoclustd_stage_seconds_count{stage=%q} %d\n",
+			name, float64(st.totalNs.Load())/1e9, name, st.count.Load()); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,516 @@
+// Package service implements protoclustd's analysis service: a bounded
+// worker pool that runs trace-analysis jobs with per-job deadlines and
+// cooperative cancellation (threaded through the segmenters and the
+// O(n²) dissimilarity stage), a content-addressed result cache so
+// resubmitted traces and configuration sweeps return instantly, and an
+// HTTP/JSON front end with health, metrics, and pprof endpoints.
+//
+// The paper motivates all three: the pairwise-dissimilarity stage
+// dominates runtime, heuristic segmenters can blow their work budget
+// mid-run, and clustering-configuration search repeats many runs over
+// the same trace — a long-running service must cache, bound, and cancel
+// that work rather than recompute it per batch invocation.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"protoclust"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle: queued → running → done | failed | canceled. Queued
+// jobs can move directly to canceled (user cancel) or failed
+// (shutdown, marked retryable).
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether no further state change can happen.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec describes one analysis request: either a built-in generated
+// trace (Proto/N/Seed) or an uploaded pcap payload (PCAP/Port).
+type JobSpec struct {
+	// Proto selects a built-in trace generator (protoclust.Protocols).
+	Proto string `json:"proto,omitempty"`
+	// N and Seed parameterize the generator.
+	N    int   `json:"n,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// PCAP is a raw classic-pcap stream to extract UDP/TCP payloads
+	// from; Port optionally filters payloads to one port.
+	PCAP []byte `json:"pcap,omitempty"`
+	Port int    `json:"port,omitempty"`
+	// Segmenter, NoDeduplicate, and Samples mirror the CLI options.
+	Segmenter     string `json:"segmenter,omitempty"`
+	NoDeduplicate bool   `json:"no_deduplicate,omitempty"`
+	Samples       int    `json:"samples,omitempty"`
+	// Timeout bounds the job's run time; 0 falls back to the service
+	// default.
+	Timeout time.Duration `json:"-"`
+}
+
+// Validate checks that the spec names exactly one trace source.
+func (sp *JobSpec) Validate() error {
+	switch {
+	case sp.Proto == "" && len(sp.PCAP) == 0:
+		return errors.New("service: job needs either proto or pcap")
+	case sp.Proto != "" && len(sp.PCAP) > 0:
+		return errors.New("service: job must not set both proto and pcap")
+	case sp.Proto != "" && sp.N <= 0:
+		return errors.New("service: generated trace needs n > 0")
+	}
+	return nil
+}
+
+// JobStatus is a point-in-time snapshot of a job, JSON-ready.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// Retryable marks failures worth resubmitting unchanged (queue
+	// drained at shutdown), as opposed to deterministic ones (budget
+	// exceeded, bad spec).
+	Retryable bool `json:"retryable,omitempty"`
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	// SubmittedMS/StartedMS/FinishedMS are Unix milliseconds; 0 when
+	// the job has not reached that point.
+	SubmittedMS int64 `json:"submitted_ms"`
+	StartedMS   int64 `json:"started_ms,omitempty"`
+	FinishedMS  int64 `json:"finished_ms,omitempty"`
+	// Stages holds the pipeline stage timings of a finished run.
+	Stages []protoclust.StageTiming `json:"stages,omitempty"`
+}
+
+// Config tunes the service; zero fields take the documented defaults.
+type Config struct {
+	// Workers is the analysis concurrency (default 2).
+	Workers int
+	// QueueSize bounds the number of waiting jobs (default 64); beyond
+	// it Submit fails with ErrQueueFull.
+	QueueSize int
+	// DefaultTimeout bounds jobs that do not set their own deadline
+	// (default 0: unbounded).
+	DefaultTimeout time.Duration
+	// CacheEntries bounds the in-memory result cache (default 128).
+	CacheEntries int
+	// CacheDir enables the disk spill of the result cache.
+	CacheDir string
+	// Logger receives structured per-job logs (default: slog.Default).
+	Logger *slog.Logger
+}
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull signals backpressure: the client should retry later.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown signals the service no longer accepts jobs.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrUnknownJob is returned for job IDs the service never issued.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotFinished is returned when a result is requested before the
+	// job reached a terminal state.
+	ErrNotFinished = errors.New("service: job not finished")
+)
+
+// errCanceledByUser is the cancellation cause of DELETE /v1/jobs/{id}.
+var errCanceledByUser = errors.New("service: canceled by user")
+
+// job is the service-internal job record.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	retryable bool
+	cacheHit  bool
+	result    *protoclust.Report
+	timings   []protoclust.StageTiming
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	// cancel aborts the running analysis; non-nil only while running.
+	cancel context.CancelCauseFunc
+}
+
+// Service runs analysis jobs on a bounded worker pool.
+type Service struct {
+	cfg     Config
+	log     *slog.Logger
+	cache   *Cache
+	metrics Metrics
+
+	queue chan *job
+
+	mu      sync.Mutex // guards jobs map and the closed/queue pair
+	jobs    map[string]*job
+	closed  bool
+	nextID  atomic.Int64
+	workers sync.WaitGroup
+
+	// baseCtx parents every job context; baseCancel force-cancels all
+	// running jobs when the shutdown grace period expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New starts a service with cfg's worker pool. Call Shutdown to stop.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Service{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		cache: NewCache(cfg.CacheEntries, cfg.CacheDir),
+		queue: make(chan *job, cfg.QueueSize),
+		jobs:  make(map[string]*job),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the service counters (read-only use).
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// Submit enqueues a job and returns its ID. It fails fast with
+// ErrQueueFull when the queue is at capacity and ErrShuttingDown after
+// Shutdown has begun.
+func (s *Service) Submit(spec JobSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	j := &job{
+		id:        "j" + strconv.FormatInt(s.nextID.Add(1), 10),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", ErrShuttingDown
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+	default:
+		s.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.metrics.Submitted.Add(1)
+	s.metrics.Queued.Add(1)
+	s.log.Info("job submitted", "job", j.id, "proto", spec.Proto,
+		"pcap_bytes", len(spec.PCAP), "segmenter", spec.Segmenter)
+	return j.id, nil
+}
+
+// Status returns a snapshot of the job.
+func (s *Service) Status(id string) (JobStatus, error) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.errMsg,
+		Retryable:   j.retryable,
+		CacheHit:    j.cacheHit,
+		SubmittedMS: j.submitted.UnixMilli(),
+		Stages:      j.timings,
+	}
+	if !j.started.IsZero() {
+		st.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedMS = j.finished.UnixMilli()
+	}
+	return st, nil
+}
+
+// Result returns the report of a done job; ErrNotFinished while the job
+// is queued or running, and the job's failure otherwise.
+func (s *Service) Result(id string) (*protoclust.Report, error) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case !j.state.Terminal():
+		return nil, ErrNotFinished
+	case j.state == StateDone:
+		return j.result, nil
+	default:
+		return nil, fmt.Errorf("service: job %s %s: %s", j.id, j.state, j.errMsg)
+	}
+}
+
+// Cancel aborts a job: a queued job is marked canceled and skipped when
+// a worker pops it; a running job has its context canceled and reaches
+// the canceled state as soon as the pipeline observes it (bounded by
+// one scheduling tile / one message / one alignment of work).
+func (s *Service) Cancel(id string) error {
+	j, ok := s.lookup(id)
+	if !ok {
+		return ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.errMsg = errCanceledByUser.Error()
+		j.finished = time.Now()
+		s.metrics.Canceled.Add(1)
+		s.log.Info("job canceled while queued", "job", j.id)
+	case StateRunning:
+		j.cancel(errCanceledByUser)
+	}
+	return nil
+}
+
+// Shutdown stops accepting jobs, fails all queued jobs with a retryable
+// status, and drains running jobs until ctx expires (the grace period);
+// leftover running jobs are then force-canceled. It returns once every
+// worker has exited.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("service: already shut down")
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	// Fail everything still waiting; workers racing on the same channel
+	// just see fewer jobs.
+	for j := range s.queue {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateFailed
+			j.errMsg = ErrShuttingDown.Error()
+			j.retryable = true
+			j.finished = time.Now()
+			s.metrics.Queued.Add(-1)
+			s.metrics.Failed.Add(1)
+			s.log.Info("queued job failed retryable at shutdown", "job", j.id)
+		}
+		j.mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.log.Warn("shutdown grace expired; force-canceling running jobs")
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	return nil
+}
+
+func (s *Service) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker pops jobs until the queue closes at shutdown.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.metrics.Queued.Add(-1)
+		j.mu.Lock()
+		if j.state != StateQueued { // canceled (or failed) while waiting
+			j.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		timeout := j.spec.Timeout
+		if timeout <= 0 {
+			timeout = s.cfg.DefaultTimeout
+		}
+		ctx, cancel := context.WithCancelCause(s.baseCtx)
+		var timeoutCancel context.CancelFunc = func() {}
+		if timeout > 0 {
+			ctx, timeoutCancel = context.WithTimeoutCause(ctx, timeout,
+				fmt.Errorf("service: job deadline (%s) exceeded: %w", timeout, context.DeadlineExceeded))
+		}
+		j.cancel = cancel
+		j.mu.Unlock()
+
+		s.metrics.Running.Add(1)
+		s.run(ctx, j)
+		s.metrics.Running.Add(-1)
+		timeoutCancel()
+		cancel(nil)
+		j.mu.Lock()
+		j.cancel = nil
+		j.mu.Unlock()
+	}
+}
+
+// run executes one job: build the trace, consult the cache, analyze on
+// a miss, and record the terminal state.
+func (s *Service) run(ctx context.Context, j *job) {
+	start := time.Now()
+	tr, opts, err := s.prepare(j.spec)
+	var (
+		report *protoclust.Report
+		hit    bool
+		key    string
+	)
+	if err == nil {
+		// Content address: options + deduplicated payload bytes, so a
+		// resubmitted trace (or one with extra duplicates) hits.
+		keyed := tr
+		if !opts.NoDeduplicate {
+			keyed = tr.Deduplicate()
+		}
+		key = CacheKey(keyed, opts)
+		if report, hit = s.cache.Get(key); hit {
+			s.metrics.CacheHits.Add(1)
+		} else {
+			s.metrics.CacheMisses.Add(1)
+			var analysis *protoclust.Analysis
+			analysis, err = protoclust.AnalyzeContext(ctx, tr, opts)
+			if err == nil {
+				samples := j.spec.Samples
+				if samples <= 0 {
+					samples = 4
+				}
+				report = analysis.Report(samples)
+				s.cache.Put(key, report)
+				for _, t := range analysis.Timings() {
+					s.metrics.ObserveStage(t.Stage, t.Duration)
+					j.mu.Lock()
+					j.timings = append(j.timings, t)
+					j.mu.Unlock()
+				}
+			}
+		}
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	elapsed := j.finished.Sub(start)
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = report
+		j.cacheHit = hit
+		s.metrics.Done.Add(1)
+		s.log.Info("job done", "job", j.id, "elapsed", elapsed,
+			"cache_hit", hit, "key", shortKey(key), "stages", timingSummary(j.timings))
+	case errors.Is(err, errCanceledByUser),
+		errors.Is(context.Cause(ctx), errCanceledByUser):
+		j.state = StateCanceled
+		j.errMsg = errCanceledByUser.Error()
+		s.metrics.Canceled.Add(1)
+		s.log.Info("job canceled", "job", j.id, "elapsed", elapsed)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		// A context canceled by shutdown (not by the user or the job's
+		// own deadline) leaves the job retryable.
+		j.retryable = errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil
+		s.metrics.Failed.Add(1)
+		s.log.Warn("job failed", "job", j.id, "elapsed", elapsed,
+			"retryable", j.retryable, "err", err)
+	}
+}
+
+// prepare materializes the job's trace and analysis options.
+func (s *Service) prepare(spec JobSpec) (*protoclust.Trace, protoclust.Options, error) {
+	opts := protoclust.DefaultOptions()
+	if spec.Segmenter != "" {
+		opts.Segmenter = spec.Segmenter
+	}
+	opts.NoDeduplicate = spec.NoDeduplicate
+	if _, err := protoclust.NewSegmenter(opts.Segmenter); err != nil {
+		return nil, opts, err
+	}
+	if spec.Proto != "" {
+		tr, err := protoclust.GenerateTrace(spec.Proto, spec.N, spec.Seed)
+		return tr, opts, err
+	}
+	filter := func(src, dst string, payload []byte) bool {
+		if spec.Port == 0 {
+			return true
+		}
+		suffix := ":" + strconv.Itoa(spec.Port)
+		return strings.HasSuffix(src, suffix) || strings.HasSuffix(dst, suffix)
+	}
+	tr, err := protoclust.ReadPCAP(bytes.NewReader(spec.PCAP), filter)
+	if err == nil && len(tr.Messages) == 0 {
+		err = errors.New("service: pcap contains no usable payloads")
+	}
+	return tr, opts, err
+}
+
+// shortKey abbreviates a cache key for logs.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// timingSummary renders stage timings as "segment=12ms cluster=340ms".
+func timingSummary(ts []protoclust.StageTiming) string {
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", t.Stage, t.Duration.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -23,9 +23,11 @@
 package protoclust
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"protoclust/internal/core"
 	"protoclust/internal/eval"
@@ -123,13 +125,33 @@ func (p *PseudoType) SampleValues(n int) []string {
 
 // Analysis is the outcome of Analyze.
 type Analysis struct {
-	result *core.Result
-	trace  *Trace
-	segs   []Segment
+	result  *core.Result
+	trace   *Trace
+	segs    []Segment
+	timings []StageTiming
+}
+
+// StageTiming records the wall-clock duration of one pipeline stage.
+type StageTiming struct {
+	// Stage is "deduplicate", "segment", or "cluster".
+	Stage string `json:"stage"`
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Analyze runs the full pipeline of the paper on a trace.
 func Analyze(tr *Trace, o Options) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), tr, o)
+}
+
+// AnalyzeContext is Analyze with cancellation and deadlines: the
+// context is threaded through the heuristic segmenters, the O(n²)
+// dissimilarity matrix build, the ε auto-configuration, and cluster
+// refinement, so a cancelled or expired context aborts the analysis
+// promptly instead of finishing the matrix. The returned error wraps
+// ctx.Err(); test with errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded).
+func AnalyzeContext(ctx context.Context, tr *Trace, o Options) (*Analysis, error) {
 	if tr == nil || len(tr.Messages) == 0 {
 		return nil, errors.New("protoclust: empty trace")
 	}
@@ -139,23 +161,37 @@ func Analyze(tr *Trace, o Options) (*Analysis, error) {
 	if o.Params == (core.Params{}) {
 		o.Params = core.DefaultParams()
 	}
+	var timings []StageTiming
+	stage := func(name string, start time.Time) {
+		timings = append(timings, StageTiming{Stage: name, Duration: time.Since(start)})
+	}
 	if !o.NoDeduplicate {
+		start := time.Now()
 		tr = tr.Deduplicate()
+		stage("deduplicate", start)
 	}
 	seg, err := NewSegmenter(o.Segmenter)
 	if err != nil {
 		return nil, err
 	}
-	segs, err := seg.Segment(tr)
+	start := time.Now()
+	segs, err := segment.Run(ctx, seg, tr)
 	if err != nil {
 		return nil, fmt.Errorf("protoclust: segmentation: %w", err)
 	}
-	res, err := core.ClusterSegments(segs, o.Params)
+	stage("segment", start)
+	start = time.Now()
+	res, err := core.ClusterSegmentsContext(ctx, segs, o.Params)
 	if err != nil {
 		return nil, fmt.Errorf("protoclust: clustering: %w", err)
 	}
-	return &Analysis{result: res, trace: tr, segs: segs}, nil
+	stage("cluster", start)
+	return &Analysis{result: res, trace: tr, segs: segs, timings: timings}, nil
 }
+
+// Timings returns the wall-clock duration of each pipeline stage, in
+// execution order.
+func (a *Analysis) Timings() []StageTiming { return a.timings }
 
 // NewSegmenter returns the named segmenter.
 func NewSegmenter(name string) (segment.Segmenter, error) {

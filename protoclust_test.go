@@ -2,6 +2,7 @@ package protoclust_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -410,5 +411,55 @@ func TestAnalysisReport(t *testing.T) {
 	}
 	if len(r.Semantics) != len(r.PseudoTypes) {
 		t.Errorf("semantics = %d, want %d", len(r.Semantics), len(r.PseudoTypes))
+	}
+}
+
+func TestAnalyzeContextCanceled(t *testing.T) {
+	tr, err := protoclust.GenerateTrace("ntp", 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := protoclust.AnalyzeContext(ctx, tr, protoclust.DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeContextDeadline(t *testing.T) {
+	tr, err := protoclust.GenerateTrace("smb", 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := protoclust.AnalyzeContext(ctx, tr, protoclust.DefaultOptions()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestAnalyzeRecordsStageTimings(t *testing.T) {
+	tr, err := protoclust.GenerateTrace("ntp", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := protoclust.DefaultOptions()
+	opts.Segmenter = protoclust.SegmenterTruth
+	a, err := protoclust.Analyze(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := a.Timings()
+	want := []string{"deduplicate", "segment", "cluster"}
+	if len(stages) != len(want) {
+		t.Fatalf("got %d stages, want %d", len(stages), len(want))
+	}
+	for i, s := range stages {
+		if s.Stage != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Stage, want[i])
+		}
+		if s.Duration < 0 {
+			t.Errorf("stage %q has negative duration", s.Stage)
+		}
 	}
 }
