@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-service vet bench bench-json eval fuzz serve clean
+.PHONY: all build test test-short test-race test-service test-oracle golden-check golden-update vet bench bench-json eval fuzz serve clean
 
 all: build vet test
 
@@ -27,6 +27,23 @@ test-race:
 # cache, and HTTP lifecycle (the full suite, not just -short).
 test-service:
 	$(GO) test -race ./internal/service/ ./cmd/protoclustd/
+
+# Differential tests of the production pipeline against the
+# obviously-correct reference implementations in internal/oracle, under
+# the race detector. See docs/testing.md.
+test-oracle:
+	$(GO) test -race ./internal/oracle/ ./internal/dbscan/ ./internal/ecdf/ ./internal/kneedle/ ./internal/vecmath/ ./internal/core/
+
+# Golden-trace regression check: re-run the pipeline on the seeded
+# trace set and compare ε, k, cluster counts, and quality metrics
+# against testdata/golden/. See docs/testing.md.
+golden-check:
+	$(GO) run ./cmd/goldencheck
+
+# Regenerate the golden records after an intentional pipeline change;
+# review the diff before committing it.
+golden-update:
+	$(GO) run ./cmd/goldencheck -update
 
 # Run the analysis daemon locally. See docs/service.md for the API and
 # a curl walkthrough.
@@ -56,6 +73,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzSegment -fuzztime 10s ./internal/segment/netzob/
 	$(GO) test -run XXX -fuzz 'FuzzDissimilarity$$' -fuzztime 10s ./internal/canberra/
 	$(GO) test -run XXX -fuzz FuzzKernelDifferential -fuzztime 10s ./internal/canberra/
+	$(GO) test -run XXX -fuzz FuzzFind -fuzztime 10s ./internal/kneedle/
 
 clean:
 	$(GO) clean ./...

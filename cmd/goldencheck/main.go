@@ -1,0 +1,71 @@
+// Command goldencheck runs the analysis pipeline on the golden trace
+// set and compares each run's headline numbers (ε, k, cluster count,
+// precision, recall, F¼, coverage) against the records in
+// testdata/golden/. It exits non-zero when any metric leaves its
+// tolerance band.
+//
+// Usage:
+//
+//	goldencheck            # check against the stored records
+//	goldencheck -update    # regenerate the stored records
+//
+// Wired as `make golden-check` / `make golden-update`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protoclust/internal/golden"
+)
+
+func main() {
+	var (
+		update = flag.Bool("update", false, "rewrite the golden records from the current pipeline output")
+		dir    = flag.String("dir", "testdata/golden", "directory holding the golden records")
+	)
+	flag.Parse()
+
+	tol := golden.DefaultTolerance()
+	failed := 0
+	for _, spec := range golden.DefaultTraces() {
+		rec, err := golden.Run(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", spec, err)
+			failed++
+			continue
+		}
+		path := golden.Path(*dir, spec)
+		if *update {
+			if err := golden.Save(path, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s: write: %v\n", spec, err)
+				failed++
+				continue
+			}
+			fmt.Printf("wrote %s (eps=%.5f k=%d clusters=%d P=%.3f R=%.3f F=%.3f cov=%.3f)\n",
+				path, rec.Epsilon, rec.K, rec.Clusters, rec.Precision, rec.Recall, rec.FScore, rec.Coverage)
+			continue
+		}
+		want, err := golden.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v (run `goldencheck -update` to create the record)\n", spec, err)
+			failed++
+			continue
+		}
+		if violations := golden.Compare(want, rec, tol); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL %s:\n", spec)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %s (eps=%.5f k=%d clusters=%d P=%.3f R=%.3f F=%.3f cov=%.3f)\n",
+			spec, rec.Epsilon, rec.K, rec.Clusters, rec.Precision, rec.Recall, rec.FScore, rec.Coverage)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "golden check failed for %d trace(s)\n", failed)
+		os.Exit(1)
+	}
+}

@@ -27,8 +27,10 @@ type AutoConfig struct {
 	// FromKnee reports whether ε came from a detected knee (true) or
 	// from the quantile fallback (false).
 	FromKnee bool
-	// Curve is the ECDF of the selected Ê_k: sorted k-NN dissimilarities
-	// (X), step values (Y), and the B-spline smoothed values (Smoothed).
+	// Curve is the ECDF of the selected Ê_k: the distinct sorted k-NN
+	// dissimilarities (X), the ECDF value at each (Y; vertical runs from
+	// repeated distances are collapsed to their final step), and the
+	// B-spline smoothed values (Smoothed).
 	Curve CurveData
 }
 
@@ -83,8 +85,9 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 	// by the prominence filter before the rightmost knee is selected.
 	type kCurve struct {
 		k        int
-		xs       []float64      // sorted k-NN dissimilarities
-		ys       []float64      // ECDF steps
+		raw      []float64      // sorted k-NN dissimilarities, duplicates kept
+		xs       []float64      // distinct sorted distances (ECDF abscissae)
+		ys       []float64      // ECDF values at xs (final step per distinct x)
 		smoothed []float64      // B-spline smoothed ECDF
 		knees    []kneedle.Knee // prominent knees, ascending x
 		sharp    float64        // sharpness: max knee prominence
@@ -114,14 +117,35 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 		if err != nil {
 			return nil, fmt.Errorf("core: ecdf: %w", err)
 		}
-		c := kCurve{k: k, xs: xs}
+		c := kCurve{k: k, raw: xs}
 		c.gap, _ = e.MaxStepGap()
-		c.ys = make([]float64, len(xs))
-		for i := range c.ys {
-			c.ys[i] = float64(i+1) / float64(len(xs))
+		// Repeated k-NN distances are vertical runs of the step function:
+		// handed to the spline and knee detector as-is they make the
+		// "curve" multi-valued in x. Collapse each run to one point per
+		// distinct distance. The reported curve carries the true
+		// right-continuous ECDF Ê(x) = (last index of x + 1)/n; the
+		// smoothing fit targets each run's mean step height with the run
+		// multiplicity as its weight, which reproduces the least-squares
+		// objective over all n samples of the step graph exactly (every
+		// duplicate shares one basis row, so summing its residuals equals
+		// weighting the run mean).
+		var fitYs, weights []float64
+		c.xs, c.ys, fitYs, weights = collapseSteps(xs)
+		c.smoothed = spline.SmoothWeighted(c.xs, fitYs, weights, p.SplineSmoothness)
+		// Knee detection runs on the full sample grid: each distinct
+		// distance is repeated with its multiplicity (all copies sharing
+		// the single-valued smoothed ordinate), so ties keep their
+		// probability mass in the difference curve and Kneedle's
+		// confirmation-threshold spacing stays 1/(n−1) over the raw
+		// population. Knee abscissae are actual distances either way; the
+		// index is mapped back to the collapsed curve below.
+		rawSmoothed := make([]float64, 0, len(xs))
+		for j, w := range weights {
+			for r := 0; r < int(w); r++ {
+				rawSmoothed = append(rawSmoothed, c.smoothed[j])
+			}
 		}
-		c.smoothed = spline.Smooth(xs, c.ys, p.SplineSmoothness)
-		knees, err := kneedle.Find(xs, c.smoothed, kneedle.ConcaveIncreasing, p.KneedleSensitivity)
+		knees, err := kneedle.Find(xs, rawSmoothed, kneedle.ConcaveIncreasing, p.KneedleSensitivity)
 		if err != nil && !errors.Is(err, kneedle.ErrDomain) && !errors.Is(err, kneedle.ErrTooShort) {
 			return nil, fmt.Errorf("core: kneedle: %w", err)
 		}
@@ -157,17 +181,23 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 		},
 	}
 
-	// The rightmost prominent knee's distance becomes ε.
+	// The rightmost prominent knee's distance becomes ε. The knee index
+	// refers to the sample grid the detector ran on; locate the same
+	// distance on the collapsed curve for reporting.
 	if k, ok := kneedle.Rightmost(best.knees); ok && k.X > 0 {
 		ac.Epsilon = k.X
 		ac.FromKnee = true
-		ac.Curve.KneeIndex = k.Index
+		if i := sort.SearchFloat64s(best.xs, k.X); i < len(best.xs) && best.xs[i] == k.X {
+			ac.Curve.KneeIndex = i
+		}
 		return ac, nil
 	}
 
 	// Fallback: no knee detected (e.g. nearly uniform distances). Use a
 	// fixed quantile of the k-NN distances so clustering can proceed.
-	ac.Epsilon = vecmath.Percentile(best.xs, fallbackQuantile*100)
+	// The quantile is taken over the raw population — duplicates carry
+	// probability mass even though the curve collapses them.
+	ac.Epsilon = vecmath.Percentile(best.raw, fallbackQuantile*100)
 	if ac.Epsilon <= 0 {
 		// All candidate distances are zero — pick the smallest positive
 		// pairwise dissimilarity, or give up.
@@ -183,4 +213,30 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 		ac.Epsilon = pos
 	}
 	return ac, nil
+}
+
+// collapseSteps reduces a sorted sample slice to one point per distinct
+// x: the last step of each vertical run (the right-continuous ECDF
+// value Ê(x), reported as the curve), the mean step height of the run
+// (the collapsed least-squares target), and the run multiplicity (its
+// fit weight). The input must be sorted ascending.
+func collapseSteps(sorted []float64) (xs, ys, fitYs, ws []float64) {
+	n := len(sorted)
+	xs = make([]float64, 0, n)
+	ys = make([]float64, 0, n)
+	fitYs = make([]float64, 0, n)
+	ws = make([]float64, 0, n)
+	runStart := 0
+	for i, x := range sorted {
+		if i+1 < n && sorted[i+1] == x {
+			continue
+		}
+		xs = append(xs, x)
+		ys = append(ys, float64(i+1)/float64(n))
+		// Mean of the run's step heights (runStart+1)/n … (i+1)/n.
+		fitYs = append(fitYs, (float64(runStart+1)+float64(i+1))/2/float64(n))
+		ws = append(ws, float64(i+1-runStart))
+		runStart = i + 1
+	}
+	return xs, ys, fitYs, ws
 }

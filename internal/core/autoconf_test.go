@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -89,6 +90,70 @@ func TestConfigureCurveSeriesConsistent(t *testing.T) {
 	}
 	if cfg.FromKnee && c.X[c.KneeIndex] != cfg.Epsilon {
 		t.Errorf("knee X %v != epsilon %v", c.X[c.KneeIndex], cfg.Epsilon)
+	}
+}
+
+// TestConfigureCollapsesDuplicateDistances drives configure with a
+// population whose k-NN distances take only two distinct values, each
+// with multiplicity 16: two 4-bit hypercubes of byte patterns, one over
+// the alphabet {0x01, 0xff} and one over {0x40, 0x80}. Within a cube
+// every point's 1st..3rd-NN distance is the cube's constant edge
+// length, so the distance population is nothing but ties — which used
+// to reach the spline and knee detector as vertical runs, a
+// multi-valued "curve" in x. The fixed configure must emit a strictly
+// increasing Curve.X whose Y values equal the true ECDF of the raw
+// k-NN population at each distinct x.
+func TestConfigureCollapsesDuplicateDistances(t *testing.T) {
+	var values [][]byte
+	for _, alphabet := range [][2]byte{{0x01, 0xff}, {0x40, 0x80}} {
+		for pat := 0; pat < 16; pat++ {
+			v := make([]byte, 4)
+			for bit := 0; bit < 4; bit++ {
+				if pat&(1<<bit) != 0 {
+					v[bit] = alphabet[1]
+				} else {
+					v[bit] = alphabet[0]
+				}
+			}
+			values = append(values, v)
+		}
+	}
+	_, m := poolFromValues(t, values)
+	cfg, err := Configure(m, DefaultParams())
+	if err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if cfg.Epsilon <= 0 {
+		t.Errorf("epsilon = %v, want positive", cfg.Epsilon)
+	}
+	c := cfg.Curve
+	if len(c.X) < 2 {
+		t.Fatalf("curve collapsed to %d points", len(c.X))
+	}
+	for i := 1; i < len(c.X); i++ {
+		if c.X[i] <= c.X[i-1] {
+			t.Fatalf("Curve.X not strictly increasing at %d: %v ≤ %v (duplicate steps leaked through)",
+				i, c.X[i], c.X[i-1])
+		}
+	}
+	// Recompute the raw k-NN population for the selected k and check
+	// each collapsed step against the definitional ECDF.
+	table, err := m.KNNTable(kMax(m.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := table[cfg.K-1]
+	for i, x := range c.X {
+		count := 0
+		for _, d := range raw {
+			if d <= x {
+				count++
+			}
+		}
+		want := float64(count) / float64(len(raw))
+		if math.Abs(c.Y[i]-want) > 1e-12 {
+			t.Errorf("Curve.Y[%d] = %v at x = %v, want ECDF value %v", i, c.Y[i], x, want)
+		}
 	}
 }
 

@@ -36,6 +36,11 @@ type clusterStats struct {
 }
 
 func computeStats(c []int, m distances) clusterStats {
+	if len(c) < 2 {
+		// No pairwise distances exist; zero stats (a point cluster has
+		// no extent) beat the -Inf/NaN the aggregates below would give.
+		return clusterStats{}
+	}
 	var pair []float64
 	if pw, ok := m.(pairwiser); ok {
 		pair = pw.PairwiseWithin(c)
@@ -202,8 +207,10 @@ func mergeClusters(ctx context.Context, clusters [][]int, m distances, p Params)
 // III-F: clusters with extremely polarized value occurrences — many
 // unique values together with a few very frequent ones — are split at
 // the pivot F = ln|c'| into a low-occurrence and a high-occurrence
-// subcluster. occCount returns the number of concrete segments carrying
-// the unique value at a pool index.
+// subcluster, where |c'| is the number of unique segment values in the
+// cluster (paper, Section III-F; see DESIGN.md §5). occCount returns
+// the number of concrete segments carrying the unique value at a pool
+// index.
 func splitClusters(clusters [][]int, occCount func(int) int, p Params) [][]int {
 	var out [][]int
 	for _, c := range clusters {
@@ -218,7 +225,7 @@ func splitClusters(clusters [][]int, occCount func(int) int, p Params) [][]int {
 			out = append(out, c)
 			continue
 		}
-		f := math.Log(float64(total))
+		f := math.Log(float64(len(c)))
 		pr := vecmath.PercentRank(counts, f)
 		sigma := vecmath.StdDev(counts)
 		if !(pr > p.PercentRankThreshold && sigma > f) {

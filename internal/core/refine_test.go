@@ -179,6 +179,48 @@ func TestSplitClustersPolarized(t *testing.T) {
 	}
 }
 
+// TestSplitClustersPivotIsUniqueValueCount pins the paper's pivot
+// F = ln|c'| over the cluster's *unique values* (Section III-F),
+// distinguishing it from the former, buggy F = ln(Σ occurrences):
+// 100 unique values (96 singletons, two with 5 occurrences, two with
+// 1000) give ln|c'| ≈ 4.61 and ln(total) ≈ 7.65. The two mid-frequency
+// values (5 occurrences) lie between the pivots, so the paper's pivot
+// classifies them as high-occurrence (split 96/4) while the occurrence-
+// sum pivot folded them into the low side (98/2).
+func TestSplitClustersPivotIsUniqueValueCount(t *testing.T) {
+	cluster := make([]int, 100)
+	for i := range cluster {
+		cluster[i] = i
+	}
+	occ := func(i int) int {
+		switch {
+		case i < 96:
+			return 1
+		case i < 98:
+			return 5
+		default:
+			return 1000
+		}
+	}
+	out := splitClusters([][]int{cluster}, occ, DefaultParams())
+	if len(out) != 2 {
+		t.Fatalf("split produced %d clusters, want 2", len(out))
+	}
+	low, high := out[0], out[1]
+	if len(low) < len(high) {
+		low, high = high, low
+	}
+	if len(low) != 96 || len(high) != 4 {
+		t.Errorf("split sizes = %d/%d, want 96/4 (pivot ln|c'|; 98/2 indicates the ln(total) bug)",
+			len(low), len(high))
+	}
+	for _, idx := range high {
+		if occ(idx) < 5 {
+			t.Errorf("singleton value %d landed in the high-occurrence side", idx)
+		}
+	}
+}
+
 func TestSplitClustersUniformNotSplit(t *testing.T) {
 	cluster := []int{0, 1, 2, 3, 4}
 	occ := func(int) int { return 3 }

@@ -1,0 +1,135 @@
+package ecdf
+
+import (
+	"math/rand"
+	"testing"
+
+	"protoclust/internal/oracle"
+)
+
+// randomSamples draws a sample set with deliberate ties (values are
+// quantized), matching the tie-heavy k-NN distance populations the
+// pipeline feeds this package.
+func randomSamples(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(rng.Intn(20)) / 10
+	}
+	return xs
+}
+
+// TestEvalMatchesOracle compares the binary-search Eval against the
+// oracle's naive counting on randomized tie-heavy samples, probing both
+// arbitrary query points and the exact sample values (the step edges,
+// where an off-by-one in the search predicate would bite).
+func TestEvalMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		xs := randomSamples(rng, 1+rng.Intn(60))
+		f, err := New(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []float64{-1, 0, 2.5, xs[0]}
+		for i := 0; i < 20; i++ {
+			queries = append(queries, rng.Float64()*2.2-0.1)
+		}
+		queries = append(queries, xs...)
+		for _, q := range queries {
+			got := f.Eval(q)
+			want := oracle.ECDFEval(xs, q)
+			if got != want {
+				t.Fatalf("trial %d: Eval(%v) = %v, oracle %v (samples %v)", trial, q, got, want, xs)
+			}
+		}
+	}
+}
+
+// TestQuantileMatchesOracle compares Quantile's index arithmetic with
+// the oracle's O(n²) smallest-value-satisfying-Ê scan.
+func TestQuantileMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		xs := randomSamples(rng, 1+rng.Intn(60))
+		f, err := New(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := []float64{-0.5, 0, 0.25, 0.5, 0.6, 0.75, 1, 1.5}
+		for i := 0; i < 20; i++ {
+			qs = append(qs, rng.Float64())
+		}
+		for _, q := range qs {
+			got := f.Quantile(q)
+			want := oracle.ECDFQuantile(xs, q)
+			if got != want {
+				t.Fatalf("trial %d: Quantile(%v) = %v, oracle %v (samples %v)", trial, q, got, want, xs)
+			}
+		}
+	}
+}
+
+// TestEvalMonotone checks the defining ECDF property on random samples:
+// Ê is non-decreasing, 0 before the minimum, and 1 from the maximum on.
+func TestEvalMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		xs := randomSamples(rng, 1+rng.Intn(50))
+		f, err := New(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for x := -0.2; x <= 2.2; x += 0.01 {
+			y := f.Eval(x)
+			if y < prev {
+				t.Fatalf("trial %d: Eval not monotone at %v: %v < %v", trial, x, y, prev)
+			}
+			prev = y
+		}
+		if got := f.Eval(f.Min() - 1e-9); got != 0 {
+			t.Fatalf("trial %d: Eval below min = %v, want 0", trial, got)
+		}
+		if got := f.Eval(f.Max()); got != 1 {
+			t.Fatalf("trial %d: Eval at max = %v, want 1", trial, got)
+		}
+	}
+}
+
+// TestTrimAgreesWithFiltering checks that Trim(cut) equals an ECDF
+// built from the filtered sample set.
+func TestTrimAgreesWithFiltering(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 50; trial++ {
+		xs := randomSamples(rng, 2+rng.Intn(50))
+		f, err := New(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := rng.Float64() * 2
+		trimmed, err := f.Trim(cut)
+		var kept []float64
+		for _, x := range xs {
+			if x < cut {
+				kept = append(kept, x)
+			}
+		}
+		if len(kept) == 0 {
+			if err == nil {
+				t.Fatalf("trial %d: Trim(%v) succeeded with no surviving samples", trial, cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: Trim(%v): %v", trial, cut, err)
+		}
+		if trimmed.N() != len(kept) {
+			t.Fatalf("trial %d: Trim kept %d samples, want %d", trial, trimmed.N(), len(kept))
+		}
+		for _, q := range []float64{0, cut / 2, cut} {
+			if got, want := trimmed.Eval(q), oracle.ECDFEval(kept, q); got != want {
+				t.Fatalf("trial %d: trimmed Eval(%v) = %v, oracle on filtered set %v", trial, q, got, want)
+			}
+		}
+	}
+}

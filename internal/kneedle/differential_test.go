@@ -1,0 +1,158 @@
+package kneedle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"protoclust/internal/oracle"
+)
+
+// randomConcaveCurve builds an increasing curve with decreasing slope —
+// the canonical concave-increasing shape — on a jittered grid.
+func randomConcaveCurve(rng *rand.Rand, n int) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	x, y := 0.0, 0.0
+	slope := 1 + rng.Float64()*4
+	decay := 0.7 + rng.Float64()*0.25
+	for i := 0; i < n; i++ {
+		xs[i] = x
+		ys[i] = y
+		dx := 0.5 + rng.Float64()
+		x += dx
+		y += slope * dx
+		slope *= decay
+	}
+	return xs, ys
+}
+
+// TestFindKneesAreOracleLocalMaxima checks every knee Find reports on a
+// concave-increasing curve against the oracle's independently computed
+// difference curve: the knee index must be one of the oracle's local
+// maxima and the reported prominence must equal the oracle's difference
+// value there.
+func TestFindKneesAreOracleLocalMaxima(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		xs, ys := randomConcaveCurve(rng, 5+rng.Intn(60))
+		knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+		if err != nil {
+			t.Fatalf("trial %d: Find: %v", trial, err)
+		}
+		diff := oracle.DifferenceCurve(xs, ys)
+		maxima := make(map[int]bool)
+		for _, i := range oracle.LocalMaxima(diff) {
+			maxima[i] = true
+		}
+		for _, k := range knees {
+			if !maxima[k.Index] {
+				t.Fatalf("trial %d: knee at index %d is not an oracle local maximum (maxima %v)",
+					trial, k.Index, oracle.LocalMaxima(diff))
+			}
+			if math.Abs(k.Prominence-diff[k.Index]) > 1e-12 {
+				t.Fatalf("trial %d: knee prominence %v != oracle difference value %v",
+					trial, k.Prominence, diff[k.Index])
+			}
+			if k.X != xs[k.Index] || k.Y != ys[k.Index] {
+				t.Fatalf("trial %d: knee coordinates (%v,%v) don't match curve at index %d",
+					trial, k.X, k.Y, k.Index)
+			}
+		}
+	}
+}
+
+// TestFindMostProminentIsOracleKnee: whenever Find confirms the global
+// maximum of the difference curve, it must be the most prominent knee,
+// and its index must agree with the oracle's global-argmax knee.
+func TestFindMostProminentIsOracleKnee(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	agreed := 0
+	for trial := 0; trial < 200; trial++ {
+		xs, ys := randomConcaveCurve(rng, 5+rng.Intn(60))
+		knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+		if err != nil || len(knees) == 0 {
+			continue
+		}
+		best := knees[0]
+		for _, k := range knees[1:] {
+			if k.Prominence > best.Prominence {
+				best = k
+			}
+		}
+		want := oracle.Knee(xs, ys)
+		if want < 0 {
+			t.Fatalf("trial %d: Find confirmed a knee but the oracle difference curve has no positive value", trial)
+		}
+		diff := oracle.DifferenceCurve(xs, ys)
+		if best.Index == want {
+			agreed++
+		} else if diff[best.Index] > diff[want]+1e-12 {
+			t.Fatalf("trial %d: most prominent knee %d has higher difference than oracle argmax %d",
+				trial, best.Index, want)
+		}
+	}
+	// The global argmax is usually confirmed; demand it on a clear
+	// majority so the comparison has teeth.
+	if agreed < 100 {
+		t.Fatalf("most prominent knee matched the oracle argmax in only %d/200 trials", agreed)
+	}
+}
+
+// TestFindInvariantToAffineY checks Kneedle's normalization: scaling
+// and shifting the ordinates (a·y + b, a > 0) must not change the
+// detected knee indices or prominences.
+func TestFindInvariantToAffineY(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 100; trial++ {
+		xs, ys := randomConcaveCurve(rng, 5+rng.Intn(50))
+		a := 0.1 + rng.Float64()*50
+		b := rng.Float64()*100 - 50
+		ys2 := make([]float64, len(ys))
+		for i, y := range ys {
+			ys2[i] = a*y + b
+		}
+		k1, err1 := Find(xs, ys, ConcaveIncreasing, 1)
+		k2, err2 := Find(xs, ys2, ConcaveIncreasing, 1)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: errs %v / %v", trial, err1, err2)
+		}
+		if len(k1) != len(k2) {
+			t.Fatalf("trial %d: knee count changed under affine y: %d vs %d", trial, len(k1), len(k2))
+		}
+		for i := range k1 {
+			if k1[i].Index != k2[i].Index || math.Abs(k1[i].Prominence-k2[i].Prominence) > 1e-9 {
+				t.Fatalf("trial %d: knee %d changed under affine y: %+v vs %+v", trial, i, k1[i], k2[i])
+			}
+		}
+	}
+}
+
+// TestFindInvariantToXScale checks the x-axis normalization likewise:
+// an affine rescale of the abscissae (positive scale) preserves knee
+// indices and prominences.
+func TestFindInvariantToXScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 100; trial++ {
+		xs, ys := randomConcaveCurve(rng, 5+rng.Intn(50))
+		a := 0.1 + rng.Float64()*50
+		b := rng.Float64()*100 - 50
+		xs2 := make([]float64, len(xs))
+		for i, x := range xs {
+			xs2[i] = a*x + b
+		}
+		k1, err1 := Find(xs, ys, ConcaveIncreasing, 1)
+		k2, err2 := Find(xs2, ys, ConcaveIncreasing, 1)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: errs %v / %v", trial, err1, err2)
+		}
+		if len(k1) != len(k2) {
+			t.Fatalf("trial %d: knee count changed under x rescale: %d vs %d", trial, len(k1), len(k2))
+		}
+		for i := range k1 {
+			if k1[i].Index != k2[i].Index || math.Abs(k1[i].Prominence-k2[i].Prominence) > 1e-9 {
+				t.Fatalf("trial %d: knee %d changed under x rescale: %+v vs %+v", trial, i, k1[i], k2[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package kneedle
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzFind feeds Find arbitrary byte-derived curves and checks its
+// contract: no panic, knees sorted by ascending X, indices in range,
+// coordinates matching the input curve, and no knee on flat or
+// too-short input. Bytes decode pairwise into (dx, y) so the x grid is
+// non-decreasing (the only input shape the pipeline produces); ties
+// and flat stretches arise naturally from repeated bytes.
+func FuzzFind(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 10, 1, 14, 1, 15}, uint8(1), false)
+	f.Add([]byte{0, 5, 0, 5, 0, 5}, uint8(2), true)
+	f.Add([]byte{3, 200, 0, 200, 7, 201}, uint8(0), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, sens uint8, convex bool) {
+		if len(data) < 6 {
+			return
+		}
+		var xs, ys []float64
+		x := 0.0
+		for i := 0; i+1 < len(data); i += 2 {
+			x += float64(data[i]) / 16
+			xs = append(xs, x)
+			ys = append(ys, float64(data[i+1])/16)
+		}
+		shape := ConcaveIncreasing
+		if convex {
+			shape = ConvexDecreasing
+		}
+		knees, err := Find(xs, ys, shape, float64(sens)/8)
+		if err != nil {
+			// Degenerate domains are allowed to error, never to panic.
+			return
+		}
+		if !sort.SliceIsSorted(knees, func(i, j int) bool { return knees[i].X < knees[j].X }) {
+			t.Fatalf("knees not sorted by X: %+v", knees)
+		}
+		for _, k := range knees {
+			if k.Index < 0 || k.Index >= len(xs) {
+				t.Fatalf("knee index %d out of range [0,%d)", k.Index, len(xs))
+			}
+			if k.X != xs[k.Index] || k.Y != ys[k.Index] {
+				t.Fatalf("knee (%v,%v) does not lie on the curve at index %d", k.X, k.Y, k.Index)
+			}
+			if math.IsNaN(k.Prominence) || math.IsInf(k.Prominence, 0) {
+				t.Fatalf("non-finite prominence %v", k.Prominence)
+			}
+		}
+		// FilterProminent and Rightmost must be total on any Find output.
+		kept := FilterProminent(knees, 0.33)
+		if len(kept) > len(knees) {
+			t.Fatalf("FilterProminent grew the knee set")
+		}
+		if k, ok := Rightmost(kept); ok && (k.Index < 0 || k.Index >= len(xs)) {
+			t.Fatalf("Rightmost returned out-of-range knee %+v", k)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package oracle
+
+// DifferenceCurve computes Kneedle's normalized difference curve for a
+// concave increasing input: both axes are rescaled to the unit square
+// and the difference d_i = y_n[i] − x_n[i] is returned. This is the
+// quantity the production detector reports as a knee's Prominence.
+// Curves with fewer than two points or a flat y range return nil.
+func DifferenceCurve(xs, ys []float64) []float64 {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return nil
+	}
+	xlo, xhi := xs[0], xs[n-1]
+	ylo, yhi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < ylo {
+			ylo = y
+		}
+		if y > yhi {
+			yhi = y
+		}
+	}
+	if !(xhi > xlo) || yhi == ylo {
+		return nil
+	}
+	diff := make([]float64, n)
+	for i := range diff {
+		diff[i] = (ys[i]-ylo)/(yhi-ylo) - (xs[i]-xlo)/(xhi-xlo)
+	}
+	return diff
+}
+
+// LocalMaxima returns the interior indices i (0 < i < n−1) where the
+// difference curve has a local maximum under Kneedle's tie convention:
+// diff[i] ≥ diff[i−1] and diff[i] > diff[i+1]. Every knee the
+// production detector confirms must sit on one of these indices.
+func LocalMaxima(diff []float64) []int {
+	var out []int
+	for i := 1; i < len(diff)-1; i++ {
+		if diff[i] >= diff[i-1] && diff[i] > diff[i+1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Knee returns the index of the global maximum of the normalized
+// difference curve of a concave increasing curve — the single most
+// pronounced knee, per the discrete Kneedle definition — or -1 when no
+// positive difference exists (no knee at all). Ties resolve to the
+// first index.
+func Knee(xs, ys []float64) int {
+	diff := DifferenceCurve(xs, ys)
+	best, bestIdx := 0.0, -1
+	for i, d := range diff {
+		if d > best {
+			best = d
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}

@@ -35,7 +35,20 @@ type Spline struct {
 // (xs[i], ys[i]) by least squares. xs must be non-decreasing and span a
 // positive interval. Smaller nCtrl yields stronger smoothing.
 func Fit(xs, ys []float64, nCtrl int) (*Spline, error) {
+	return FitWeighted(xs, ys, nil, nCtrl)
+}
+
+// FitWeighted is Fit with a per-sample weight: each sample contributes
+// ws[i] times to the least-squares objective, exactly as if it appeared
+// ws[i] times in the input. This lets callers collapse tied abscissae
+// (e.g. vertical runs of an ECDF) into one point per distinct x without
+// changing where the fit puts its mass. A nil ws means unit weights;
+// non-positive weights drop the sample from the objective.
+func FitWeighted(xs, ys, ws []float64, nCtrl int) (*Spline, error) {
 	if len(xs) < 2 || len(xs) != len(ys) {
+		return nil, ErrTooFewPoints
+	}
+	if ws != nil && len(ws) != len(xs) {
 		return nil, ErrTooFewPoints
 	}
 	if nCtrl < degree+1 {
@@ -64,6 +77,13 @@ func Fit(xs, ys []float64, nCtrl int) (*Spline, error) {
 	aty := make([]float64, nCtrl)
 	basis := make([]float64, nCtrl)
 	for i, x := range xs {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+			if w <= 0 {
+				continue
+			}
+		}
 		for j := 0; j < nCtrl; j++ {
 			basis[j] = bsplineBasis(j, degree, knots, x, lo, hi)
 		}
@@ -71,9 +91,9 @@ func Fit(xs, ys []float64, nCtrl int) (*Spline, error) {
 			if basis[r] == 0 {
 				continue
 			}
-			aty[r] += basis[r] * ys[i]
+			aty[r] += w * basis[r] * ys[i]
 			for c := 0; c < nCtrl; c++ {
-				ata[r][c] += basis[r] * basis[c]
+				ata[r][c] += w * basis[r] * basis[c]
 			}
 		}
 	}
@@ -116,14 +136,33 @@ func (s *Spline) Domain() (lo, hi float64) { return s.lo, s.hi }
 // stronger smoothing. When fitting fails (degenerate inputs), the
 // original ys are returned unchanged so callers can proceed.
 func Smooth(xs, ys []float64, smoothness float64) []float64 {
+	return SmoothWeighted(xs, ys, nil, smoothness)
+}
+
+// SmoothWeighted is Smooth with per-sample weights (see FitWeighted).
+// The control-point count scales with the total weight — the effective
+// sample count — rather than the number of distinct points, so a
+// population collapsed from n tied samples to m distinct values is
+// smoothed as strongly as the uncollapsed one. A nil ws means unit
+// weights.
+func SmoothWeighted(xs, ys, ws []float64, smoothness float64) []float64 {
 	if smoothness <= 0 || smoothness > 1 {
 		smoothness = 0.1
 	}
-	nCtrl := int(math.Ceil(smoothness * float64(len(xs))))
+	effective := float64(len(xs))
+	if ws != nil {
+		effective = 0
+		for _, w := range ws {
+			if w > 0 {
+				effective += w
+			}
+		}
+	}
+	nCtrl := int(math.Ceil(smoothness * effective))
 	if nCtrl < degree+1 {
 		nCtrl = degree + 1
 	}
-	sp, err := Fit(xs, ys, nCtrl)
+	sp, err := FitWeighted(xs, ys, ws, nCtrl)
 	if err != nil {
 		return append([]float64(nil), ys...)
 	}

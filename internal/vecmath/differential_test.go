@@ -1,0 +1,129 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"protoclust/internal/oracle"
+)
+
+// TestPercentileMatchesOracle compares the sort-based Percentile with
+// the oracle's selection-based implementation on randomized inputs,
+// including p outside [0, 100] (clamped) and heavy ties.
+func TestPercentileMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(10)) / 3
+		}
+		ps := []float64{-50, 0, 25, 50, 60, 75, 100, 150}
+		for i := 0; i < 10; i++ {
+			ps = append(ps, rng.Float64()*140-20)
+		}
+		for _, p := range ps {
+			got := Percentile(xs, p)
+			want := oracle.Percentile(xs, p)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: Percentile(%v, %v) = %v, oracle %v", trial, xs, p, got, want)
+			}
+		}
+	}
+}
+
+// TestPercentileEdgeCases pins the documented conventions: NaN for the
+// empty slice and NaN p, clamping outside [0, 100], single element,
+// and the C = 1 interpolation against a worked example (NIST-style
+// textbook data, cross-checked with numpy.percentile defaults).
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile(nil) = %v, want NaN", got)
+	}
+	if got := Percentile([]float64{1, 2}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Percentile(p=NaN) = %v, want NaN", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-element Percentile = %v, want 7", got)
+	}
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{-10, 15}, {0, 15}, {25, 20}, {40, 29}, {50, 35}, {75, 40}, {100, 50}, {130, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+}
+
+// TestPercentRankMatchesOracle compares PercentRank with the oracle's
+// count-based mean-rank implementation, probing sample values (ties),
+// midpoints, and out-of-range values.
+func TestPercentRankMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(8))
+		}
+		vs := append([]float64{-1, 0, 3.5, 10}, xs[:min(3, n)]...)
+		for _, v := range vs {
+			got := PercentRank(xs, v)
+			want := oracle.PercentRank(xs, v)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: PercentRank(%v, %v) = %v, oracle %v", trial, xs, v, got, want)
+			}
+		}
+	}
+}
+
+// TestPercentRankEdgeCases pins the NaN handling introduced with the
+// edge-case audit: an empty sample set or NaN v must surface as NaN
+// rather than silently scoring 0 (which would disable the
+// cluster-split test instead of flagging the bad input).
+func TestPercentRankEdgeCases(t *testing.T) {
+	if got := PercentRank(nil, 1); !math.IsNaN(got) {
+		t.Errorf("PercentRank(nil) = %v, want NaN", got)
+	}
+	if got := PercentRank([]float64{1, 2}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("PercentRank(v=NaN) = %v, want NaN", got)
+	}
+	if got := PercentRank([]float64{1, 2, 3}, 0); got != 0 {
+		t.Errorf("PercentRank below all = %v, want 0", got)
+	}
+	if got := PercentRank([]float64{1, 2, 3}, 4); got != 100 {
+		t.Errorf("PercentRank above all = %v, want 100", got)
+	}
+	// A value equal to the whole sample sits at the mean rank: 50.
+	if got := PercentRank([]float64{5, 5, 5}, 5); got != 50 {
+		t.Errorf("PercentRank all-equal = %v, want 50", got)
+	}
+}
+
+// TestMedianMatchesOracle cross-checks Median against the oracle's
+// selection-based implementation (even/odd lengths, ties).
+func TestMedianMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(12)) / 5
+		}
+		got := Median(xs)
+		want := oracle.Median(xs)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: Median(%v) = %v, oracle %v", trial, xs, got, want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -103,11 +103,20 @@ func ArgMin(xs []float64) int {
 	return idx
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
-// linear interpolation between closest ranks. It returns NaN for an
-// empty slice.
+// Percentile returns the p-th percentile of xs under the C = 1
+// ("linear", R type 7, NumPy default) convention: the value at
+// fractional rank p/100·(n−1) of the ascending order statistics, with
+// linear interpolation between the two enclosing ranks. p is clamped
+// to [0, 100], so p ≤ 0 yields the minimum and p ≥ 100 the maximum; a
+// single-element slice returns that element for every p. An empty
+// slice or NaN p returns NaN. Samples containing NaN are unsupported
+// (the order statistics are undefined).
+//
+// The ε-selection fallback (fallbackQuantile in internal/core) depends
+// on this convention; it is pinned by differential tests against
+// internal/oracle.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	if len(xs) == 0 || math.IsNaN(p) {
 		return math.NaN()
 	}
 	cp := append([]float64(nil), xs...)
@@ -128,11 +137,17 @@ func Percentile(xs []float64, p float64) float64 {
 	return cp[lo]*(1-frac) + cp[hi]*frac
 }
 
-// PercentRank returns the percent rank of value v within xs following
-// Roscoe: the percentage of observations strictly below v plus half the
-// observations equal to v. The result is in [0, 100]; NaN for empty xs.
+// PercentRank returns the percent rank of value v within xs under the
+// mean-rank convention (Roscoe 1975): the percentage of observations
+// strictly below v plus half the observations equal to v. The result
+// is in [0, 100]: a v below every observation scores 0, above every
+// observation 100, and the rank is symmetric in the sense that
+// PercentRank(xs, v) + "percent above" + equal/2 always sums to 100.
+// An empty xs or NaN v returns NaN (previously a NaN v silently
+// scored 0, which would disable the cluster-split test instead of
+// flagging the bad input).
 func PercentRank(xs []float64, v float64) float64 {
-	if len(xs) == 0 {
+	if len(xs) == 0 || math.IsNaN(v) {
 		return math.NaN()
 	}
 	var below, equal int
