@@ -2,15 +2,28 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-service test-oracle golden-check golden-update vet bench bench-json eval fuzz serve clean
+.PHONY: all build test test-short test-race test-service test-oracle golden-check golden-update vet lint bench bench-json eval fuzz serve clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Full lint gate: go vet, the domain analyzers (cmd/protoclustvet:
+# determinism, floatcmp, nanguard, ctxflow, errdiscard — see
+# docs/linting.md), and staticcheck when it is on PATH. vet and
+# protoclustvet are stdlib-only and always run; staticcheck needs a
+# network install, so it is skipped (loudly) when absent.
+lint: vet
+	$(GO) run ./cmd/protoclustvet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI installs and enforces it)"; \
+	fi
 
 test:
 	$(GO) test ./...

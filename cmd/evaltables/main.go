@@ -61,7 +61,9 @@ func run(args []string, stdout io.Writer) error {
 		if err := write(stdout, rows); err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout)
+		if _, err := fmt.Fprintln(stdout); err != nil {
+			return err
+		}
 	}
 	if *all || *table == 2 {
 		ran = true
@@ -76,7 +78,9 @@ func run(args []string, stdout io.Writer) error {
 		if err := write(stdout, rows); err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout)
+		if _, err := fmt.Fprintln(stdout); err != nil {
+			return err
+		}
 	}
 	if *all || *figure == 2 {
 		ran = true
@@ -91,7 +95,9 @@ func run(args []string, stdout io.Writer) error {
 		} else if err := report.WriteFigure2CSV(stdout, data); err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout)
+		if _, err := fmt.Fprintln(stdout); err != nil {
+			return err
+		}
 	}
 	if *all || *figure == 3 {
 		ran = true
@@ -102,7 +108,9 @@ func run(args []string, stdout io.Writer) error {
 		if err := report.WriteFigure3(stdout, examples); err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout)
+		if _, err := fmt.Fprintln(stdout); err != nil {
+			return err
+		}
 	}
 	if *all || *coverage {
 		ran = true
@@ -132,7 +140,9 @@ func run(args []string, stdout io.Writer) error {
 		if err := report.WriteSeedSweep(stdout, rows); err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout)
+		if _, err := fmt.Fprintln(stdout); err != nil {
+			return err
+		}
 	}
 	if !ran {
 		fs.Usage()

@@ -97,7 +97,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				return err2
 			}
 			err = protoclust.AttachTruth(tr, tf)
-			tf.Close()
+			// Read-only file: a close error carries no data-loss signal.
+			_ = tf.Close()
 		}
 	case *proto != "":
 		tr, err = protoclust.GenerateTrace(*proto, *n, *seed)
@@ -107,8 +108,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	out := &printer{w: stdout}
 	if !*asJSON {
-		fmt.Fprintf(stdout, "trace: %d messages, %d bytes\n", len(tr.Messages), tr.TotalBytes())
+		out.printf("trace: %d messages, %d bytes\n", len(tr.Messages), tr.TotalBytes())
 	}
 
 	opts := protoclust.DefaultOptions()
@@ -119,13 +121,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "message types (eps=%.3f): %d types, %d unmatched\n",
+		out.printf("message types (eps=%.3f): %d types, %d unmatched\n",
 			mt.Epsilon, len(mt.Types), len(mt.Noise))
 		for i, group := range mt.Types {
-			fmt.Fprintf(stdout, "    type %d: %d messages, e.g. %x…\n",
+			out.printf("    type %d: %d messages, e.g. %x…\n",
 				i, len(group), group[0].Data[:minInt(8, len(group[0].Data))])
 		}
-		fmt.Fprintln(stdout)
+		out.println()
 	}
 	start := time.Now()
 	analysis, err := protoclust.AnalyzeContext(ctx, tr, opts)
@@ -139,44 +141,47 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	if *asJSON {
+		if out.err != nil {
+			return out.err
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(analysis.Report(*samples))
 	}
 
-	fmt.Fprintf(stdout, "auto-configured DBSCAN: eps=%.3f min_samples=%d (unique segments: %d)\n",
+	out.printf("auto-configured DBSCAN: eps=%.3f min_samples=%d (unique segments: %d)\n",
 		analysis.Epsilon(), analysis.MinSamples(), analysis.UniqueSegments())
-	fmt.Fprintf(stdout, "coverage: %.1f%% of trace bytes\n\n", analysis.Coverage()*100)
+	out.printf("coverage: %.1f%% of trace bytes\n\n", analysis.Coverage()*100)
 
 	for _, pt := range analysis.PseudoTypes() {
-		fmt.Fprintf(stdout, "pseudo data type %d: %d segments, %d distinct values\n",
+		out.printf("pseudo data type %d: %d segments, %d distinct values\n",
 			pt.ID, len(pt.Segments), len(pt.UniqueValues))
 		limit := *samples
 		if *verbose {
 			limit = len(pt.UniqueValues)
 		}
 		for _, v := range pt.SampleValues(limit) {
-			fmt.Fprintf(stdout, "    %s\n", v)
+			out.printf("    %s\n", v)
 		}
 	}
-	fmt.Fprintf(stdout, "\nnoise: %d segments\n", len(analysis.Noise()))
+	out.printf("\nnoise: %d segments\n", len(analysis.Noise()))
 
 	if *semFlag {
-		fmt.Fprintln(stdout, "\ndeduced cluster semantics:")
+		out.println("\ndeduced cluster semantics:")
 		for _, d := range analysis.DeduceSemantics() {
-			fmt.Fprintf(stdout, "    type %2d: %-13s (confidence %.2f, %s)\n", d.ClusterID, d.Label, d.Confidence, d.Detail)
+			out.printf("    type %2d: %-13s (confidence %.2f, %s)\n", d.ClusterID, d.Label, d.Confidence, d.Detail)
 		}
 	}
 
 	if *compFlag {
-		fmt.Fprintln(stdout)
+		out.println()
 		if err := analysis.WriteClusterComposition(stdout); err != nil {
 			return err
 		}
 	}
 
 	if *dump > 0 {
-		fmt.Fprintln(stdout)
+		out.println()
 		if err := analysis.WriteClusterDump(stdout, *dump, !*noColor); err != nil {
 			return err
 		}
@@ -184,10 +189,30 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	if *proto != "" || *truthPath != "" {
 		m := analysis.Evaluate()
-		fmt.Fprintf(stdout, "\nevaluation vs. ground truth: P=%.2f R=%.2f F1/4=%.2f\n",
+		out.printf("\nevaluation vs. ground truth: P=%.2f R=%.2f F1/4=%.2f\n",
 			m.Precision, m.Recall, m.FScore)
 	}
-	return nil
+	return out.err
+}
+
+// printer accumulates the first write error so the report above doesn't
+// need an error ladder per line ("errors are values"); run returns it
+// once at the end.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, a ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, a...)
+	}
+}
+
+func (p *printer) println(a ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintln(p.w, a...)
+	}
 }
 
 func minInt(a, b int) int {

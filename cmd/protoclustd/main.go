@@ -85,6 +85,7 @@ func run(args []string) error {
 		// reporting.
 		stopCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
+		// Best-effort drain; the listen error is what gets reported.
 		_ = svc.Shutdown(stopCtx)
 		return err
 	case <-ctx.Done():

@@ -1,0 +1,123 @@
+// Command protoclustvet runs the protoclust domain lint suite
+// (internal/lint) over every package in the module: determinism,
+// floatcmp, nanguard, ctxflow, and errdiscard. It depends on the Go
+// standard library only, so it works in offline CI.
+//
+// Usage:
+//
+//	protoclustvet [-dir .] [-analyzers a,b] [-json] [-out findings.json] [-list]
+//
+// Exit status is 0 when the module is clean, 1 when findings exist,
+// and 2 on loader or usage errors. Findings print as
+// file:line:col: message (analyzer); -json switches stdout to a
+// machine-readable report, and -out additionally writes that JSON to a
+// file while keeping the human-readable text on stdout (used by CI to
+// upload a triage artifact without losing the log).
+//
+// Suppress a finding with //lint:ignore <analyzer> <reason> on the
+// offending line or the line above it. See docs/linting.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"protoclust/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("protoclustvet", flag.ContinueOnError)
+	var (
+		dir       = fs.String("dir", ".", "module root, or any directory inside it")
+		names     = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		asJSON    = fs.Bool("json", false, "write the report as JSON on stdout")
+		outPath   = fs.String("out", "", "also write the JSON report to this file")
+		list      = fs.Bool("list", false, "list available analyzers and exit")
+		showSuppr = fs.Bool("suppressed", false, "include suppressed findings in the text report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All
+	if *names != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*names, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "protoclustvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
+		return 2
+	}
+	res := lint.Run(pkgs, analyzers)
+
+	if *outPath != "" {
+		if err := writeJSON(*outPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
+			return 2
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+		if *showSuppr {
+			for _, f := range res.Suppressed {
+				fmt.Printf("%s [suppressed]\n", f)
+			}
+		}
+		fmt.Printf("protoclustvet: %d package(s), %d finding(s), %d suppressed\n",
+			len(pkgs), len(res.Findings), len(res.Suppressed))
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func writeJSON(path string, res *lint.Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

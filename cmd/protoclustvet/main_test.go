@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestListExitsClean(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if got := run([]string{"-analyzers", "nope"}); got != 2 {
+		t.Fatalf("run(-analyzers nope) = %d, want 2", got)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	if got := run([]string{"-definitely-not-a-flag"}); got != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", got)
+	}
+}
+
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	if got := run([]string{"-dir", "."}); got != 0 {
+		t.Fatalf("run(.) = %d, want 0: the tree must lint clean", got)
+	}
+}

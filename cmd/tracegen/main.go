@@ -17,6 +17,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 
 	"protoclust"
@@ -102,8 +103,8 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "wrote %d %s messages to %s (+ .truth.json)\n", len(tr.Messages), *proto, *out)
-	return nil
+	_, err = fmt.Fprintf(stdout, "wrote %d %s messages to %s (+ .truth.json)\n", len(tr.Messages), *proto, *out)
+	return err
 }
 
 // splitAddr parses "host:port"; non-IP hosts (AWDL MACs, AU device
@@ -119,6 +120,8 @@ func splitAddr(addr string, fallback byte) (net.IP, uint16) {
 		return net.IPv4(192, 0, 2, fallback|1), 0
 	}
 	var port uint16
-	fmt.Sscanf(portStr, "%d", &port)
+	if n, err := strconv.ParseUint(portStr, 10, 16); err == nil {
+		port = uint16(n)
+	}
 	return ip, port
 }

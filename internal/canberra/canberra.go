@@ -9,7 +9,11 @@
 // DBSCAN.
 package canberra
 
-import "errors"
+import (
+	"errors"
+
+	"protoclust/internal/vecmath"
+)
 
 // DefaultPenalty is the empirical penalty factor applied per
 // non-overlapping byte when comparing segments of unequal length. The
@@ -33,10 +37,10 @@ func Distance(x, y []byte) (float64, error) {
 	}
 	var sum float64
 	for i := range x {
-		a, b := float64(x[i]), float64(y[i])
-		if a == 0 && b == 0 {
+		if x[i] == 0 && y[i] == 0 {
 			continue
 		}
+		a, b := float64(x[i]), float64(y[i])
 		d := a - b
 		if d < 0 {
 			d = -d
@@ -99,7 +103,7 @@ func DissimilarityPenalty(s, t []byte, pf float64) (float64, error) {
 		}
 		if d < dmin {
 			dmin = d
-			if dmin == 0 {
+			if vecmath.IsZero(dmin) {
 				break
 			}
 		}

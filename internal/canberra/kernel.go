@@ -1,6 +1,10 @@
 package canberra
 
-import "math"
+import (
+	"math"
+
+	"protoclust/internal/vecmath"
+)
 
 // This file is the optimized dissimilarity kernel behind the pairwise
 // matrix build. The reference implementations in canberra.go stay in
@@ -175,7 +179,7 @@ pairs:
 		if s0 < bound {
 			if d := s0 / fls; d < dmin {
 				dmin = d
-				if dmin == 0 {
+				if vecmath.IsZero(dmin) {
 					break pairs
 				}
 				bound = s0
@@ -184,7 +188,7 @@ pairs:
 		if s1 < bound {
 			if d := s1 / fls; d < dmin {
 				dmin = d
-				if dmin == 0 {
+				if vecmath.IsZero(dmin) {
 					break pairs
 				}
 				bound = s1

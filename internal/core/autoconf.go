@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"protoclust/internal/dissim"
 	"protoclust/internal/ecdf"
@@ -112,7 +112,7 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 		if len(xs) < 3 {
 			continue
 		}
-		sort.Float64s(xs)
+		slices.Sort(xs)
 		e, err := ecdf.New(xs)
 		if err != nil {
 			return nil, fmt.Errorf("core: ecdf: %w", err)
@@ -165,7 +165,7 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 	// no curve has a knee, fall back to the largest raw distance gap.
 	best := curves[0]
 	for _, c := range curves[1:] {
-		if c.sharp > best.sharp || (best.sharp == 0 && c.sharp == 0 && c.gap > best.gap) {
+		if c.sharp > best.sharp || (vecmath.IsZero(best.sharp) && vecmath.IsZero(c.sharp) && c.gap > best.gap) {
 			best = c
 		}
 	}
@@ -187,7 +187,7 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 	if k, ok := kneedle.Rightmost(best.knees); ok && k.X > 0 {
 		ac.Epsilon = k.X
 		ac.FromKnee = true
-		if i := sort.SearchFloat64s(best.xs, k.X); i < len(best.xs) && best.xs[i] == k.X {
+		if i, found := slices.BinarySearch(best.xs, k.X); found {
 			ac.Curve.KneeIndex = i
 		}
 		return ac, nil
@@ -228,7 +228,7 @@ func collapseSteps(sorted []float64) (xs, ys, fitYs, ws []float64) {
 	ws = make([]float64, 0, n)
 	runStart := 0
 	for i, x := range sorted {
-		if i+1 < n && sorted[i+1] == x {
+		if i+1 < n && vecmath.EqualExact(sorted[i+1], x) {
 			continue
 		}
 		xs = append(xs, x)

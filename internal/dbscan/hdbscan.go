@@ -1,7 +1,9 @@
 package dbscan
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -37,7 +39,7 @@ func HDBSCAN(m Matrix, minPts, minClusterSize int) (*Result, error) {
 		for j := 0; j < n; j++ {
 			buf[j] = m.Dist(i, j)
 		}
-		sort.Float64s(buf)
+		slices.Sort(buf)
 		k := minPts
 		if k > n-1 {
 			k = n - 1
@@ -82,7 +84,7 @@ func HDBSCAN(m Matrix, minPts, minClusterSize int) (*Result, error) {
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+	sort.Slice(edges, func(i, j int) bool { return cmp.Less(edges[i].w, edges[j].w) })
 
 	// Single-linkage dendrogram via union-find: nodes 0..n-1 are leaves,
 	// n..2n-2 are merges.

@@ -3,7 +3,7 @@ package dissim
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"protoclust/internal/canberra"
@@ -104,7 +104,7 @@ func (m *Matrix) KNNTableSort(kmax int) ([][]float64, error) {
 					}
 					row = append(row, m.Dist(i, j))
 				}
-				sort.Float64s(row)
+				slices.Sort(row)
 				for k := 0; k < kmax; k++ {
 					table[k][i] = row[k]
 				}

@@ -9,6 +9,7 @@ package ecdf
 
 import (
 	"errors"
+	"slices"
 	"sort"
 )
 
@@ -28,7 +29,7 @@ func New(samples []float64) (*F, error) {
 		return nil, ErrEmpty
 	}
 	cp := append([]float64(nil), samples...)
-	sort.Float64s(cp)
+	slices.Sort(cp)
 	return &F{sorted: cp}, nil
 }
 
@@ -78,7 +79,7 @@ func (f *F) Quantile(q float64) float64 {
 // This realises Ê'_k = Ê_k({d < d_κ : d ∈ D}) from Section III-E.
 // It returns ErrEmpty when no samples survive.
 func (f *F) Trim(cut float64) (*F, error) {
-	idx := sort.SearchFloat64s(f.sorted, cut)
+	idx, _ := slices.BinarySearch(f.sorted, cut)
 	if idx == 0 {
 		return nil, ErrEmpty
 	}

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"protoclust/internal/core"
+	"protoclust/internal/detmap"
 	"protoclust/internal/netmsg"
 )
 
@@ -63,8 +64,8 @@ func ClusterMetrics(clusters [][]netmsg.FieldType, noise []netmsg.FieldType) Met
 	var tpfp float64
 	for i, c := range clusters {
 		tpfp += choose2(len(c))
-		for _, til := range perCluster[i] {
-			m.TP += choose2(til)
+		for _, typ := range detmap.SortedKeys(perCluster[i]) {
+			m.TP += choose2(perCluster[i][typ])
 		}
 	}
 	m.FP = tpfp - m.TP
@@ -73,11 +74,13 @@ func ClusterMetrics(clusters [][]netmsg.FieldType, noise []netmsg.FieldType) Met
 	//    + Σ_l C(|t_nl|, 2)                            (pairs lost to noise)
 	//    + Σ_l (|t_l|−|t_nl|)·|t_nl|/2                 (noise vs. clustered)
 	for i := range clusters {
-		for typ, til := range perCluster[i] {
+		for _, typ := range detmap.SortedKeys(perCluster[i]) {
+			til := perCluster[i][typ]
 			m.FN += float64(typeTotal[typ]-til) * float64(til) / 2
 		}
 	}
-	for typ, tnl := range noiseType {
+	for _, typ := range detmap.SortedKeys(noiseType) {
+		tnl := noiseType[typ]
 		m.FN += choose2(tnl)
 		m.FN += float64(typeTotal[typ]-tnl) * float64(tnl) / 2
 	}

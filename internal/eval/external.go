@@ -3,6 +3,7 @@ package eval
 import (
 	"math"
 
+	"protoclust/internal/detmap"
 	"protoclust/internal/netmsg"
 )
 
@@ -68,13 +69,13 @@ func comb2(x float64) float64 { return x * (x - 1) / 2 }
 func adjustedRand(cells []map[netmsg.FieldType]float64, clusterTotals []float64, typeTotals map[netmsg.FieldType]float64, n float64) float64 {
 	var sumCells, sumClusters, sumTypes float64
 	for i := range cells {
-		for _, c := range cells[i] {
-			sumCells += comb2(c)
+		for _, typ := range detmap.SortedKeys(cells[i]) {
+			sumCells += comb2(cells[i][typ])
 		}
 		sumClusters += comb2(clusterTotals[i])
 	}
-	for _, t := range typeTotals {
-		sumTypes += comb2(t)
+	for _, typ := range detmap.SortedKeys(typeTotals) {
+		sumTypes += comb2(typeTotals[typ])
 	}
 	total := comb2(n)
 	if total == 0 {
@@ -91,8 +92,8 @@ func adjustedRand(cells []map[netmsg.FieldType]float64, clusterTotals []float64,
 func homogeneityCompleteness(cells []map[netmsg.FieldType]float64, clusterTotals []float64, typeTotals map[netmsg.FieldType]float64, n float64) (hom, comp float64) {
 	// Entropies.
 	var hTypes, hClusters float64
-	for _, t := range typeTotals {
-		p := t / n
+	for _, typ := range detmap.SortedKeys(typeTotals) {
+		p := typeTotals[typ] / n
 		hTypes -= p * math.Log(p)
 	}
 	for _, c := range clusterTotals {
@@ -105,12 +106,14 @@ func homogeneityCompleteness(cells []map[netmsg.FieldType]float64, clusterTotals
 	// Conditional entropies H(type|cluster) and H(cluster|type).
 	var hTGivenC, hCGivenT float64
 	for i := range cells {
-		for _, cnt := range cells[i] {
+		for _, typ := range detmap.SortedKeys(cells[i]) {
+			cnt := cells[i][typ]
 			pJoint := cnt / n
 			hTGivenC -= pJoint * math.Log(cnt/clusterTotals[i])
 		}
 	}
-	for typ, t := range typeTotals {
+	for _, typ := range detmap.SortedKeys(typeTotals) {
+		t := typeTotals[typ]
 		for i := range cells {
 			cnt := cells[i][typ]
 			if cnt == 0 {

@@ -8,8 +8,12 @@
 package kneedle
 
 import (
+	"cmp"
 	"errors"
+	"slices"
 	"sort"
+
+	"protoclust/internal/vecmath"
 )
 
 // Shape describes the curvature and direction of the input curve so the
@@ -66,7 +70,7 @@ func Find(xs, ys []float64, shape Shape, sensitivity float64) ([]Knee, error) {
 	if len(xs) < 3 {
 		return nil, ErrTooShort
 	}
-	if !sort.Float64sAreSorted(xs) {
+	if !slices.IsSorted(xs) {
 		return nil, errors.New("kneedle: xs must be sorted ascending")
 	}
 	lo, hi := xs[0], xs[len(xs)-1]
@@ -89,7 +93,7 @@ func Find(xs, ys []float64, shape Shape, sensitivity float64) ([]Knee, error) {
 		}
 	}
 	yspan := ymax - ymin
-	if yspan == 0 {
+	if vecmath.IsZero(yspan) {
 		return nil, nil // flat line: no knee
 	}
 	xn := make([]float64, n)
@@ -164,7 +168,7 @@ func Find(xs, ys []float64, shape Shape, sensitivity float64) ([]Knee, error) {
 		knees = append(knees, kneeAt(candidate, diff[candidate], shape, n, xs, ys))
 	}
 
-	sort.Slice(knees, func(i, j int) bool { return knees[i].X < knees[j].X })
+	sort.Slice(knees, func(i, j int) bool { return cmp.Less(knees[i].X, knees[j].X) })
 	return knees, nil
 }
 

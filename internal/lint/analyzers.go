@@ -1,0 +1,20 @@
+package lint
+
+// All is the protoclustvet analyzer suite, in report order.
+var All = []*Analyzer{
+	CtxFlow,
+	Determinism,
+	ErrDiscard,
+	FloatCmp,
+	NaNGuard,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

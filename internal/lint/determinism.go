@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids wall-clock reads, the global math/rand source,
+// and map iteration in the packages whose outputs must be bit-stable
+// across runs: the clustering core, the golden-trace harness, the
+// evaluation metrics, and the report writers. The golden records pin
+// ε, k, and F¼ to tolerance bands — nondeterminism in these packages
+// silently widens those bands until they stop catching regressions.
+//
+// Map iteration is flagged unconditionally because even "harmless"
+// accumulation over a map is order-sensitive for floating-point sums.
+// Iterate over detmap.SortedKeys(m) (or another sorted key slice)
+// instead, or suppress with a reason when order provably cannot reach
+// the result (e.g. integer counting).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/time.Since, the global math/rand source, and map iteration " +
+		"in result-producing packages (internal/core, golden, eval, report)",
+	Applies: scopedTo(
+		"protoclust/internal/core",
+		"protoclust/internal/golden",
+		"protoclust/internal/eval",
+		"protoclust/internal/report",
+	),
+	Run: runDeterminism,
+}
+
+// randConstructors are math/rand and math/rand/v2 functions that build
+// an explicitly seeded generator rather than consuming the global
+// source; injecting one of these is the sanctioned way to use
+// randomness in deterministic code.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeOf(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock; results must not depend on it", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					sig, ok := fn.Type().(*types.Signature)
+					if ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "rand.%s draws from the shared global source; inject a seeded *rand.Rand instead", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration order is nondeterministic; range over detmap.SortedKeys (or another sorted key slice)")
+				}
+			}
+			return true
+		})
+	}
+}

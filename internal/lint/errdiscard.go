@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscard flags silently dropped errors:
+//
+//   - an expression statement whose call returns an error that nobody
+//     reads (fix it, or //lint:ignore with a reason);
+//   - a blank-identifier discard (`_ = f()`, `v, _ := g()`) of an
+//     error without an adjacent justification comment — a comment on
+//     the same line or the line directly above counts, because a
+//     deliberate discard should say why.
+//
+// Print-to-standard-stream calls and writers that are documented never
+// to fail (strings.Builder, bytes.Buffer, hash.Hash) are exempt, so
+// the check stays signal rather than ceremony.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc: "flag expression-statement calls that drop a returned error, and _ = discards " +
+		"of errors without an adjacent justification comment",
+	Run: runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) {
+	for _, file := range pass.Files {
+		commented := commentLines(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if len(resultErrorPositions(pass.Info, call)) == 0 || errDiscardExempt(pass, call) {
+					return true
+				}
+				pass.Reportf(stmt.Pos(), "result error of %s is silently dropped; handle it or assign and justify", callName(pass, call))
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, stmt, commented)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags blank discards of error values in an
+// assignment unless a justification comment sits on the statement's
+// line or the line above.
+func checkBlankErrAssign(pass *Pass, stmt *ast.AssignStmt, commented map[int]bool) {
+	line := pass.Fset.Position(stmt.Pos()).Line
+	if commented[line] || commented[line-1] {
+		return
+	}
+	blankDiscardsError := func(lhs ast.Expr, t types.Type) bool {
+		id, ok := lhs.(*ast.Ident)
+		return ok && id.Name == "_" && t != nil && types.Identical(t, errorType)
+	}
+	// Tuple form: v, _ := f()
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if errDiscardExempt(pass, call) {
+			return
+		}
+		tuple, ok := pass.Info.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(stmt.Lhs) {
+			return
+		}
+		for i := range stmt.Lhs {
+			if blankDiscardsError(stmt.Lhs[i], tuple.At(i).Type()) {
+				pass.Reportf(stmt.Lhs[i].Pos(), "error from %s discarded with _; add a justification comment on this or the preceding line", callName(pass, call))
+			}
+		}
+		return
+	}
+	// Paired form: _ = f(), possibly in a multi-assign.
+	for i := range stmt.Lhs {
+		if i >= len(stmt.Rhs) {
+			break
+		}
+		if call, ok := stmt.Rhs[i].(*ast.CallExpr); ok && errDiscardExempt(pass, call) {
+			continue
+		}
+		if blankDiscardsError(stmt.Lhs[i], pass.Info.Types[stmt.Rhs[i]].Type) {
+			pass.Reportf(stmt.Lhs[i].Pos(), "error value discarded with _; add a justification comment on this or the preceding line")
+		}
+	}
+}
+
+// errDiscardExempt reports whether the call's dropped error is
+// conventionally ignorable.
+func errDiscardExempt(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		// Prefer the static type the method was selected on: a write
+		// through a hash.Hash variable resolves to io.Writer's embedded
+		// Write, but it is the hash contract that makes it infallible.
+		recv := sig.Recv().Type()
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if selection, ok := pass.Info.Selections[sel]; ok {
+				recv = selection.Recv()
+			}
+		}
+		return isNeverFailingWriter(recv)
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			if isStdStream(call.Args[0]) {
+				return true
+			}
+			return isNeverFailingWriter(pass.Info.Types[call.Args[0]].Type)
+		}
+	}
+	return false
+}
+
+// isNeverFailingWriter reports whether t is a writer documented to
+// never return a non-nil error: strings.Builder, bytes.Buffer, or
+// hash.Hash (optionally behind a pointer).
+func isNeverFailingWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return namedIs(named, "strings", "Builder") ||
+		namedIs(named, "bytes", "Buffer") ||
+		namedIs(named, "hash", "Hash")
+}
+
+func namedIs(named *types.Named, pkgPath, name string) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isStdStream syntactically matches os.Stdout / os.Stderr.
+func isStdStream(e ast.Expr) bool {
+	s := types.ExprString(ast.Unparen(e))
+	return s == "os.Stdout" || s == "os.Stderr"
+}
+
+// callName renders a short printable name for the called function.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeOf(pass.Info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return strings.TrimSpace(types.ExprString(call.Fun))
+}
+
+// commentLines returns the set of lines in the file on which a comment
+// starts or ends, excluding lint directives (a suppression is not a
+// justification — it must carry its own reason, which the directive
+// syntax already enforces).
+func commentLines(pass *Pass, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//lint:") {
+				continue
+			}
+			lines[pass.Fset.Position(c.Pos()).Line] = true
+			lines[pass.Fset.Position(c.End()).Line] = true
+		}
+	}
+	return lines
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// fixtureCases pairs each analyzer with its testdata package and the
+// synthetic import path it is loaded under. The path places scoped
+// analyzers (determinism, floatcmp) inside their target subtree.
+var fixtureCases = []struct {
+	dir      string
+	ipath    string
+	analyzer *Analyzer
+	// minSuppressed is the least number of directive-silenced findings
+	// the fixture must produce — every fixture carries at least one
+	// deliberate //lint:ignore example.
+	minSuppressed int
+}{
+	{"determinism", "protoclust/internal/core/fixture", Determinism, 1},
+	{"floatcmp", "protoclust/internal/vecmath", FloatCmp, 1},
+	{"nanguard", "protoclust/fixture/nanguard", NaNGuard, 1},
+	{"ctxflow", "protoclust/fixture/ctxflow", CtxFlow, 1},
+	{"errdiscard", "protoclust/fixture/errdiscard", ErrDiscard, 1},
+}
+
+// wantRe matches a want annotation: a comment of the form
+//
+//	// want `regexp`
+//	// want-1 `regexp`   (finding expected N lines above the comment)
+//	// want+2 `regexp`   (finding expected N lines below the comment)
+//
+// The offset form exists for errdiscard, whose justification-comment
+// rule would otherwise be defused by a same-line annotation.
+var wantRe = regexp.MustCompile("^// ?want([+-][0-9]+)? `(.+)`$")
+
+type wantAnn struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture typechecking compiles stdlib dependencies from source")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range fixtureCases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := loader.LoadDir(dir, tc.ipath)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			if tc.analyzer.Applies != nil && !tc.analyzer.Applies(tc.ipath) {
+				t.Fatalf("fixture path %s is outside the analyzer's scope", tc.ipath)
+			}
+			wants := collectWants(t, pkg)
+			if len(wants) < 2 {
+				t.Fatalf("fixture must seed at least 2 positive cases, has %d", len(wants))
+			}
+			res := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+
+			matched := make([]bool, len(res.Findings))
+			for _, w := range wants {
+				found := false
+				for i, f := range res.Findings {
+					if !matched[i] && f.File == w.file && f.Line == w.line && w.re.MatchString(f.Message) {
+						matched[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.re)
+				}
+			}
+			for i, f := range res.Findings {
+				if !matched[i] {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			if len(res.Suppressed) < tc.minSuppressed {
+				t.Errorf("want at least %d suppressed finding(s), got %d: directives must hit real findings",
+					tc.minSuppressed, len(res.Suppressed))
+			}
+			for _, s := range res.Suppressed {
+				if s.Analyzer != tc.analyzer.Name {
+					t.Errorf("suppressed finding from wrong analyzer: %s", s)
+				}
+			}
+		})
+	}
+}
+
+// collectWants extracts want annotations from the fixture package's
+// comments.
+func collectWants(t *testing.T, pkg *Package) []wantAnn {
+	t.Helper()
+	var wants []wantAnn
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				offset := 0
+				if m[1] != "" {
+					var err error
+					offset, err = strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("bad want offset %q: %v", m[1], err)
+					}
+				}
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[2], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, wantAnn{file: pos.Filename, line: pos.Line + offset, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,156 @@
+// Package lint is a small analyzer framework for protoclust's domain
+// invariants, built on the standard library only (go/parser, go/ast,
+// go/types with the source importer) so it runs in offline CI with no
+// module downloads.
+//
+// The framework loads every package in the module, typechecks it, and
+// runs a set of Analyzers over the typed syntax. Findings carry
+// file:line:col positions and can be suppressed per line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or the line directly above it. A
+// whole-file opt-out exists for generated or reference code:
+//
+//	//lint:file-ignore <analyzer> <reason>
+//
+// The driver lives in cmd/protoclustvet. See docs/linting.md for the
+// analyzer catalogue and how to add a new one.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one lint check. Run inspects a typechecked package via
+// the Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description shown by `protoclustvet -list`.
+	Doc string
+	// Applies reports whether the analyzer should run on the package
+	// with the given import path. A nil Applies runs everywhere.
+	Applies func(pkgPath string) bool
+	// Run performs the check.
+	Run func(pass *Pass)
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path of the package under analysis
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported lint violation.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Result is the outcome of running analyzers over a set of packages.
+type Result struct {
+	// Findings are the active violations, sorted by file, line, column,
+	// then analyzer name.
+	Findings []Finding `json:"findings"`
+	// Suppressed are violations silenced by //lint:ignore or
+	// //lint:file-ignore directives, in the same order. They are kept
+	// so tooling (and the fixture tests) can audit what the directives
+	// hide.
+	Suppressed []Finding `json:"suppressed,omitempty"`
+}
+
+// Run executes every analyzer whose Applies accepts the package, for
+// each loaded package, and partitions the findings by the suppression
+// directives found in the package sources.
+func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(f Finding) {
+				if sup.covers(a.Name, f.File, f.Line) {
+					res.Suppressed = append(res.Suppressed, f)
+					return
+				}
+				res.Findings = append(res.Findings, f)
+			}
+			a.Run(pass)
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// scopedTo builds an Applies predicate accepting exactly the given
+// import paths and their subpackages.
+func scopedTo(paths ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range paths {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NaNGuard flags float64 sorting that is undefined in the presence of
+// NaN. sort.Float64s and < -based sort.Slice comparators silently
+// scatter NaNs through the slice (every comparison with NaN is false),
+// which breaks the sortedness invariants the ECDF, percentile, and
+// k-NN code depend on. The NaN-aware fixes are slices.Sort (whose
+// cmp.Less orders NaN first, deterministically) or a comparator that
+// consults math.IsNaN / cmp.Less / cmp.Compare.
+var NaNGuard = &Analyzer{
+	Name: "nanguard",
+	Doc: "flag sort.Float64s and float comparators (sort.Slice et al.) that never consult " +
+		"math.IsNaN; use slices.Sort or cmp.Less/cmp.Compare, which order NaN deterministically",
+	Run: runNaNGuard,
+}
+
+// nanUnawareSortFuncs take a []float64 and sort or probe it with plain
+// < comparisons.
+var nanUnawareSortFuncs = map[string]bool{
+	"Float64s":          true,
+	"Float64sAreSorted": true,
+	"SearchFloat64s":    true,
+}
+
+// comparatorTakers maps pkgPath.Func to the argument index of the
+// comparator function literal to inspect.
+var comparatorTakers = map[string]int{
+	"sort.Slice":              1,
+	"sort.SliceStable":        1,
+	"sort.SliceIsSorted":      1,
+	"slices.SortFunc":         1,
+	"slices.SortStableFunc":   1,
+	"slices.IsSortedFunc":     1,
+	"slices.BinarySearchFunc": 2,
+}
+
+func runNaNGuard(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "sort" && nanUnawareSortFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(), "sort.%s is undefined for NaN inputs; use the slices package (NaN-aware cmp.Less) or guard with math.IsNaN", fn.Name())
+				return true
+			}
+			argIdx, ok := comparatorTakers[fn.Pkg().Path()+"."+fn.Name()]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[argIdx]).(*ast.FuncLit)
+			if !ok {
+				return true // named comparator: out of reach for this pass
+			}
+			if comparesFloats(pass, lit) && !consultsNaNAware(pass, lit) {
+				pass.Reportf(call.Pos(), "%s.%s comparator orders float64s without consulting math.IsNaN (or cmp.Less/cmp.Compare); NaN breaks its strict weak ordering", fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// comparesFloats reports whether the function literal contains an
+// ordering comparison between floating-point operands.
+func comparesFloats(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if isFloat(pass.Info.Types[be.X].Type) || isFloat(pass.Info.Types[be.Y].Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// consultsNaNAware reports whether the literal calls math.IsNaN or one
+// of the NaN-aware cmp helpers anywhere in its body.
+func consultsNaNAware(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "math.IsNaN", "cmp.Less", "cmp.Compare":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+// TestModuleIsLintClean runs every analyzer over the whole module and
+// requires zero active findings — the same gate cmd/protoclustvet
+// enforces in CI. Suppressions are reported for audit but do not fail
+// the test; a suppression without a reason never registers at all.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the entire module plus stdlib dependencies from source")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadModule found no packages")
+	}
+	res := Run(pkgs, All)
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+	for _, s := range res.Suppressed {
+		t.Logf("suppressed: %s", s)
+	}
+}

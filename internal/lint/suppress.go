@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressions records which (analyzer, file, line) triples are
+// silenced by //lint:ignore directives, and which files opt out of an
+// analyzer entirely via //lint:file-ignore.
+type suppressions struct {
+	// lines maps analyzer name -> file -> set of suppressed lines.
+	lines map[string]map[string]map[int]bool
+	// files maps analyzer name -> set of fully suppressed files.
+	files map[string]map[string]bool
+}
+
+func (s *suppressions) covers(analyzer, file string, line int) bool {
+	if s.files[analyzer][file] {
+		return true
+	}
+	return s.lines[analyzer][file][line]
+}
+
+func (s *suppressions) addLine(analyzer, file string, line int) {
+	if s.lines[analyzer] == nil {
+		s.lines[analyzer] = map[string]map[int]bool{}
+	}
+	if s.lines[analyzer][file] == nil {
+		s.lines[analyzer][file] = map[int]bool{}
+	}
+	s.lines[analyzer][file][line] = true
+}
+
+func (s *suppressions) addFile(analyzer, file string) {
+	if s.files[analyzer] == nil {
+		s.files[analyzer] = map[string]bool{}
+	}
+	s.files[analyzer][file] = true
+}
+
+// collectSuppressions scans every comment in the package for lint
+// directives. A line directive
+//
+//	//lint:ignore name1,name2 reason
+//
+// suppresses the named analyzers on its own line and on the line
+// immediately after it (so it works both as a trailing comment and as a
+// comment above the offending statement). The reason is mandatory: a
+// directive without one is ignored, which surfaces the underlying
+// finding again — the cheapest way to enforce justified suppressions.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{
+		lines: map[string]map[string]map[int]bool{},
+		files: map[string]map[string]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				pos := fset.Position(c.Pos())
+				if rest, ok := strings.CutPrefix(text, "//lint:ignore "); ok {
+					names, reason := splitDirective(rest)
+					if reason == "" {
+						continue
+					}
+					for _, name := range names {
+						s.addLine(name, pos.Filename, pos.Line)
+						s.addLine(name, pos.Filename, pos.Line+1)
+					}
+				}
+				if rest, ok := strings.CutPrefix(text, "//lint:file-ignore "); ok {
+					names, reason := splitDirective(rest)
+					if reason == "" {
+						continue
+					}
+					for _, name := range names {
+						s.addFile(name, pos.Filename)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// splitDirective splits "name1,name2 some reason" into the analyzer
+// names and the reason text.
+func splitDirective(rest string) (names []string, reason string) {
+	rest = strings.TrimSpace(rest)
+	namePart, reason, _ := strings.Cut(rest, " ")
+	for _, n := range strings.Split(namePart, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(reason)
+}

@@ -1,0 +1,42 @@
+// Package fixture seeds determinism violations for the analyzer tests.
+// It is loaded under a synthetic import path inside the analyzer's
+// scope (protoclust/internal/core/...); see fixture_test.go.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock twice.
+func Stamp() (time.Time, time.Duration) {
+	start := time.Now()             // want `time\.Now reads the wall clock`
+	return start, time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Jitter draws from the shared global source.
+func Jitter() float64 {
+	return rand.Float64() // want `draws from the shared global source`
+}
+
+// SeededJitter is the sanctioned form — an explicitly seeded generator
+// built by a constructor, then method calls on it. No finding.
+func SeededJitter(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// SumCounts iterates a map, which is order-nondeterministic.
+func SumCounts(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// SuppressedNow documents a justified wall-clock read; the directive
+// turns the finding into a suppression, not silence.
+func SuppressedNow() time.Time {
+	//lint:ignore determinism fixture: deliberate suppressed example
+	return time.Now()
+}

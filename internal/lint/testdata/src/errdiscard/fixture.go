@@ -1,0 +1,56 @@
+// Package fixture seeds errdiscard violations for the analyzer tests.
+//
+// The blank-discard positives carry their want annotation on the line
+// below (want-1) because a comment on the statement's own line or the
+// line above would count as a justification and defuse the finding.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Emit drops the error returned by the file write.
+func Emit(f *os.File) {
+	fmt.Fprintln(f, "hello") // want `silently dropped`
+}
+
+// Parse discards the conversion error with no justification.
+func Parse(s string) int {
+	n, _ := strconv.Atoi(s)
+	// want-1 `error from strconv\.Atoi discarded with _`
+	return n
+}
+
+// Close discards an error in paired form with no justification.
+func Close(f *os.File) {
+	_ = f.Close()
+	// want-1 `error value discarded with _`
+}
+
+// Justified discards with an adjacent reason: no finding.
+func Justified(f *os.File) {
+	// best-effort close on the read path; nothing to do on failure
+	_ = f.Close()
+}
+
+// Stdout printing to the standard streams is conventionally ignorable.
+func Stdout() {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "hi\n")
+}
+
+// Builders write through a never-failing writer: no finding.
+func Builders() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}
+
+// Suppressed drops an error under a directive with a reason.
+func Suppressed(f *os.File) {
+	//lint:ignore errdiscard fixture: deliberate suppressed example
+	fmt.Fprintln(f, "bye")
+}

@@ -1,0 +1,36 @@
+// Package fixture seeds floatcmp violations for the analyzer tests.
+// It is loaded under the synthetic import path
+// protoclust/internal/vecmath so the allowlist for that package is
+// exercised too; see fixture_test.go.
+package fixture
+
+import "math"
+
+// Same compares floats exactly with ==.
+func Same(a, b float64) bool {
+	return a == b // want `exact float == comparison`
+}
+
+// Differs compares floats exactly with !=.
+func Differs(a, b float64) bool {
+	return a != b // want `exact float != comparison`
+}
+
+// EqualExact is on the vecmath allowlist: its body may compare floats
+// exactly without a finding.
+func EqualExact(a, b float64) bool { return a == b }
+
+// IsNaN uses the standard self-comparison probe, which is exempt.
+func IsNaN(x float64) bool { return x != x }
+
+// ConstFold compares two compile-time constants, which is exempt.
+func ConstFold() bool {
+	const a, b = 1.0, 2.0
+	return a == b
+}
+
+// SuppressedCompare keeps an inline exact comparison with a reason.
+func SuppressedCompare(x float64) bool {
+	//lint:ignore floatcmp fixture: deliberate suppressed example
+	return x == math.Pi
+}

@@ -1,0 +1,50 @@
+// Package fixture seeds nanguard violations for the analyzer tests.
+package fixture
+
+import (
+	"cmp"
+	"math"
+	"slices"
+	"sort"
+)
+
+// SortPlain uses the NaN-unaware stdlib sorter.
+func SortPlain(xs []float64) {
+	sort.Float64s(xs) // want `sort\.Float64s is undefined for NaN inputs`
+}
+
+// SortByLess installs a plain < comparator that never looks at NaN.
+func SortByLess(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `comparator orders float64s without consulting`
+}
+
+// SortFuncBare does the same through slices.SortFunc.
+func SortFuncBare(xs []float64) {
+	slices.SortFunc(xs, func(a, b float64) int { // want `comparator orders float64s without consulting`
+		if a < b {
+			return -1
+		}
+		return 1
+	})
+}
+
+// SortNaNAware consults math.IsNaN before ordering: no finding.
+func SortNaNAware(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool {
+		if math.IsNaN(xs[i]) {
+			return true
+		}
+		return xs[i] < xs[j]
+	})
+}
+
+// SortCmpLess delegates the ordering to cmp.Less: no finding.
+func SortCmpLess(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return cmp.Less(xs[i], xs[j]) })
+}
+
+// SuppressedSort keeps sort.Float64s for provably NaN-free data.
+func SuppressedSort(xs []float64) {
+	//lint:ignore nanguard fixture: deliberate suppressed example
+	sort.Float64s(xs)
+}

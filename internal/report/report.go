@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"protoclust/internal/core"
+	"protoclust/internal/detmap"
 	"protoclust/internal/experiments"
 	"protoclust/internal/netmsg"
 )
@@ -174,19 +175,13 @@ func WriteClusterComposition(w io.Writer, res *core.Result) error {
 			typ, _ := res.Pool.Unique[idx].DominantTrueType()
 			counts[typ]++
 		}
-		types := make([]string, 0, len(counts))
-		for typ := range counts {
-			types = append(types, string(typ))
-		}
-		sort.Slice(types, func(i, j int) bool {
-			if counts[netmsg.FieldType(types[i])] != counts[netmsg.FieldType(types[j])] {
-				return counts[netmsg.FieldType(types[i])] > counts[netmsg.FieldType(types[j])]
-			}
-			return types[i] < types[j]
+		types := detmap.SortedKeys(counts)
+		sort.SliceStable(types, func(i, j int) bool {
+			return counts[types[i]] > counts[types[j]]
 		})
 		line := fmt.Sprintf("cluster %2d (%4d unique):", c.ID, len(c.UniqueIndexes))
 		for _, typ := range types {
-			line += fmt.Sprintf(" %s=%d", typ, counts[netmsg.FieldType(typ)])
+			line += fmt.Sprintf(" %s=%d", typ, counts[typ])
 		}
 		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err

@@ -102,6 +102,12 @@ func (s *Segmenter) SegmentContext(ctx context.Context, tr *netmsg.Trace) ([]net
 // distinct frequent patterns the trace produces — the quantity the work
 // budget caps. Exposed for calibration and diagnostics.
 func PatternCount(tr *netmsg.Trace, maxPatternLength, minCount int) (int, error) {
+	return PatternCountContext(context.Background(), tr, maxPatternLength, minCount)
+}
+
+// PatternCountContext is PatternCount with cancellation: the context is
+// checked between per-length mining rounds.
+func PatternCountContext(ctx context.Context, tr *netmsg.Trace, maxPatternLength, minCount int) (int, error) {
 	if maxPatternLength <= 0 {
 		maxPatternLength = DefaultMaxPatternLength
 	}
@@ -111,7 +117,7 @@ func PatternCount(tr *netmsg.Trace, maxPatternLength, minCount int) (int, error)
 			minCount = minCountFloor
 		}
 	}
-	frequent, err := minePatterns(context.Background(), tr, maxPatternLength, minCount, math.MaxInt)
+	frequent, err := minePatterns(ctx, tr, maxPatternLength, minCount, math.MaxInt)
 	if err != nil {
 		return 0, err
 	}

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -38,7 +39,7 @@ func CacheKey(tr *protoclust.Trace, o protoclust.Options) string {
 // a fixed order with explicit separators, so the encoding is injective
 // and stable across processes. New Params fields must be added here to
 // keep distinct configurations from sharing cache entries.
-func writeCanonicalOptions(h interface{ Write(p []byte) (int, error) }, o protoclust.Options) {
+func writeCanonicalOptions(h hash.Hash, o protoclust.Options) {
 	p := o.Params
 	if p == (core.Params{}) {
 		p = core.DefaultParams()
@@ -135,6 +136,8 @@ func (c *Cache) put(key string, r *protoclust.Report, spill bool) {
 			if err := os.MkdirAll(c.dir, 0o755); err == nil {
 				tmp := c.spillPath(key) + ".tmp"
 				if err := os.WriteFile(tmp, b, 0o644); err == nil {
+					// Spill is a best-effort warm cache; a failed rename
+					// only costs a future recomputation.
 					_ = os.Rename(tmp, c.spillPath(key))
 				}
 			}

@@ -178,12 +178,15 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Best-effort: a client hanging up mid-scrape is not actionable.
 	_, _ = s.metrics.WriteTo(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	// Headers are already written; an encode/write failure here can
+	// only mean the client went away.
 	_ = json.NewEncoder(w).Encode(v)
 }
 

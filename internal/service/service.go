@@ -194,6 +194,9 @@ func New(cfg Config) *Service {
 		queue: make(chan *job, cfg.QueueSize),
 		jobs:  make(map[string]*job),
 	}
+	// The service root context is deliberately fresh: it outlives any
+	// caller and is canceled exactly once, by Shutdown.
+	//lint:ignore ctxflow service-lifetime root context, canceled via Shutdown
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
 		s.workers.Add(1)
@@ -332,7 +335,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			j.finished = time.Now()
 			s.metrics.Queued.Add(-1)
 			s.metrics.Failed.Add(1)
-			s.log.Info("queued job failed retryable at shutdown", "job", j.id)
+			s.log.InfoContext(ctx, "queued job failed retryable at shutdown", "job", j.id)
 		}
 		j.mu.Unlock()
 	}
@@ -345,7 +348,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		s.log.Warn("shutdown grace expired; force-canceling running jobs")
+		s.log.WarnContext(ctx, "shutdown grace expired; force-canceling running jobs")
 		s.baseCancel()
 		<-done
 	}
@@ -447,14 +450,14 @@ func (s *Service) run(ctx context.Context, j *job) {
 		j.result = report
 		j.cacheHit = hit
 		s.metrics.Done.Add(1)
-		s.log.Info("job done", "job", j.id, "elapsed", elapsed,
+		s.log.InfoContext(ctx, "job done", "job", j.id, "elapsed", elapsed,
 			"cache_hit", hit, "key", shortKey(key), "stages", timingSummary(j.timings))
 	case errors.Is(err, errCanceledByUser),
 		errors.Is(context.Cause(ctx), errCanceledByUser):
 		j.state = StateCanceled
 		j.errMsg = errCanceledByUser.Error()
 		s.metrics.Canceled.Add(1)
-		s.log.Info("job canceled", "job", j.id, "elapsed", elapsed)
+		s.log.InfoContext(ctx, "job canceled", "job", j.id, "elapsed", elapsed)
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
@@ -462,7 +465,7 @@ func (s *Service) run(ctx context.Context, j *job) {
 		// own deadline) leaves the job retryable.
 		j.retryable = errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil
 		s.metrics.Failed.Add(1)
-		s.log.Warn("job failed", "job", j.id, "elapsed", elapsed,
+		s.log.WarnContext(ctx, "job failed", "job", j.id, "elapsed", elapsed,
 			"retryable", j.retryable, "err", err)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"protoclust/internal/vecmath"
 )
 
 const degree = 3 // cubic
@@ -88,7 +90,7 @@ func FitWeighted(xs, ys, ws []float64, nCtrl int) (*Spline, error) {
 			basis[j] = bsplineBasis(j, degree, knots, x, lo, hi)
 		}
 		for r := 0; r < nCtrl; r++ {
-			if basis[r] == 0 {
+			if vecmath.IsZero(basis[r]) {
 				continue
 			}
 			aty[r] += w * basis[r] * ys[i]
@@ -120,7 +122,7 @@ func (s *Spline) Eval(x float64) float64 {
 	}
 	var y float64
 	for j := range s.ctrl {
-		if b := bsplineBasis(j, degree, s.knots, x, s.lo, s.hi); b != 0 {
+		if b := bsplineBasis(j, degree, s.knots, x, s.lo, s.hi); !vecmath.IsZero(b) {
 			y += s.ctrl[j] * b
 		}
 	}
@@ -201,7 +203,7 @@ func bsplineBasis(j, p int, knots []float64, x, lo, hi float64) float64 {
 			return 1
 		}
 		// Close the right end of the domain.
-		if x == hi && knots[j] < knots[j+1] && knots[j+1] == hi {
+		if vecmath.EqualExact(x, hi) && knots[j] < knots[j+1] && vecmath.EqualExact(knots[j+1], hi) {
 			return 1
 		}
 		return 0
@@ -236,7 +238,7 @@ func solve(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
-			if f == 0 {
+			if vecmath.IsZero(f) {
 				continue
 			}
 			for c := col; c < n; c++ {

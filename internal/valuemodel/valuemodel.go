@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -182,7 +183,7 @@ func (m *Model) Anomalous(v []byte, margin float64) bool {
 	for tv := range m.values {
 		scores = append(scores, m.Score([]byte(tv)))
 	}
-	sort.Float64s(scores)
+	slices.Sort(scores)
 	median := scores[len(scores)/2]
 	return m.Score(v) < median-margin
 }

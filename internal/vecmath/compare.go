@@ -1,0 +1,31 @@
+package vecmath
+
+import "math"
+
+// The helpers below are the sanctioned homes for float comparison in
+// the numeric packages; the floatcmp analyzer (internal/lint) forbids
+// raw == / != on floats elsewhere so that every exact comparison is a
+// visible, deliberate decision.
+
+// EqualExact reports whether a and b are exactly equal as IEEE-754
+// values. Use it only where bit-level ties are the point — collapsing
+// duplicate k-NN distances, matching a value previously stored from the
+// same computation — never for "did two computations agree".
+func EqualExact(a, b float64) bool { return a == b }
+
+// IsZero reports whether x is exactly ±0. Use it for hard sentinel
+// guards: division-by-zero protection, the Canberra 0/0 := 0 term
+// convention, and early exits on a perfect match.
+func IsZero(x float64) bool { return x == 0 }
+
+// EqualWithin reports whether a and b agree to within tol, treating two
+// NaNs as unequal and equal infinities as equal. tol must be ≥ 0.
+func EqualWithin(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}

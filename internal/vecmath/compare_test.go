@@ -1,0 +1,56 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualExact(t *testing.T) {
+	if !EqualExact(1.5, 1.5) {
+		t.Error("EqualExact(1.5, 1.5) = false")
+	}
+	if EqualExact(1.5, 1.5000001) {
+		t.Error("EqualExact(1.5, 1.5000001) = true")
+	}
+	if EqualExact(math.NaN(), math.NaN()) {
+		t.Error("EqualExact(NaN, NaN) = true; IEEE equality must reject NaN")
+	}
+	if !EqualExact(0, math.Copysign(0, -1)) {
+		t.Error("EqualExact(+0, -0) = false; signed zeros compare equal")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(math.Copysign(0, -1)) {
+		t.Error("IsZero must accept both signed zeros")
+	}
+	if IsZero(math.SmallestNonzeroFloat64) || IsZero(-math.SmallestNonzeroFloat64) {
+		t.Error("IsZero accepted a denormal; it must be exact")
+	}
+	if IsZero(math.NaN()) {
+		t.Error("IsZero(NaN) = true")
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 0, true},
+		{1.0, 1.0 + 1e-10, 1e-9, true},
+		{1.0, 1.0 + 1e-8, 1e-9, false},
+		{math.NaN(), math.NaN(), math.Inf(1), false},
+		{math.NaN(), 1.0, 1, false},
+		{1.0, math.NaN(), 1, false},
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.Inf(1), math.Inf(-1), math.Inf(1), false},
+		{math.Inf(1), 1e308, 1e308, false},
+		{-2.0, -2.5, 0.5, true},
+	}
+	for _, c := range cases {
+		if got := EqualWithin(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqualWithin(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

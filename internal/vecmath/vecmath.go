@@ -8,7 +8,7 @@ package vecmath
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Mean returns the arithmetic mean of xs, or NaN for an empty slice.
@@ -30,7 +30,7 @@ func Median(xs []float64) float64 {
 		return math.NaN()
 	}
 	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
+	slices.Sort(cp)
 	mid := len(cp) / 2
 	if len(cp)%2 == 1 {
 		return cp[mid]
@@ -120,7 +120,7 @@ func Percentile(xs []float64, p float64) float64 {
 		return math.NaN()
 	}
 	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
+	slices.Sort(cp)
 	if p <= 0 {
 		return cp[0]
 	}
@@ -155,7 +155,7 @@ func PercentRank(xs []float64, v float64) float64 {
 		switch {
 		case x < v:
 			below++
-		case x == v:
+		case EqualExact(x, v):
 			equal++
 		}
 	}
