@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-service test-oracle golden-check golden-update vet lint bench bench-json eval fuzz serve clean
+.PHONY: all build test test-short test-race test-service test-oracle golden-check golden-update vet lint bench bench-json smoke-tiled eval fuzz serve clean
 
 all: build lint test
 
@@ -49,9 +49,13 @@ test-oracle:
 
 # Golden-trace regression check: re-run the pipeline on the seeded
 # trace set and compare ε, k, cluster counts, and quality metrics
-# against testdata/golden/. See docs/testing.md.
+# against testdata/golden/. Runs twice — once on the default matrix
+# backend and once forced through the bounded-memory tiled backend,
+# against the same records, since every backend must produce
+# bit-identical labels. See docs/testing.md.
 golden-check:
 	$(GO) run ./cmd/goldencheck
+	$(GO) run ./cmd/goldencheck -backend tiled
 
 # Regenerate the golden records after an intentional pipeline change;
 # review the diff before committing it.
@@ -68,10 +72,19 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerates the perf-trajectory artifact for the dissimilarity hot
-# path (kernel, matrix build, k-NN table at n = 500/2000/8000, optimized
-# vs pre-kernel reference). See docs/tuning.md § Performance.
+# path: kernel, matrix build, and k-NN table per backend (dense /
+# condensed / tiled) at n = 500/2000/8000, plus the optimized-vs-
+# reference comparison. See docs/tuning.md § Performance.
 bench-json:
-	$(GO) run ./cmd/benchperf -out BENCH_1.json
+	$(GO) run ./cmd/benchperf -out BENCH_5.json
+
+# End-to-end smoke of the tiled out-of-core backend: cluster an n=5000
+# synthetic pool under a deliberately tiny tile budget (with spill) and
+# cross-check the labels bit-for-bit against the condensed backend,
+# under a GOMEMLIMIT that a resident matrix of that size would respect
+# anyway but a leaking tile cache would not.
+smoke-tiled:
+	GOMEMLIMIT=768MiB $(GO) run ./cmd/benchperf -e2e-n 5000 -e2e-budget 4194304 -out /dev/null
 
 # Regenerates Tables I/II, Figures 2/3, and the coverage comparison.
 eval:

@@ -5,11 +5,19 @@
 // (dissim.ComputeReference, dissim.KNNTableSort,
 // canberra.DissimilarityPenalty), so the file records the before/after
 // of this optimization round and gives later PRs a trajectory to
-// compare against.
+// compare against. A per-backend shard additionally times the full
+// matrix-build + k-NN pass through each storage backend (dense,
+// condensed, tiled, and tiled under a constrained budget with spill),
+// recording the throughput cost of bounded memory.
 //
 // Regenerate with:
 //
 //	make bench-json
+//
+// With -e2e-n the command instead runs the whole clustering pipeline on
+// a clustered synthetic pool through the tiled backend under -e2e-budget
+// resident bytes, cross-checking labels bit-for-bit against the
+// condensed backend when n permits (≤ 5000). Wired as `make smoke-tiled`.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"protoclust/internal/canberra"
+	"protoclust/internal/core"
 	"protoclust/internal/dissim"
 	"protoclust/internal/netmsg"
 )
@@ -50,13 +59,41 @@ type stageResult struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// backendResult times one storage backend end to end: matrix build plus
+// a full k-NN table pass (the tiled backend computes lazily, so only
+// the combined number is comparable across backends).
+type backendResult struct {
+	Backend       string  `json:"backend"`
+	BudgetBytes   int64   `json:"budget_bytes,omitempty"`
+	TotalNs       int64   `json:"total_ns"`
+	NsPerPair     float64 `json:"ns_per_pair"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	// VsDense is dense total time / this backend's total time (> 1 means
+	// faster than dense).
+	VsDense float64 `json:"throughput_vs_dense"`
+}
+
 type shapeResult struct {
-	N           int          `json:"n"`
-	Pairs       int          `json:"pairs"`
-	KMax        int          `json:"kmax"`
-	Kernel      kernelResult `json:"kernel"`
-	MatrixBuild stageResult  `json:"matrix_build"`
-	KNNTable    stageResult  `json:"knn_table"`
+	N           int             `json:"n"`
+	Pairs       int             `json:"pairs"`
+	KMax        int             `json:"kmax"`
+	Kernel      kernelResult    `json:"kernel"`
+	MatrixBuild stageResult     `json:"matrix_build"`
+	KNNTable    stageResult     `json:"knn_table"`
+	Backends    []backendResult `json:"backends"`
+}
+
+// e2eResult records one end-to-end tiled-backend pipeline run.
+type e2eResult struct {
+	N              int     `json:"n"`
+	UniqueSegments int     `json:"unique_segments"`
+	BudgetBytes    int64   `json:"budget_bytes"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	Epsilon        float64 `json:"epsilon"`
+	Clusters       int     `json:"clusters"`
+	NoiseSegments  int     `json:"noise_segments"`
+	ResidentBytes  int64   `json:"matrix_resident_bytes"`
+	CrossChecked   bool    `json:"cross_checked_vs_condensed"`
 }
 
 type benchFile struct {
@@ -65,7 +102,8 @@ type benchFile struct {
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Note       string        `json:"note"`
-	Shapes     []shapeResult `json:"shapes"`
+	Shapes     []shapeResult `json:"shapes,omitempty"`
+	E2E        *e2eResult    `json:"e2e,omitempty"`
 }
 
 // genPool builds a deterministic pool of n unique segments.
@@ -156,6 +194,69 @@ func kMax(n int) int {
 	return k
 }
 
+// constrainedBudget returns a tile budget that forces eviction and
+// spill at size n: a quarter of the condensed footprint, floored at
+// 1 MiB so the store keeps a useful working set.
+func constrainedBudget(n int) int64 {
+	b := int64(n) * int64(n-1) / 2 * 4 / 4
+	if b < 1<<20 {
+		b = 1 << 20
+	}
+	return b
+}
+
+// measureBackends times a full matrix-build + k-NN pass through each
+// storage backend. The tiled backend computes tiles lazily during the
+// k-NN pass, so build and query are timed as one unit everywhere to
+// keep the numbers comparable.
+func measureBackends(pool *dissim.Pool, n, k int, spill string) []backendResult {
+	pairs := n * (n - 1) / 2
+	cands := []struct {
+		label   string
+		backend string
+		budget  int64
+	}{
+		{"dense", dissim.BackendDense, 0},
+		{"condensed", dissim.BackendCondensed, 0},
+		{"tiled", dissim.BackendTiled, 0},
+		{"tiled+spill", dissim.BackendTiled, constrainedBudget(n)},
+	}
+	const floor = 500 * time.Millisecond
+	var out []backendResult
+	for _, c := range cands {
+		var resident int64
+		total := int64(timeIt(floor, func() {
+			m, err := dissim.ComputeMatrix(pool, dissim.Config{
+				Penalty:      canberra.DefaultPenalty,
+				Backend:      c.backend,
+				MemoryBudget: c.budget,
+				SpillDir:     spill,
+			})
+			if err != nil {
+				log.Fatalf("benchperf: ComputeMatrix(%s, n=%d): %v", c.label, n, err)
+			}
+			if _, err := m.KNNTable(k); err != nil {
+				log.Fatalf("benchperf: KNNTable(%s, n=%d): %v", c.label, n, err)
+			}
+			resident = m.ResidentBytes()
+			if err := m.Close(); err != nil {
+				log.Fatalf("benchperf: Close(%s, n=%d): %v", c.label, n, err)
+			}
+		}))
+		out = append(out, backendResult{
+			Backend:       c.label,
+			BudgetBytes:   c.budget,
+			TotalNs:       total,
+			NsPerPair:     float64(total) / float64(pairs),
+			ResidentBytes: resident,
+		})
+	}
+	for i := range out {
+		out[i].VsDense = float64(out[0].TotalNs) / float64(out[i].TotalNs)
+	}
+	return out
+}
+
 func measureShape(n int, seed int64) shapeResult {
 	pool := genPool(n, mixedLens, seed)
 	pairs := n * (n - 1) / 2
@@ -207,14 +308,193 @@ func measureShape(n int, seed int64) shapeResult {
 		RefNsPerOp:  float64(refKNN) / float64(n),
 		Speedup:     float64(refKNN) / float64(optKNN),
 	}
+
+	spill, err := os.MkdirTemp("", "benchperf-tiles-")
+	if err != nil {
+		log.Fatalf("benchperf: spill dir: %v", err)
+	}
+	defer func() {
+		// Best-effort scratch cleanup; the spill file is already
+		// unlinked, so a leftover directory is empty.
+		_ = os.RemoveAll(spill)
+	}()
+	res.Backends = measureBackends(pool, n, res.KMax, spill)
 	return res
 }
 
+// genClusteredSegs builds n unique segment values drawn from a small
+// set of templates with positional jitter, so DBSCAN has real density
+// structure to find (unlike genPool's uniform noise).
+func genClusteredSegs(n int, seed int64) []netmsg.Segment {
+	rng := rand.New(rand.NewSource(seed))
+	lens := []int{4, 6, 8, 8, 12, 12, 16, 16}
+	const templates = 12
+	tmpl := make([][]byte, templates)
+	for t := range tmpl {
+		b := make([]byte, lens[t%len(lens)])
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		tmpl[t] = b
+	}
+	seen := make(map[string]bool, n)
+	segs := make([]netmsg.Segment, 0, n)
+	for len(segs) < n {
+		base := tmpl[rng.Intn(templates)]
+		b := make([]byte, len(base))
+		copy(b, base)
+		// Jitter up to three positions by a small signed delta: close
+		// in Canberra terms, yet combinatorially rich enough to yield
+		// 50k+ unique values per template set.
+		for j := rng.Intn(3) + 1; j > 0; j-- {
+			p := rng.Intn(len(b))
+			b[p] = byte(int(b[p]) + rng.Intn(17) - 8)
+		}
+		if seen[string(b)] {
+			continue
+		}
+		seen[string(b)] = true
+		segs = append(segs, netmsg.Segment{Msg: &netmsg.Message{Data: b}, Offset: 0, Length: len(b)})
+	}
+	return segs
+}
+
+// sameClustering reports whether two pipeline results are bit-identical:
+// same ε, same clusters with the same unique-member index lists, same
+// noise count.
+func sameClustering(a, b *core.Result) error {
+	if math.Float64bits(a.Config.Epsilon) != math.Float64bits(b.Config.Epsilon) {
+		return fmt.Errorf("epsilon mismatch: %v vs %v", a.Config.Epsilon, b.Config.Epsilon)
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		return fmt.Errorf("cluster count mismatch: %d vs %d", len(a.Clusters), len(b.Clusters))
+	}
+	for i := range a.Clusters {
+		ai, bi := a.Clusters[i].UniqueIndexes, b.Clusters[i].UniqueIndexes
+		if len(ai) != len(bi) {
+			return fmt.Errorf("cluster %d size mismatch: %d vs %d", i, len(ai), len(bi))
+		}
+		for j := range ai {
+			if ai[j] != bi[j] {
+				return fmt.Errorf("cluster %d member %d mismatch: %d vs %d", i, j, ai[j], bi[j])
+			}
+		}
+	}
+	if len(a.Noise) != len(b.Noise) {
+		return fmt.Errorf("noise count mismatch: %d vs %d", len(a.Noise), len(b.Noise))
+	}
+	return nil
+}
+
+// runE2E clusters an n-segment clustered pool end to end through the
+// tiled backend under the given budget, cross-checks against the
+// condensed backend when n permits, and writes the result file.
+func runE2E(n int, budget int64, spill string, seed int64, out string) {
+	if spill == "" {
+		dir, err := os.MkdirTemp("", "benchperf-e2e-tiles-")
+		if err != nil {
+			log.Fatalf("benchperf: spill dir: %v", err)
+		}
+		defer func() {
+			// Best-effort scratch cleanup (spill file is unlinked).
+			_ = os.RemoveAll(dir)
+		}()
+		spill = dir
+	}
+	segs := genClusteredSegs(n, seed)
+	p := core.DefaultParams()
+	p.MatrixBackend = dissim.BackendTiled
+	p.MemoryBudget = budget
+	p.MatrixSpillDir = spill
+
+	log.Printf("benchperf: e2e n=%d budget=%d via tiled backend ...", n, budget)
+	start := time.Now()
+	res, err := core.ClusterSegments(segs, p)
+	if err != nil {
+		log.Fatalf("benchperf: e2e ClusterSegments: %v", err)
+	}
+	elapsed := time.Since(start)
+	resident := res.Matrix.ResidentBytes()
+	if got := res.Matrix.Backend(); got != dissim.BackendTiled {
+		log.Fatalf("benchperf: e2e backend = %q, want %q", got, dissim.BackendTiled)
+	}
+	if err := res.Matrix.Close(); err != nil {
+		log.Fatalf("benchperf: e2e Close: %v", err)
+	}
+
+	e := &e2eResult{
+		N:              n,
+		UniqueSegments: res.Pool.Size(),
+		BudgetBytes:    budget,
+		ElapsedNs:      elapsed.Nanoseconds(),
+		Epsilon:        res.Config.Epsilon,
+		Clusters:       len(res.Clusters),
+		NoiseSegments:  len(res.Noise),
+		ResidentBytes:  resident,
+	}
+
+	// Cross-check labels against the condensed in-memory backend where
+	// its footprint is trivially affordable; every backend must agree
+	// bit for bit.
+	if n <= 5000 {
+		pc := core.DefaultParams()
+		pc.MatrixBackend = dissim.BackendCondensed
+		ref, err := core.ClusterSegments(segs, pc)
+		if err != nil {
+			log.Fatalf("benchperf: e2e condensed reference: %v", err)
+		}
+		if err := ref.Matrix.Close(); err != nil {
+			log.Fatalf("benchperf: e2e reference Close: %v", err)
+		}
+		if err := sameClustering(res, ref); err != nil {
+			log.Fatalf("benchperf: tiled vs condensed divergence: %v", err)
+		}
+		e.CrossChecked = true
+	}
+
+	f := benchFile{
+		Bench:      5,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "end-to-end clustering through the bounded-memory tiled matrix " +
+			"backend; labels cross-checked bit-for-bit against the condensed " +
+			"backend when n <= 5000",
+		E2E: e,
+	}
+	writeBenchFile(out, f)
+	fmt.Printf("e2e n=%d unique=%d: %d clusters, %d noise, eps=%.6f, %.1fs, resident=%d bytes, cross-checked=%v\n",
+		e.N, e.UniqueSegments, e.Clusters, e.NoiseSegments, e.Epsilon,
+		elapsed.Seconds(), e.ResidentBytes, e.CrossChecked)
+}
+
+// writeBenchFile marshals f and writes it to path; "/dev/null" works
+// because os.WriteFile truncates rather than creates over a device.
+func writeBenchFile(path string, f benchFile) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("benchperf: wrote %s", path)
+}
+
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output path")
+	out := flag.String("out", "BENCH_5.json", "output path")
 	sizes := flag.String("sizes", "500,2000,8000", "comma-separated unique-segment counts")
 	seed := flag.Int64("seed", 1, "pool generation seed")
+	e2eN := flag.Int("e2e-n", 0, "run the end-to-end tiled-backend pipeline on an n-segment clustered pool instead of the stage benchmarks")
+	e2eBudget := flag.Int64("e2e-budget", 2<<30, "with -e2e-n: tile LRU byte budget for the tiled backend")
+	e2eSpill := flag.String("e2e-spill", "", "with -e2e-n: tile spill directory (default: a fresh temp dir)")
 	flag.Parse()
+
+	if *e2eN > 0 {
+		runE2E(*e2eN, *e2eBudget, *e2eSpill, *seed, *out)
+		return
+	}
 
 	var ns []int
 	for _, s := range splitComma(*sizes) {
@@ -229,32 +509,30 @@ func main() {
 	}
 
 	f := benchFile{
-		Bench:      1,
+		Bench:      5,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Note: "dissimilarity hot path: optimized = view kernel + early abandon + " +
 			"tiled scheduling + bounded-heap k-NN; reference = pre-kernel per-pair/" +
-			"per-row implementations kept in internal/dissim/reference.go",
+			"per-row implementations kept in internal/dissim/reference.go; backends = " +
+			"matrix build + full k-NN pass per storage backend (dense / condensed / " +
+			"tiled / tiled under a constrained budget with disk spill)",
 	}
 	for _, n := range ns {
 		log.Printf("benchperf: measuring n=%d ...", n)
 		f.Shapes = append(f.Shapes, measureShape(n, *seed))
 	}
 
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("benchperf: wrote %s", *out)
+	writeBenchFile(*out, f)
 	for _, s := range f.Shapes {
 		fmt.Printf("n=%5d  matrix %6.2fx  knn %6.2fx  kernel eq %5.2fx sliding %5.2fx\n",
 			s.N, s.MatrixBuild.Speedup, s.KNNTable.Speedup,
 			s.Kernel.EqualLengthSpeedx, s.Kernel.SlidingSpeedx)
+		for _, b := range s.Backends {
+			fmt.Printf("         backend %-12s %8.1f ns/pair  resident %11d B  vs dense %5.2fx\n",
+				b.Backend, b.NsPerPair, b.ResidentBytes, b.VsDense)
+		}
 	}
 }
 

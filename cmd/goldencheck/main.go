@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	goldencheck            # check against the stored records
-//	goldencheck -update    # regenerate the stored records
+//	goldencheck                  # check against the stored records
+//	goldencheck -update          # regenerate the stored records
+//	goldencheck -backend tiled   # force a matrix backend (same records)
 //
-// Wired as `make golden-check` / `make golden-update`.
+// Wired as `make golden-check` / `make golden-update`; the make target
+// runs both the default and the tiled backend against the same records,
+// since every matrix backend must produce bit-identical labels.
 package main
 
 import (
@@ -22,15 +25,16 @@ import (
 
 func main() {
 	var (
-		update = flag.Bool("update", false, "rewrite the golden records from the current pipeline output")
-		dir    = flag.String("dir", "testdata/golden", "directory holding the golden records")
+		update  = flag.Bool("update", false, "rewrite the golden records from the current pipeline output")
+		dir     = flag.String("dir", "testdata/golden", "directory holding the golden records")
+		backend = flag.String("backend", "", "dissimilarity-matrix backend: dense, condensed, tiled (default: auto)")
 	)
 	flag.Parse()
 
 	tol := golden.DefaultTolerance()
 	failed := 0
 	for _, spec := range golden.DefaultTraces() {
-		rec, err := golden.Run(spec)
+		rec, err := golden.RunBackend(spec, *backend)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", spec, err)
 			failed++

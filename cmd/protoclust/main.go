@@ -60,6 +60,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		msgTypes  = fs.Bool("msgtype", false, "cluster whole messages into message types first")
 		asJSON    = fs.Bool("json", false, "emit the analysis as JSON instead of text")
 		compFlag  = fs.Bool("composition", false, "with ground truth: print cluster composition by true type")
+		memBudget = fs.Int64("memory-budget", 0, "resident bytes allowed for the dissimilarity matrix (0 = 2 GiB default); larger pools switch to the tiled backend")
+		backend   = fs.String("matrix-backend", "", "force the matrix storage backend: dense, condensed, tiled (default: auto within -memory-budget)")
+		spillDir  = fs.String("spill-dir", "", "with the tiled backend: spill evicted tiles to scratch files under this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +118,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	opts := protoclust.DefaultOptions()
 	opts.Segmenter = *segmenter
+	opts.MemoryBudget = *memBudget
+	opts.Params.MatrixBackend = *backend
+	opts.Params.MatrixSpillDir = *spillDir
 
 	if *msgTypes {
 		mt, err := protoclust.ClusterMessageTypes(tr, opts)

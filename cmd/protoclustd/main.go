@@ -44,6 +44,7 @@ func run(args []string) error {
 		grace        = fs.Duration("grace", 10*time.Second, "shutdown drain period for running jobs")
 		cacheEntries = fs.Int("cache-entries", 128, "in-memory result cache entries")
 		cacheDir     = fs.String("cache-dir", "", "directory for the result-cache disk spill (empty = memory only)")
+		spillDir     = fs.String("spill-dir", "", "scratch directory for the tiled matrix backend (default: <cache-dir>/tiles)")
 		verbose      = fs.Bool("v", false, "debug-level logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +63,7 @@ func run(args []string) error {
 		DefaultTimeout: *defTimeout,
 		CacheEntries:   *cacheEntries,
 		CacheDir:       *cacheDir,
+		SpillDir:       *spillDir,
 		Logger:         logger,
 	})
 	srv := &http.Server{

@@ -200,13 +200,9 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 	ac.Epsilon = vecmath.Percentile(best.raw, fallbackQuantile*100)
 	if ac.Epsilon <= 0 {
 		// All candidate distances are zero — pick the smallest positive
-		// pairwise dissimilarity, or give up.
-		pos := math.Inf(1)
-		for _, d := range m.UpperTriangle() {
-			if d > 0 && d < pos {
-				pos = d
-			}
-		}
+		// pairwise dissimilarity, or give up. MinPositive streams the
+		// matrix instead of materializing the n(n−1)/2 upper triangle.
+		pos := m.MinPositive()
 		if math.IsInf(pos, 1) {
 			return nil, errors.New("core: all segments identical; nothing to cluster")
 		}

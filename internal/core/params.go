@@ -47,6 +47,18 @@ type Params struct {
 	// and HDBSCAN because all three over-classify similarly while
 	// DBSCAN offers more refinement hooks (Section III-F).
 	Clusterer string
+	// MemoryBudget bounds the resident bytes of the dissimilarity
+	// matrix (dissim.Config.MemoryBudget); 0 means the dissim default
+	// (2 GiB). Pools whose condensed layout exceeds the budget are
+	// served by the tiled out-of-core backend. Cache-neutral: every
+	// backend produces bit-identical labels.
+	MemoryBudget int64
+	// MatrixBackend forces a matrix storage backend ("auto", "dense",
+	// "condensed", "tiled"); "" means auto. Cache-neutral.
+	MatrixBackend string
+	// MatrixSpillDir enables the tiled backend's disk spill under the
+	// given directory. Cache-neutral.
+	MatrixSpillDir string
 }
 
 // DefaultParams returns the paper's configuration.

@@ -84,7 +84,12 @@ func ClusterSegmentsContext(ctx context.Context, segs []netmsg.Segment, p Params
 	if pool.Size() < 3 {
 		return nil, fmt.Errorf("%w (pool has %d)", ErrTooFewSegments, pool.Size())
 	}
-	m, err := dissim.ComputeContext(ctx, pool, p.Penalty)
+	m, err := dissim.ComputeMatrixContext(ctx, pool, dissim.Config{
+		Penalty:      p.Penalty,
+		Backend:      p.MatrixBackend,
+		MemoryBudget: p.MemoryBudget,
+		SpillDir:     p.MatrixSpillDir,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: dissimilarity matrix: %w", err)
 	}
@@ -120,6 +125,12 @@ func ClusterPoolContext(ctx context.Context, pool *dissim.Pool, m *dissim.Matrix
 	if err != nil {
 		return nil, fmt.Errorf("core: clusterer: %w", err)
 	}
+	// A lazily computed (tiled) matrix defers a mid-scan cancellation
+	// into its sticky error; labels derived from zero-filled tiles must
+	// not survive.
+	if err := m.Err(); err != nil {
+		return nil, fmt.Errorf("core: clusterer: %w", err)
+	}
 
 	// Section III-E: a single dominant cluster signals an ε that spans
 	// multiple knees; repeat the whole auto-configuration once on the
@@ -147,6 +158,9 @@ func ClusterPoolContext(ctx context.Context, pool *dissim.Pool, m *dissim.Matrix
 			return nil, err
 		}
 		clusters = splitClusters(clusters, func(i int) int { return len(pool.Occurrences[i]) }, p)
+	}
+	if err := m.Err(); err != nil {
+		return nil, fmt.Errorf("core: refinement: %w", err)
 	}
 
 	out := &Result{

@@ -56,18 +56,26 @@ func computeStats(c []int, m distances) clusterStats {
 		meanD: vecmath.Mean(pair),
 		dmax:  vecmath.Max(pair),
 	}
-	mins := make([]float64, 0, len(c))
-	for _, a := range c {
-		best := math.Inf(1)
-		for _, b := range c {
-			if a == b {
-				continue
+	// Each member's 1-NN distance within the cluster falls out of the
+	// same pair slice (pair p covers members a and b), so the matrix is
+	// read once per pair instead of twice — on the tiled backend that
+	// halves the acquisitions of this O(|c|²) pass.
+	mins := make([]float64, len(c))
+	for i := range mins {
+		mins[i] = math.Inf(1)
+	}
+	p := 0
+	for a := 0; a < len(c); a++ {
+		for b := a + 1; b < len(c); b++ {
+			d := pair[p]
+			p++
+			if d < mins[a] {
+				mins[a] = d
 			}
-			if d := m.Dist(a, b); d < best {
-				best = d
+			if d < mins[b] {
+				mins[b] = d
 			}
 		}
-		mins = append(mins, best)
 	}
 	st.minmed = vecmath.Median(mins)
 	return st

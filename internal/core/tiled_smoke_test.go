@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"protoclust/internal/dissim"
+)
+
+// TestTiledBackendMatchesCondensed runs the full pipeline — ε
+// auto-configuration, DBSCAN, 60 %-guard, refinement — twice on the
+// same clustered population: once through the bounded-memory tiled
+// backend under a deliberately tiny tile budget with disk spill, once
+// through the default condensed in-memory backend. The results must be
+// bit-identical: the matrix layout is an implementation detail that may
+// never leak into labels.
+func TestTiledBackendMatchesCondensed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second full-pipeline comparison; skipped in -short")
+	}
+	segs, _ := synthSegments(420, 3) // ~1260 segments before dedup
+
+	pt := DefaultParams()
+	pt.MatrixBackend = dissim.BackendTiled
+	pt.MemoryBudget = 128 << 10 // far below the condensed footprint
+	pt.MatrixSpillDir = t.TempDir()
+	tiled, err := ClusterSegments(segs, pt)
+	if err != nil {
+		t.Fatalf("tiled ClusterSegments: %v", err)
+	}
+	defer func() {
+		if err := tiled.Matrix.Close(); err != nil {
+			t.Errorf("tiled Close: %v", err)
+		}
+	}()
+	if got := tiled.Matrix.Backend(); got != dissim.BackendTiled {
+		t.Fatalf("backend = %q, want %q", got, dissim.BackendTiled)
+	}
+	if got := tiled.Matrix.ResidentBytes(); got > 128<<10 {
+		t.Fatalf("tiled ResidentBytes = %d exceeds the 128 KiB budget", got)
+	}
+
+	pc := DefaultParams()
+	pc.MatrixBackend = dissim.BackendCondensed
+	ref, err := ClusterSegments(segs, pc)
+	if err != nil {
+		t.Fatalf("condensed ClusterSegments: %v", err)
+	}
+	defer func() {
+		if err := ref.Matrix.Close(); err != nil {
+			t.Errorf("condensed Close: %v", err)
+		}
+	}()
+
+	if math.Float64bits(tiled.Config.Epsilon) != math.Float64bits(ref.Config.Epsilon) {
+		t.Fatalf("epsilon: tiled %v, condensed %v", tiled.Config.Epsilon, ref.Config.Epsilon)
+	}
+	if tiled.Config.MinSamples != ref.Config.MinSamples {
+		t.Fatalf("min samples: tiled %d, condensed %d", tiled.Config.MinSamples, ref.Config.MinSamples)
+	}
+	if tiled.Reconfigured != ref.Reconfigured {
+		t.Fatalf("reconfigured: tiled %v, condensed %v", tiled.Reconfigured, ref.Reconfigured)
+	}
+	if len(tiled.Clusters) != len(ref.Clusters) {
+		t.Fatalf("clusters: tiled %d, condensed %d", len(tiled.Clusters), len(ref.Clusters))
+	}
+	for i := range ref.Clusters {
+		a, b := tiled.Clusters[i].UniqueIndexes, ref.Clusters[i].UniqueIndexes
+		if len(a) != len(b) {
+			t.Fatalf("cluster %d size: tiled %d, condensed %d", i, len(a), len(b))
+		}
+		for j := range b {
+			if a[j] != b[j] {
+				t.Fatalf("cluster %d member %d: tiled %d, condensed %d", i, j, a[j], b[j])
+			}
+		}
+	}
+	if len(tiled.Noise) != len(ref.Noise) {
+		t.Fatalf("noise: tiled %d, condensed %d", len(tiled.Noise), len(ref.Noise))
+	}
+}

@@ -62,9 +62,24 @@ func Cluster(m Matrix, eps float64, minPts int) (*Result, error) {
 		labels[i] = unvisited
 	}
 
-	// neighbors returns all points within eps of p (including p).
+	// neighbors returns all points within eps of p (including p). When
+	// the matrix streams rows (every production backend), the region
+	// query walks float32 spans instead of paying a virtual Dist call
+	// per point; spans arrive in ascending column order carrying the
+	// same quantized values, so the result is identical either way.
+	rs, _ := m.(RowStreamer)
 	neighbors := func(p int, buf []int) []int {
 		buf = buf[:0]
+		if rs != nil {
+			rs.StreamRow(p, func(lo int, vals []float32) {
+				for o, d := range vals {
+					if float64(d) <= eps {
+						buf = append(buf, lo+o)
+					}
+				}
+			})
+			return buf
+		}
 		for q := 0; q < n; q++ {
 			if m.Dist(p, q) <= eps {
 				buf = append(buf, q)
@@ -164,9 +179,14 @@ type DenseMatrix struct {
 
 var _ Matrix = (*DenseMatrix)(nil)
 
-// NewDenseMatrix allocates an n×n zero matrix.
-func NewDenseMatrix(n int) *DenseMatrix {
-	return &DenseMatrix{n: n, data: make([]float32, n*n)}
+// NewDenseMatrix allocates an n×n zero matrix. It fails with
+// ErrMatrixSize instead of panicking when n² elements overflow the
+// representable range.
+func NewDenseMatrix(n int) (*DenseMatrix, error) {
+	if _, err := DenseBytes(n); err != nil {
+		return nil, err
+	}
+	return &DenseMatrix{n: n, data: make([]float32, n*n)}, nil
 }
 
 // Len returns the number of points.
@@ -177,8 +197,9 @@ func (d *DenseMatrix) Dist(i, j int) float64 { return float64(d.data[i*d.n+j]) }
 
 // Set stores a symmetric dissimilarity between i and j.
 func (d *DenseMatrix) Set(i, j int, v float64) {
-	d.data[i*d.n+j] = float32(v)
-	d.data[j*d.n+i] = float32(v)
+	q := Quantize(v)
+	d.data[i*d.n+j] = q
+	d.data[j*d.n+i] = q
 }
 
 // Row returns row i as a raw float32 slice, aliasing the matrix storage.

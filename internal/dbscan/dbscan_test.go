@@ -154,7 +154,10 @@ func TestLargestClusterShare(t *testing.T) {
 }
 
 func TestDenseMatrix(t *testing.T) {
-	m := NewDenseMatrix(3)
+	m, err := NewDenseMatrix(3)
+	if err != nil {
+		t.Fatalf("NewDenseMatrix: %v", err)
+	}
 	m.Set(0, 1, 0.5)
 	m.Set(1, 2, 0.25)
 	if m.Dist(1, 0) != 0.5 {

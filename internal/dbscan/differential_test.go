@@ -22,7 +22,10 @@ func randomMatrix(rng *rand.Rand, n int) *DenseMatrix {
 			pos[i] = float64(rng.Intn(3)) + rng.Float64()*0.2
 		}
 	}
-	m := NewDenseMatrix(n)
+	m, err := NewDenseMatrix(n)
+	if err != nil {
+		panic(err)
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			d := pos[i] - pos[j]

@@ -1,0 +1,202 @@
+package dbscan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file holds the storage side of the Matrix interface: the float32
+// quantization contract shared by every backend, sizing helpers with
+// overflow guards, the condensed upper-triangle backend, and the
+// RowStreamer fast path the row consumers (k-NN selection, DBSCAN
+// region queries) iterate instead of assuming an aliased full row.
+
+// Quantize is the single float32 quantization point of the Matrix
+// boundary: every backend stores dissimilarities as float32 (values
+// live in [0, 1], where float64 would double the footprint for no
+// analytic benefit), and every backend must round-trip through this
+// helper so stored distances are bit-identical regardless of layout.
+// Dist then returns float64(Quantize(v)) exactly, which is what the
+// differential tests compare the float64 oracle against.
+func Quantize(v float64) float32 { return float32(v) }
+
+// ErrMatrixSize reports that a requested matrix cannot be represented:
+// its element count overflows the host int, or its allocation would
+// exceed the caller's memory budget.
+var ErrMatrixSize = errors.New("dbscan: matrix too large")
+
+// maxInt is the largest value of the host int type.
+const maxInt = int(^uint(0) >> 1)
+
+// maxElems bounds any backend's float32 element count so that both the
+// slice length and the byte count (4·elems) fit the host int.
+const maxElems = int64(maxInt) / 4
+
+// DenseBytes returns the resident size of an n×n DenseMatrix in bytes,
+// or ErrMatrixSize when n² elements overflow the representable range.
+func DenseBytes(n int) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative n = %d", ErrMatrixSize, n)
+	}
+	if n != 0 && int64(n) > maxElems/int64(n) {
+		return 0, fmt.Errorf("%w: %d points overflow a dense n*n layout", ErrMatrixSize, n)
+	}
+	return int64(n) * int64(n) * 4, nil
+}
+
+// CondensedBytes returns the resident size of an n-point CondensedMatrix
+// in bytes — n(n−1)/2 float32 entries — or ErrMatrixSize on overflow.
+func CondensedBytes(n int) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative n = %d", ErrMatrixSize, n)
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	if int64(n) > (2*maxElems)/int64(n-1) {
+		return 0, fmt.Errorf("%w: %d points overflow a condensed upper-triangle layout", ErrMatrixSize, n)
+	}
+	return int64(n) * int64(n-1) / 2 * 4, nil
+}
+
+// RowStreamer is the streaming row access every matrix backend
+// provides: fn is invoked with consecutive spans of row i in ascending
+// column order, where vals[o] is Dist(i, lo+o) quantized to float32.
+// The spans jointly cover columns [0, n) exactly once, including the
+// zero diagonal entry, so consumers see the same values in the same
+// order as a j = 0…n−1 Dist loop — which keeps heap-based k-NN
+// selection and DBSCAN region queries bit-identical across backends.
+// Spans alias internal storage or a reused buffer: consumers must not
+// mutate them or retain them past fn's return.
+type RowStreamer interface {
+	StreamRow(i int, fn func(lo int, vals []float32))
+}
+
+var (
+	_ RowStreamer = (*DenseMatrix)(nil)
+	_ RowStreamer = (*CondensedMatrix)(nil)
+)
+
+// StreamRow yields the whole dense row as one span.
+func (d *DenseMatrix) StreamRow(i int, fn func(lo int, vals []float32)) {
+	fn(0, d.Row(i))
+}
+
+// ResidentBytes returns the matrix's resident storage size.
+func (d *DenseMatrix) ResidentBytes() int64 { return int64(d.n) * int64(d.n) * 4 }
+
+// zeroSpan is the shared single-entry diagonal span emitted by
+// condensed StreamRow. Consumers must not mutate spans (RowStreamer
+// contract), so one read-only instance serves every row.
+var zeroSpan = []float32{0}
+
+// CondensedMatrix is a Matrix storing only the strict upper triangle:
+// n(n−1)/2 float32 entries, half the resident footprint of DenseMatrix.
+// Entry (i, j) with i < j lives at i·(2n−i−1)/2 + (j−i−1).
+type CondensedMatrix struct {
+	n    int
+	data []float32
+}
+
+var _ Matrix = (*CondensedMatrix)(nil)
+
+// NewCondensedMatrix allocates an n-point zero matrix in condensed
+// upper-triangle layout, or fails with ErrMatrixSize when the element
+// count overflows.
+func NewCondensedMatrix(n int) (*CondensedMatrix, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative n = %d", ErrMatrixSize, n)
+	}
+	b, err := CondensedBytes(n)
+	if err != nil {
+		return nil, err
+	}
+	return &CondensedMatrix{n: n, data: make([]float32, b/4)}, nil
+}
+
+// Len returns the number of points.
+func (c *CondensedMatrix) Len() int { return c.n }
+
+// ResidentBytes returns the matrix's resident storage size.
+func (c *CondensedMatrix) ResidentBytes() int64 { return int64(len(c.data)) * 4 }
+
+// off returns the condensed index of (i, j); requires i < j.
+func (c *CondensedMatrix) off(i, j int) int {
+	return i*(2*c.n-i-1)/2 + (j - i - 1)
+}
+
+// Dist returns the stored dissimilarity between i and j.
+func (c *CondensedMatrix) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return float64(c.data[c.off(i, j)])
+}
+
+// Set stores a symmetric dissimilarity between i and j (i ≠ j; the
+// diagonal is implicitly zero and a Set on it is ignored).
+func (c *CondensedMatrix) Set(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	c.data[c.off(i, j)] = Quantize(v)
+}
+
+// condensedChunk bounds the prefix-gather span length: large enough to
+// amortize the callback, small enough to stay L1-resident.
+const condensedChunk = 256
+
+// StreamRow yields row i as gathered prefix chunks (columns j < i, one
+// strided element per preceding row), the shared zero diagonal span,
+// and the contiguous suffix (columns j > i) aliasing storage directly.
+func (c *CondensedMatrix) StreamRow(i int, fn func(lo int, vals []float32)) {
+	if i > 0 {
+		buf := make([]float32, min(condensedChunk, i))
+		// off(j, i) for consecutive j differs by n−j−2, so the gather
+		// walks the column with incremental indexing instead of a
+		// multiplication per element.
+		o := c.off(0, i)
+		for lo := 0; lo < i; lo += condensedChunk {
+			hi := min(lo+condensedChunk, i)
+			for j := lo; j < hi; j++ {
+				buf[j-lo] = c.data[o]
+				o += c.n - j - 2
+			}
+			fn(lo, buf[:hi-lo])
+		}
+	}
+	fn(i, zeroSpan)
+	if i+1 < c.n {
+		start := c.off(i, i+1)
+		fn(i+1, c.data[start:start+c.n-i-1])
+	}
+}
+
+// MinPositiveDist returns the smallest strictly positive dissimilarity
+// of a streaming matrix, or +Inf when every pair is identical. It
+// replaces materializing the full upper triangle (n(n−1)/2 float64s —
+// 10 GB at n = 50k) with a single streaming pass.
+func MinPositiveDist(m interface {
+	Matrix
+	RowStreamer
+}) float64 {
+	pos := math.Inf(1)
+	n := m.Len()
+	for i := 0; i < n; i++ {
+		m.StreamRow(i, func(lo int, vals []float32) {
+			for _, d32 := range vals {
+				if d := float64(d32); d > 0 && d < pos {
+					pos = d
+				}
+			}
+		})
+	}
+	return pos
+}

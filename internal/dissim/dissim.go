@@ -26,6 +26,7 @@ import (
 
 	"protoclust/internal/canberra"
 	"protoclust/internal/dbscan"
+	"protoclust/internal/dissim/tilestore"
 	"protoclust/internal/netmsg"
 )
 
@@ -98,28 +99,82 @@ func (p *Pool) Views() []canberra.View {
 	return views
 }
 
+// store is what a matrix backend must provide: O(1) pair access plus
+// streaming row access with the shared quantization contract
+// (dbscan.Quantize), so every backend yields bit-identical distances.
+type store interface {
+	dbscan.Matrix
+	dbscan.RowStreamer
+}
+
+// Backend names accepted by Config.Backend.
+const (
+	// BackendAuto picks condensed when it fits the memory budget and
+	// tiled otherwise.
+	BackendAuto = "auto"
+	// BackendDense is the full n×n float32 layout (fast aliased rows,
+	// double the condensed footprint).
+	BackendDense = "dense"
+	// BackendCondensed stores the strict upper triangle: n(n−1)/2
+	// float32, half the dense footprint. The default resident backend.
+	BackendCondensed = "condensed"
+	// BackendTiled computes 64×64 tiles on demand under a byte-budgeted
+	// LRU with optional disk spill (internal/dissim/tilestore).
+	BackendTiled = "tiled"
+)
+
+// DefaultMemoryBudget bounds the matrix's resident bytes when Config
+// leaves MemoryBudget zero: 2 GiB keeps condensed storage through
+// n ≈ 32k and switches larger pools to the tiled backend.
+const DefaultMemoryBudget int64 = 2 << 30
+
+// Config parameterizes the matrix build.
+type Config struct {
+	// Penalty is the Canberra length-mismatch penalty factor
+	// (canberra.DefaultPenalty for the paper's configuration).
+	Penalty float64
+	// Backend selects the storage layout; "" means BackendAuto.
+	Backend string
+	// MemoryBudget bounds the matrix's resident bytes; ≤ 0 means
+	// DefaultMemoryBudget. Explicitly requested dense/condensed
+	// backends that exceed the budget fail with ErrPoolTooLarge; auto
+	// falls back to tiled; tiled uses it as the tile-LRU bound.
+	MemoryBudget int64
+	// SpillDir enables the tiled backend's disk spill under the given
+	// directory (see tilestore.Config.SpillDir).
+	SpillDir string
+}
+
 // Matrix stores the pairwise Canberra dissimilarities between the
 // pool's unique segments, plus the float views they were computed from
 // so downstream stages (refinement, reporting) can reuse them without
 // reconverting bytes.
 type Matrix struct {
-	dense *dbscan.DenseMatrix
-	views []canberra.View
+	store   store
+	views   []canberra.View
+	backend string
 }
 
-var _ dbscan.Matrix = (*Matrix)(nil)
+var (
+	_ dbscan.Matrix      = (*Matrix)(nil)
+	_ dbscan.RowStreamer = (*Matrix)(nil)
+)
 
 // ErrEmptyPool is returned when a matrix is requested for a pool with no
 // unique segments.
 var ErrEmptyPool = errors.New("dissim: empty segment pool")
 
-// ErrPoolTooLarge is returned when the unique-segment population would
-// need an unreasonably large dense matrix; callers should deduplicate
-// harder, split the trace by message type first, or truncate it.
-var ErrPoolTooLarge = errors.New("dissim: segment pool too large for a dense matrix")
+// ErrPoolTooLarge is returned when the unique-segment population does
+// not fit the requested resident backend within the memory budget;
+// callers should raise the budget, switch to the tiled backend,
+// deduplicate harder, or split the trace by message type first.
+var ErrPoolTooLarge = errors.New("dissim: segment pool too large")
 
-// MaxUniqueSegments bounds the dense-matrix population: n² float32
-// entries; 30k uniques ≈ 3.6 GB.
+// MaxUniqueSegments bounds the population of the pre-kernel reference
+// path (ComputeReference), which only exists as an oracle and perf
+// baseline and always allocates densely: n² float32 entries; 30k
+// uniques ≈ 3.6 GB. The production backends are bounded by
+// Config.MemoryBudget instead.
 const MaxUniqueSegments = 30000
 
 // tileSize is the edge length of one scheduling tile over the upper
@@ -134,36 +189,109 @@ var computeTileHook func()
 
 // Compute fills the dissimilarity matrix for the pool using the given
 // Canberra length-mismatch penalty factor (canberra.DefaultPenalty for
-// the paper's configuration). Pairs are computed concurrently in
-// balanced tiles over the upper triangle.
+// the paper's configuration) and the automatic backend selection.
 func Compute(pool *Pool, penalty float64) (*Matrix, error) {
 	return ComputeContext(context.Background(), pool, penalty)
 }
 
-// ComputeContext is Compute with cancellation: workers re-check ctx
-// before every tile they pick up, so a cancelled or expired context
-// aborts the O(n²) build after at most one in-flight tile per worker
-// instead of finishing the matrix. The returned error wraps ctx's
-// cause, so errors.Is(err, context.Canceled) (or DeadlineExceeded)
-// holds.
+// ComputeContext is Compute with cancellation: eager builds re-check
+// ctx per scheduling tile; the tiled backend checks it per lazily
+// computed tile and surfaces it through Matrix.Err. The returned error
+// wraps ctx's cause, so errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) holds.
 func ComputeContext(ctx context.Context, pool *Pool, penalty float64) (*Matrix, error) {
+	return ComputeMatrixContext(ctx, pool, Config{Penalty: penalty})
+}
+
+// ComputeMatrix is ComputeMatrixContext without cancellation.
+func ComputeMatrix(pool *Pool, cfg Config) (*Matrix, error) {
+	return ComputeMatrixContext(context.Background(), pool, cfg)
+}
+
+// ComputeMatrixContext builds the dissimilarity matrix on the backend
+// cfg selects. Resident backends (dense, condensed) are computed
+// eagerly in balanced upper-triangle tiles; the tiled backend returns
+// immediately and computes 64×64 tiles on first touch within
+// cfg.MemoryBudget resident bytes.
+func ComputeMatrixContext(ctx context.Context, pool *Pool, cfg Config) (*Matrix, error) {
 	n := pool.Size()
 	if n == 0 {
 		return nil, ErrEmptyPool
 	}
-	if n > MaxUniqueSegments {
-		return nil, fmt.Errorf("%w: %d unique segments (max %d)", ErrPoolTooLarge, n, MaxUniqueSegments)
+	budget := cfg.MemoryBudget
+	if budget <= 0 {
+		budget = DefaultMemoryBudget
+	}
+	backend := cfg.Backend
+	if backend == "" || backend == BackendAuto {
+		if b, err := dbscan.CondensedBytes(n); err == nil && b <= budget {
+			backend = BackendCondensed
+		} else {
+			backend = BackendTiled
+		}
 	}
 	views := pool.Views()
-	dense := dbscan.NewDenseMatrix(n)
-	if err := fillMatrix(ctx, dense, views, penalty); err != nil {
-		return nil, err
+
+	var st store
+	switch backend {
+	case BackendDense:
+		b, err := dbscan.DenseBytes(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		if b > budget {
+			return nil, fmt.Errorf("%w: %d unique segments need %d bytes dense (budget %d)",
+				ErrPoolTooLarge, n, b, budget)
+		}
+		dense, err := dbscan.NewDenseMatrix(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		if err := fillMatrix(ctx, dense, views, cfg.Penalty); err != nil {
+			return nil, err
+		}
+		st = dense
+	case BackendCondensed:
+		b, err := dbscan.CondensedBytes(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		if b > budget {
+			return nil, fmt.Errorf("%w: %d unique segments need %d bytes condensed (budget %d)",
+				ErrPoolTooLarge, n, b, budget)
+		}
+		cond, err := dbscan.NewCondensedMatrix(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		if err := fillMatrix(ctx, cond, views, cfg.Penalty); err != nil {
+			return nil, err
+		}
+		st = cond
+	case BackendTiled:
+		ts, err := tilestore.New(ctx, views, tilestore.Config{
+			BudgetBytes: budget,
+			SpillDir:    cfg.SpillDir,
+			Penalty:     cfg.Penalty,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dissim: tiled backend: %w", err)
+		}
+		st = ts
+	default:
+		return nil, fmt.Errorf("dissim: unknown matrix backend %q", cfg.Backend)
 	}
-	return &Matrix{dense: dense, views: views}, nil
+	return &Matrix{store: st, views: views, backend: backend}, nil
 }
 
-// fillMatrix computes every upper-triangle pair of views into dense.
-func fillMatrix(ctx context.Context, dense *dbscan.DenseMatrix, views []canberra.View, penalty float64) error {
+// settable is the write side of the eager backends.
+type settable interface {
+	dbscan.Matrix
+	Set(i, j int, v float64)
+}
+
+// fillMatrix computes every upper-triangle pair of views into st.
+func fillMatrix(ctx context.Context, st settable, views []canberra.View, penalty float64) error {
 	n := len(views)
 
 	// Traversal order sorted by segment length (stable, so equal
@@ -243,7 +371,7 @@ func fillMatrix(ctx context.Context, dense *dbscan.DenseMatrix, views []canberra
 							fail(fmt.Errorf("dissim: segment %d: %w", j, canberra.ErrEmpty))
 							return
 						}
-						dense.Set(i, j, canberra.DissimViews(vi, vj, penalty))
+						st.Set(i, j, canberra.DissimViews(vi, vj, penalty))
 					}
 				}
 			}
@@ -254,19 +382,73 @@ func fillMatrix(ctx context.Context, dense *dbscan.DenseMatrix, views []canberra
 }
 
 // Len returns the number of unique segments.
-func (m *Matrix) Len() int { return m.dense.Len() }
+func (m *Matrix) Len() int { return m.store.Len() }
 
 // Dist returns the dissimilarity between unique segments i and j.
-func (m *Matrix) Dist(i, j int) float64 { return m.dense.Dist(i, j) }
+func (m *Matrix) Dist(i, j int) float64 { return m.store.Dist(i, j) }
+
+// StreamRow streams row i span by span in ascending column order (see
+// dbscan.RowStreamer); the row consumers use it instead of assuming an
+// aliased full row, which no longer exists on the condensed and tiled
+// backends.
+func (m *Matrix) StreamRow(i int, fn func(lo int, vals []float32)) {
+	m.store.StreamRow(i, fn)
+}
+
+// Backend names the storage backend serving this matrix ("dense",
+// "condensed", or "tiled").
+func (m *Matrix) Backend() string { return m.backend }
+
+// Err returns the first deferred error of a lazily computed backend (a
+// cancelled context observed during on-demand tile computation), or
+// nil. Eager backends report errors at build time and always return
+// nil here. Pipelines must check Err after consuming a tiled matrix.
+func (m *Matrix) Err() error {
+	if e, ok := m.store.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// Close releases backend resources (the tiled backend's spill file).
+// The matrix stays readable; close it only when analysis is done.
+func (m *Matrix) Close() error {
+	if c, ok := m.store.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// ResidentBytes returns the bytes the matrix currently holds in memory:
+// the full storage for the resident backends, the cached tile bytes for
+// the tiled backend.
+func (m *Matrix) ResidentBytes() int64 {
+	if r, ok := m.store.(interface{ ResidentBytes() int64 }); ok {
+		return r.ResidentBytes()
+	}
+	return 0
+}
 
 // Views returns the precomputed float views the matrix was built from,
 // indexed like the pool's unique segments. Callers must not mutate them.
 func (m *Matrix) Views() []canberra.View { return m.views }
 
+// MinPositive returns the smallest strictly positive dissimilarity in
+// the matrix, or +Inf when every pair is identical — the ε fallback of
+// the auto-configuration, computed in one streaming pass instead of
+// materializing the upper triangle.
+func (m *Matrix) MinPositive() float64 {
+	return dbscan.MinPositiveDist(m.store)
+}
+
 // PairwiseWithin returns all pairwise dissimilarities among the given
 // unique-segment indices (used by cluster refinement for per-cluster
-// statistics). Fewer than two indices yield nil.
+// statistics). Fewer than two indices yield nil. The tiled backend
+// serves this tile-grouped; resident backends read storage directly.
 func (m *Matrix) PairwiseWithin(idx []int) []float64 {
+	if pw, ok := m.store.(interface{ PairwiseWithin([]int) []float64 }); ok {
+		return pw.PairwiseWithin(idx)
+	}
 	if len(idx) < 2 {
 		return nil
 	}
@@ -274,7 +456,7 @@ func (m *Matrix) PairwiseWithin(idx []int) []float64 {
 	p := 0
 	for a := 0; a < len(idx); a++ {
 		for b := a + 1; b < len(idx); b++ {
-			out[p] = m.Dist(idx[a], idx[b])
+			out[p] = m.store.Dist(idx[a], idx[b])
 			p++
 		}
 	}

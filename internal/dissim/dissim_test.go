@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -276,17 +277,45 @@ func TestKNNSubsetProperty(t *testing.T) {
 	}
 }
 
-func TestComputeRejectsHugePool(t *testing.T) {
-	// Fabricate a pool whose Size exceeds the dense-matrix bound without
-	// materializing the segments' content comparisons.
-	p := &Pool{}
-	m := &netmsg.Message{Data: []byte{0, 1}}
-	p.Unique = make([]netmsg.Segment, MaxUniqueSegments+1)
-	for i := range p.Unique {
-		p.Unique[i] = netmsg.Segment{Msg: m, Offset: 0, Length: 2}
+func TestComputeRejectsPoolOverBudget(t *testing.T) {
+	// 64 segments need 16 KiB dense / 8 KiB condensed — both beyond a
+	// 1 KiB budget, so the explicit in-memory backends must refuse with
+	// ErrPoolTooLarge (and name the segment count) instead of allocating.
+	pool := NewPool(genSegments(64, 11))
+	for _, backend := range []string{BackendDense, BackendCondensed} {
+		_, err := ComputeMatrix(pool, Config{Penalty: canberra.DefaultPenalty, Backend: backend, MemoryBudget: 1 << 10})
+		if !errors.Is(err, ErrPoolTooLarge) {
+			t.Errorf("%s: err = %v, want ErrPoolTooLarge", backend, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "64 unique segments") {
+			t.Errorf("%s: err = %v, want segment count in message", backend, err)
+		}
 	}
-	if _, err := Compute(p, canberra.DefaultPenalty); !errors.Is(err, ErrPoolTooLarge) {
-		t.Errorf("err = %v, want ErrPoolTooLarge", err)
+
+	// The auto backend under the same budget falls through to tiled and
+	// still completes, bit-identical to the unconstrained default.
+	got, err := ComputeMatrix(pool, Config{Penalty: canberra.DefaultPenalty, MemoryBudget: 1 << 10, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("auto backend under tiny budget: %v", err)
+	}
+	defer func() {
+		if err := got.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if got.Backend() != BackendTiled {
+		t.Fatalf("Backend = %q, want %q", got.Backend(), BackendTiled)
+	}
+	want, err := Compute(pool, canberra.DefaultPenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pool.Size(); i++ {
+		for j := 0; j < pool.Size(); j++ {
+			if got.Dist(i, j) != want.Dist(i, j) {
+				t.Fatalf("Dist(%d,%d): tiled %v, dense %v", i, j, got.Dist(i, j), want.Dist(i, j))
+			}
+		}
 	}
 }
 

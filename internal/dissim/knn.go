@@ -50,21 +50,25 @@ func (h maxHeap) siftDown(i int) {
 
 // rowKNN fills h (capacity k, length 0 on entry) with the k smallest
 // off-diagonal entries of row i and returns the heap at full length.
+// The row arrives as StreamRow spans in ascending column order — the
+// same order a dense row scan used — so tie-breaking, and therefore
+// the resulting table, is bit-identical across backends.
 func rowKNN(m *Matrix, i, k int, h maxHeap) maxHeap {
-	row := m.dense.Row(i)
-	for j, d32 := range row {
-		if j == i {
-			continue
+	m.store.StreamRow(i, func(lo int, vals []float32) {
+		for o, d32 := range vals {
+			if lo+o == i {
+				continue
+			}
+			d := float64(d32)
+			if len(h) < k {
+				h = append(h, d)
+				h.siftUp(len(h) - 1)
+			} else if d < h[0] {
+				h[0] = d
+				h.siftDown(0)
+			}
 		}
-		d := float64(d32)
-		if len(h) < k {
-			h = append(h, d)
-			h.siftUp(len(h) - 1)
-		} else if d < h[0] {
-			h[0] = d
-			h.siftDown(0)
-		}
-	}
+	})
 	return h
 }
 
@@ -131,6 +135,9 @@ func (m *Matrix) KNNDistances(k int) ([]float64, error) {
 	forEachRow(m.Len(), k, func(i int, h maxHeap) {
 		out[i] = rowKNN(m, i, k, h)[0]
 	})
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -153,5 +160,11 @@ func (m *Matrix) KNNTable(kmax int) ([][]float64, error) {
 			table[k][i] = h.popMax()
 		}
 	})
+	// A lazily computed backend defers cancellation to here: the rows
+	// it could not compute are zero-filled, so the table must not be
+	// used once the sticky error is set.
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
 	return table, nil
 }

@@ -29,7 +29,10 @@ func ComputeReference(pool *Pool, penalty float64) (*Matrix, error) {
 	if n > MaxUniqueSegments {
 		return nil, fmt.Errorf("%w: %d unique segments (max %d)", ErrPoolTooLarge, n, MaxUniqueSegments)
 	}
-	dense := dbscan.NewDenseMatrix(n)
+	dense, err := dbscan.NewDenseMatrix(n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPoolTooLarge, err)
+	}
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -70,7 +73,7 @@ func ComputeReference(pool *Pool, penalty float64) (*Matrix, error) {
 	if firstEr != nil {
 		return nil, firstEr
 	}
-	return &Matrix{dense: dense, views: pool.Views()}, nil
+	return &Matrix{store: dense, views: pool.Views(), backend: BackendDense}, nil
 }
 
 // KNNTableSort is the original k-NN table construction: one full

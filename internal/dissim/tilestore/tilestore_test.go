@@ -1,0 +1,203 @@
+package tilestore
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"protoclust/internal/canberra"
+	"protoclust/internal/dbscan"
+)
+
+// testViews builds n deterministic non-empty kernel views.
+func testViews(t *testing.T, n int, seed int64) []canberra.View {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	lens := []int{2, 3, 4, 6, 8, 12}
+	views := make([]canberra.View, n)
+	for i := range views {
+		b := make([]byte, lens[rng.Intn(len(lens))])
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		views[i] = canberra.NewView(b)
+	}
+	return views
+}
+
+// oracle computes the expected quantized distance straight through the
+// kernel, bypassing the store.
+func oracle(views []canberra.View, penalty float64, i, j int) float32 {
+	if i == j {
+		return 0
+	}
+	return dbscan.Quantize(canberra.DissimViews(views[i], views[j], penalty))
+}
+
+func newStore(t *testing.T, views []canberra.View, cfg Config) *Store {
+	t.Helper()
+	s, err := New(context.Background(), views, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func TestStoreValuesAndSymmetry(t *testing.T) {
+	views := testViews(t, 70, 5)
+	s := newStore(t, views, Config{TileSize: 16, Penalty: canberra.DefaultPenalty})
+	for i := 0; i < 70; i++ {
+		for j := 0; j < 70; j++ {
+			want := float64(oracle(views, canberra.DefaultPenalty, i, j))
+			if got := s.Dist(i, j); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("Dist(%d,%d) = %v, want %v", i, j, got, want)
+			}
+			if s.Dist(i, j) != s.Dist(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+// TestEvictionUnderTinyBudget forces a budget of exactly one tile slot:
+// every cross-tile access must evict, yet values stay correct because
+// evicted tiles are recomputed on demand.
+func TestEvictionUnderTinyBudget(t *testing.T) {
+	const n, ts = 100, 16
+	views := testViews(t, n, 9)
+	s := newStore(t, views, Config{TileSize: ts, BudgetBytes: 1, Penalty: canberra.DefaultPenalty})
+
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i += 7 {
+			for j := 0; j < n; j += 11 {
+				want := float64(oracle(views, canberra.DefaultPenalty, i, j))
+				if got := s.Dist(i, j); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("pass %d: Dist(%d,%d) = %v, want %v", pass, i, j, got, want)
+				}
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.Evicted == 0 {
+		t.Fatalf("Stats.Evicted = 0 under a one-slot budget; stats = %+v", st)
+	}
+	// No spill dir: evicted tiles must be recomputed, never reloaded.
+	if st.Reloads != 0 || st.Spills != 0 {
+		t.Fatalf("spill counters non-zero without a spill dir: %+v", st)
+	}
+	if st.Computed <= int64(1) {
+		t.Fatalf("Stats.Computed = %d, want > 1 (recomputation after eviction)", st.Computed)
+	}
+	if got := s.ResidentBytes(); got > int64(ts)*int64(ts)*4 {
+		t.Fatalf("ResidentBytes = %d exceeds the one-slot clamp", got)
+	}
+}
+
+// TestSpillRoundTrip enables the disk spill and walks the matrix twice:
+// the second pass must reload evicted tiles from disk bit-for-bit
+// instead of recomputing them.
+func TestSpillRoundTrip(t *testing.T) {
+	const n, ts = 120, 16
+	views := testViews(t, n, 13)
+	s := newStore(t, views, Config{
+		TileSize:    ts,
+		BudgetBytes: 1, // clamps to one slot → constant eviction
+		SpillDir:    t.TempDir(),
+		Penalty:     canberra.DefaultPenalty,
+	})
+
+	// First pass populates and spills.
+	for i := 0; i < n; i++ {
+		s.StreamRow(i, func(lo int, vals []float32) {})
+	}
+	first := s.Stats()
+	if first.Spills == 0 {
+		t.Fatalf("no tiles spilled on the first pass: %+v", first)
+	}
+
+	// Second pass: verify values; reloads must occur and computation
+	// must not restart from scratch.
+	for i := 0; i < n; i++ {
+		next := 0
+		s.StreamRow(i, func(lo int, vals []float32) {
+			for o, d32 := range vals {
+				j := lo + o
+				if w := oracle(views, canberra.DefaultPenalty, i, j); math.Float32bits(d32) != math.Float32bits(w) {
+					t.Fatalf("reloaded Dist(%d,%d) = %v, want %v", i, j, d32, w)
+				}
+			}
+			next = lo + len(vals)
+		})
+		if next != n {
+			t.Fatalf("StreamRow(%d) covered %d columns, want %d", i, next, n)
+		}
+	}
+	second := s.Stats()
+	if second.Reloads == 0 {
+		t.Fatalf("no tiles reloaded from spill: %+v", second)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+// TestCancellationStickyError cancels the store's context mid-life:
+// subsequent tile computation records a sticky error wrapping the
+// cancellation cause and Err reports it from then on.
+func TestCancellationStickyError(t *testing.T) {
+	views := testViews(t, 80, 21)
+	cause := errors.New("deadline for the job")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s, err := New(ctx, views, Config{TileSize: 16, Penalty: canberra.DefaultPenalty})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	// Touch one tile before cancellation: values are live, Err is nil.
+	if got, want := s.Dist(0, 1), float64(oracle(views, canberra.DefaultPenalty, 0, 1)); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("pre-cancel Dist(0,1) = %v, want %v", got, want)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("pre-cancel Err = %v", err)
+	}
+
+	cancel(cause)
+
+	// Force a tile that was never computed: the store must refuse to
+	// fabricate values silently — the sticky error appears.
+	_ = s.Dist(0, 79)
+	if err := s.Err(); !errors.Is(err, cause) {
+		t.Fatalf("post-cancel Err = %v, want wrapping %v", err, cause)
+	}
+	// The error is sticky: it persists across further accesses.
+	_ = s.Dist(5, 40)
+	if err := s.Err(); !errors.Is(err, cause) {
+		t.Fatalf("sticky Err lost: %v", err)
+	}
+}
+
+func TestNewRejectsEmptyViews(t *testing.T) {
+	if _, err := New(context.Background(), nil, Config{}); err == nil {
+		t.Fatal("New(nil views) succeeded, want error")
+	}
+	views := []canberra.View{canberra.NewView([]byte{1, 2}), canberra.NewView(nil)}
+	if _, err := New(context.Background(), views, Config{}); !errors.Is(err, canberra.ErrEmpty) {
+		t.Fatalf("New with empty view err = %v, want canberra.ErrEmpty", err)
+	}
+}

@@ -96,6 +96,15 @@ func DefaultTraces() []Spec {
 // segment, dissimilarity matrix, auto-configured DBSCAN, refinement,
 // evaluation — for one spec and returns its record.
 func Run(s Spec) (*Record, error) {
+	return RunBackend(s, "")
+}
+
+// RunBackend is Run with an explicit dissimilarity-matrix backend
+// ("dense", "condensed", "tiled"; "" = automatic). Every backend stores
+// identically quantized values, so the records must come out identical
+// — `make golden-check` exercises the default and the tiled path
+// against the same golden files.
+func RunBackend(s Spec, backend string) (*Record, error) {
 	tr, err := protocols.Generate(s.Protocol, s.Messages, s.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("golden: generate %s: %w", s, err)
@@ -107,7 +116,7 @@ func Run(s Spec) (*Record, error) {
 	}
 	pool := dissim.NewPool(segs)
 	p := core.DefaultParams()
-	m, err := dissim.Compute(pool, p.Penalty)
+	m, err := dissim.ComputeMatrix(pool, dissim.Config{Penalty: p.Penalty, Backend: backend})
 	if err != nil {
 		return nil, fmt.Errorf("golden: dissimilarities %s: %w", s, err)
 	}

@@ -70,7 +70,10 @@ func Cluster(tr *netmsg.Trace, seg segment.Segmenter, p Params) (*Result, error)
 	}
 
 	n := len(msgs)
-	matrix := dbscan.NewDenseMatrix(n)
+	matrix, err := dbscan.NewDenseMatrix(n)
+	if err != nil {
+		return nil, fmt.Errorf("msgtype: matrix: %w", err)
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			d, err := messageDissimilarity(perMsg[msgs[i]], perMsg[msgs[j]], p.Penalty)

@@ -35,10 +35,42 @@ func CacheKey(tr *protoclust.Trace, o protoclust.Options) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// canonicalCoverage declares the cache disposition of every exported
+// field reachable from protoclust.Options (nested structs flattened
+// with a dot): "hashed" fields enter the canonical encoding below;
+// "neutral" fields are deliberately excluded because they cannot change
+// the analysis outcome — the matrix memory budget, backend, and spill
+// directory only move where the dissimilarity matrix lives, never what
+// it contains (every backend is bit-identical). The reflection test
+// TestCanonicalOptionsCoverage fails compilation-adjacent: adding an
+// Options or core.Params field without classifying it here breaks the
+// build's test run, so distinct configurations can never silently share
+// cache entries.
+var canonicalCoverage = map[string]string{
+	"Segmenter":     "hashed",
+	"NoDeduplicate": "hashed",
+	"MemoryBudget":  "neutral",
+
+	"Params.Penalty":                  "hashed",
+	"Params.KneedleSensitivity":       "hashed",
+	"Params.SplineSmoothness":         "hashed",
+	"Params.EpsRhoThreshold":          "hashed",
+	"Params.NeighborDensityThreshold": "hashed",
+	"Params.LargeClusterShare":        "hashed",
+	"Params.PercentRankThreshold":     "hashed",
+	"Params.DisableRefinement":        "hashed",
+	"Params.FixedEpsilon":             "hashed",
+	"Params.Clusterer":                "hashed",
+	"Params.MemoryBudget":             "neutral",
+	"Params.MatrixBackend":            "neutral",
+	"Params.MatrixSpillDir":           "neutral",
+}
+
 // writeCanonicalOptions encodes every analysis-relevant Options field in
 // a fixed order with explicit separators, so the encoding is injective
-// and stable across processes. New Params fields must be added here to
-// keep distinct configurations from sharing cache entries.
+// and stable across processes. New Params fields must be added here and
+// classified in canonicalCoverage to keep distinct configurations from
+// sharing cache entries.
 func writeCanonicalOptions(h hash.Hash, o protoclust.Options) {
 	p := o.Params
 	if p == (core.Params{}) {

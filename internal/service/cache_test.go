@@ -1,9 +1,12 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"protoclust"
@@ -131,5 +134,113 @@ func TestCacheMemoryOnlyMiss(t *testing.T) {
 	c := NewCache(8, "")
 	if _, ok := c.Get("nope"); ok {
 		t.Error("empty cache returned a hit")
+	}
+}
+
+// canonicalEncoding digests writeCanonicalOptions' output for
+// comparison in tests.
+func canonicalEncoding(o protoclust.Options) string {
+	h := sha256.New()
+	writeCanonicalOptions(h, o)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// optionsFieldPaths flattens every exported field reachable from
+// protoclust.Options, nested structs joined with dots
+// ("Params.Penalty").
+func optionsFieldPaths() []string {
+	var paths []string
+	var walk func(prefix string, typ reflect.Type)
+	walk = func(prefix string, typ reflect.Type) {
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			if f.Type.Kind() == reflect.Struct {
+				walk(prefix+f.Name+".", f.Type)
+				continue
+			}
+			paths = append(paths, prefix+f.Name)
+		}
+	}
+	walk("", reflect.TypeOf(protoclust.Options{}))
+	return paths
+}
+
+// perturb returns DefaultOptions with the field at path changed to a
+// distinct value (reflection over the flattened path).
+func perturb(t *testing.T, path string) protoclust.Options {
+	t.Helper()
+	opts := protoclust.DefaultOptions()
+	v := reflect.ValueOf(&opts).Elem()
+	for {
+		i := 0
+		for i < len(path) && path[i] != '.' {
+			i++
+		}
+		v = v.FieldByName(path[:i])
+		if !v.IsValid() {
+			t.Fatalf("field path %q does not resolve", path)
+		}
+		if i == len(path) {
+			break
+		}
+		path = path[i+1:]
+	}
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(v.String() + "-perturbed")
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Float64:
+		v.SetFloat(v.Float() + 0.127)
+	case reflect.Int64:
+		v.SetInt(v.Int() + 12345)
+	default:
+		t.Fatalf("field %q has unsupported kind %s; teach perturb about it", path, v.Kind())
+	}
+	return opts
+}
+
+// TestCanonicalOptionsCoverage reflects over protoclust.Options and
+// holds writeCanonicalOptions to the canonicalCoverage contract: every
+// exported field (including nested core.Params fields) must be
+// classified, no stale classifications may linger, and the declared
+// disposition must actually hold — perturbing a hashed field changes
+// the canonical encoding, perturbing a neutral field leaves it alone.
+// A new Options or Params knob therefore cannot ship without a
+// deliberate cache decision.
+func TestCanonicalOptionsCoverage(t *testing.T) {
+	paths := optionsFieldPaths()
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		seen[p] = true
+		if canonicalCoverage[p] == "" {
+			t.Errorf("field %s is not classified in canonicalCoverage; declare it hashed or neutral", p)
+		}
+	}
+	for p, class := range canonicalCoverage {
+		if !seen[p] {
+			t.Errorf("canonicalCoverage lists %s, which no longer exists on protoclust.Options", p)
+		}
+		if class != "hashed" && class != "neutral" {
+			t.Errorf("field %s has unknown class %q", p, class)
+		}
+	}
+
+	base := canonicalEncoding(protoclust.DefaultOptions())
+	for _, p := range paths {
+		got := canonicalEncoding(perturb(t, p))
+		switch canonicalCoverage[p] {
+		case "hashed":
+			if got == base {
+				t.Errorf("perturbing hashed field %s did not change the canonical encoding", p)
+			}
+		case "neutral":
+			if got != base {
+				t.Errorf("perturbing neutral field %s changed the canonical encoding; it would split the cache", p)
+			}
+		}
 	}
 }

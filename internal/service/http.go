@@ -22,6 +22,8 @@ type submitRequest struct {
 	NoDeduplicate bool   `json:"no_deduplicate,omitempty"`
 	Samples       int    `json:"samples,omitempty"`
 	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
+	MemoryBudget  int64  `json:"memory_budget_bytes,omitempty"`
+	MatrixBackend string `json:"matrix_backend,omitempty"`
 }
 
 // submitResponse acknowledges an accepted job.
@@ -77,6 +79,8 @@ func (s *Service) handleSubmitJSON(w http.ResponseWriter, r *http.Request) {
 		NoDeduplicate: req.NoDeduplicate,
 		Samples:       req.Samples,
 		Timeout:       time.Duration(req.TimeoutMS) * time.Millisecond,
+		MemoryBudget:  req.MemoryBudget,
+		MatrixBackend: req.MatrixBackend,
 	})
 }
 
@@ -96,6 +100,13 @@ func (s *Service) handleSubmitPCAP(w http.ResponseWriter, r *http.Request) {
 		PCAP:          body,
 		Segmenter:     q.Get("segmenter"),
 		NoDeduplicate: q.Get("no_deduplicate") == "true",
+		MatrixBackend: q.Get("matrix_backend"),
+	}
+	if v := q.Get("memory_budget_bytes"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &spec.MemoryBudget); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid memory_budget_bytes %q", v), false)
+			return
+		}
 	}
 	if v := q.Get("port"); v != "" {
 		if _, err := fmt.Sscanf(v, "%d", &spec.Port); err != nil {

@@ -377,3 +377,47 @@ func TestHTTPPprofRegistered(t *testing.T) {
 		t.Errorf("pprof cmdline = %d, want 200", resp.StatusCode)
 	}
 }
+
+// TestHTTPMemoryBudgetExceeded submits a job whose explicitly requested
+// dense matrix exceeds its memory budget: the job fails
+// deterministically (not retryable), and fetching the result yields a
+// 422 whose message names the segment count, so the client can size the
+// budget or switch backends. The same trace under the same budget then
+// completes on the tiled backend.
+func TestHTTPMemoryBudgetExceeded(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	sub := httpSubmit(t, srv.URL,
+		`{"proto":"ntp","n":60,"seed":1,"segmenter":"truth","matrix_backend":"dense","memory_budget_bytes":1024}`)
+	st := httpPoll(t, srv.URL, sub.ID, 30*time.Second)
+	if st.State != StateFailed || st.Retryable {
+		t.Fatalf("job = %+v, want deterministic failure", st)
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("result status = %d, want 422", resp.StatusCode)
+	}
+	er := decodeJSON[errorResponse](t, resp)
+	if !strings.Contains(er.Error, "unique segments") || !strings.Contains(er.Error, "budget") {
+		t.Errorf("error %q does not name the segment count and budget", er.Error)
+	}
+
+	// Unknown backend names are rejected at submission time.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"proto":"ntp","n":10,"matrix_backend":"sparse"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown backend submit = %d, want 400", resp.StatusCode)
+	}
+
+	sub2 := httpSubmit(t, srv.URL,
+		`{"proto":"ntp","n":60,"seed":1,"segmenter":"truth","matrix_backend":"tiled","memory_budget_bytes":1024}`)
+	if st2 := httpPoll(t, srv.URL, sub2.ID, 30*time.Second); st2.State != StateDone {
+		t.Fatalf("tiled job = %+v, want done", st2)
+	}
+}

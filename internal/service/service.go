@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"protoclust"
+	"protoclust/internal/dissim"
 )
 
 // JobState is the lifecycle state of a job.
@@ -62,6 +64,13 @@ type JobSpec struct {
 	Segmenter     string `json:"segmenter,omitempty"`
 	NoDeduplicate bool   `json:"no_deduplicate,omitempty"`
 	Samples       int    `json:"samples,omitempty"`
+	// MemoryBudget bounds the resident bytes of the job's dissimilarity
+	// matrix; 0 keeps the library default (2 GiB). MatrixBackend forces
+	// a storage backend ("dense", "condensed", "tiled"); "" means
+	// automatic selection within the budget. Both are cache-neutral:
+	// labels are bit-identical across backends.
+	MemoryBudget  int64  `json:"memory_budget_bytes,omitempty"`
+	MatrixBackend string `json:"matrix_backend,omitempty"`
 	// Timeout bounds the job's run time; 0 falls back to the service
 	// default.
 	Timeout time.Duration `json:"-"`
@@ -76,6 +85,13 @@ func (sp *JobSpec) Validate() error {
 		return errors.New("service: job must not set both proto and pcap")
 	case sp.Proto != "" && sp.N <= 0:
 		return errors.New("service: generated trace needs n > 0")
+	case sp.MemoryBudget < 0:
+		return errors.New("service: memory_budget_bytes must be >= 0")
+	}
+	switch sp.MatrixBackend {
+	case "", dissim.BackendAuto, dissim.BackendDense, dissim.BackendCondensed, dissim.BackendTiled:
+	default:
+		return fmt.Errorf("service: unknown matrix_backend %q", sp.MatrixBackend)
 	}
 	return nil
 }
@@ -113,6 +129,10 @@ type Config struct {
 	CacheEntries int
 	// CacheDir enables the disk spill of the result cache.
 	CacheDir string
+	// SpillDir is the scratch directory for the tiled matrix backend's
+	// disk spill (default: "<CacheDir>/tiles" when CacheDir is set;
+	// otherwise tiles are recomputed instead of spilled).
+	SpillDir string
 	// Logger receives structured per-job logs (default: slog.Default).
 	Logger *slog.Logger
 }
@@ -186,6 +206,9 @@ func New(cfg Config) *Service {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
+	}
+	if cfg.SpillDir == "" && cfg.CacheDir != "" {
+		cfg.SpillDir = filepath.Join(cfg.CacheDir, "tiles")
 	}
 	s := &Service{
 		cfg:   cfg,
@@ -477,6 +500,9 @@ func (s *Service) prepare(spec JobSpec) (*protoclust.Trace, protoclust.Options, 
 		opts.Segmenter = spec.Segmenter
 	}
 	opts.NoDeduplicate = spec.NoDeduplicate
+	opts.MemoryBudget = spec.MemoryBudget
+	opts.Params.MatrixBackend = spec.MatrixBackend
+	opts.Params.MatrixSpillDir = s.cfg.SpillDir
 	if _, err := protoclust.NewSegmenter(opts.Segmenter); err != nil {
 		return nil, opts, err
 	}

@@ -87,6 +87,13 @@ type Options struct {
 	// Deduplicate drops duplicate payloads before analysis (Section
 	// III-A). Default: true (disable only for experiments).
 	NoDeduplicate bool
+	// MemoryBudget bounds the resident bytes of the dissimilarity
+	// matrix; ≤ 0 keeps the 2 GiB default. Pools whose condensed matrix
+	// exceeds the budget switch to the bounded-memory tiled backend
+	// automatically. Shorthand for Params.MemoryBudget, which wins when
+	// both are set. The budget never changes cluster labels — only where
+	// the matrix lives.
+	MemoryBudget int64
 	// Params exposes every pipeline tunable; zero fields fall back to
 	// the paper's configuration.
 	Params core.Params
@@ -160,6 +167,9 @@ func AnalyzeContext(ctx context.Context, tr *Trace, o Options) (*Analysis, error
 	}
 	if o.Params == (core.Params{}) {
 		o.Params = core.DefaultParams()
+	}
+	if o.Params.MemoryBudget == 0 {
+		o.Params.MemoryBudget = o.MemoryBudget
 	}
 	var timings []StageTiming
 	stage := func(name string, start time.Time) {
