@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-service test-oracle golden-check golden-update vet lint bench bench-json smoke-tiled eval fuzz serve clean
+.PHONY: all build test test-short test-noasm test-race test-service test-oracle golden-check golden-update vet lint bench bench-json bench-scaling smoke-tiled eval fuzz serve clean
 
 all: build lint test
 
@@ -30,6 +30,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The assembly-free build: the noasm tag compiles out the SIMD kernels,
+# so this shard proves the scalar fallback alone passes the full suite
+# (and that no code path depends on an arch kernel being present).
+test-noasm:
+	$(GO) test -tags noasm ./...
 
 # Race detector over the concurrent matrix build, k-NN selection, and
 # the rest of the pipeline.
@@ -72,11 +78,18 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerates the perf-trajectory artifact for the dissimilarity hot
-# path: kernel, matrix build, and k-NN table per backend (dense /
-# condensed / tiled) at n = 500/2000/8000, plus the optimized-vs-
-# reference comparison. See docs/tuning.md § Performance.
+# path: per-kernel shard (every compiled SIMD kernel vs scalar and the
+# PR-1 baseline), kernel, matrix build, and k-NN table per backend
+# (dense / condensed / tiled) at n = 500/2000/8000, plus the GOMAXPROCS
+# scaling sweep. See docs/tuning.md § Performance.
 bench-json:
-	$(GO) run ./cmd/benchperf -out BENCH_5.json
+	$(GO) run ./cmd/benchperf -out BENCH_6.json
+
+# Quick GOMAXPROCS cores-vs-throughput sweep only (matrix build, k-NN
+# table, tiled pass). Non-blocking CI smoke; meaningful numbers need a
+# multicore host.
+bench-scaling:
+	$(GO) run ./cmd/benchperf -scaling-only -scaling-n 500 -out /dev/null
 
 # End-to-end smoke of the tiled out-of-core backend: cluster an n=5000
 # synthetic pool under a deliberately tiny tile budget (with spill) and
@@ -99,6 +112,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzSegment -fuzztime 10s ./internal/segment/netzob/
 	$(GO) test -run XXX -fuzz 'FuzzDissimilarity$$' -fuzztime 10s ./internal/canberra/
 	$(GO) test -run XXX -fuzz FuzzKernelDifferential -fuzztime 10s ./internal/canberra/
+	$(GO) test -run XXX -fuzz FuzzKernelCross -fuzztime 10s ./internal/canberra/
 	$(GO) test -run XXX -fuzz FuzzFind -fuzztime 10s ./internal/kneedle/
 
 clean:

@@ -51,6 +51,65 @@ type kernelResult struct {
 	SlidingSpeedx     float64 `json:"sliding_speedup"`
 }
 
+// pr1EqualLen8NsOp is the equal-length (len 8) per-call kernel cost the
+// PR-1 scalar kernel recorded in BENCH_1.json on this benchmark host —
+// the fixed baseline the per-kernel shard reports speedups against.
+const pr1EqualLen8NsOp = 12.174
+
+// lenTiming is one equal-length measurement of one kernel: the
+// per-call DissimViews cost and the amortized per-pair cost of the
+// batched entry point (64 partners per call — the matrix build's tile
+// row) at the same length.
+type lenTiming struct {
+	Len         int     `json:"len"`
+	PerCallNsOp float64 `json:"per_call_ns_op"`
+	BatchNsPair float64 `json:"batch_ns_per_pair"`
+}
+
+// slidingTiming is one sliding-window (unequal length) measurement.
+type slidingTiming struct {
+	Shape string  `json:"shape"`
+	NsOp  float64 `json:"ns_op"`
+}
+
+// kernelVariant is the per-kernel shard: every registered kernel the
+// host can run, measured over the same inputs.
+type kernelVariant struct {
+	Kernel  string          `json:"kernel"`
+	Exact   bool            `json:"exact"`
+	Equal   []lenTiming     `json:"equal_length"`
+	Sliding []slidingTiming `json:"sliding"`
+	// Equal8VsScalar is scalar's len-8 per-call time over this kernel's.
+	Equal8VsScalar float64 `json:"equal8_speedup_vs_scalar"`
+	// Batch8VsPR1 is the PR-1 kernel baseline (pr1EqualLen8NsOp) over
+	// this kernel's len-8 batched per-pair time — the production matrix
+	// build path versus the original kernel.
+	Batch8VsPR1 float64 `json:"batch_len8_speedup_vs_pr1"`
+}
+
+// scalingPoint is one GOMAXPROCS setting of the cores-vs-throughput
+// sweep. Efficiency is T1 / (p · Tp) against this sweep's own p=1
+// point; 1.0 is perfect linear scaling.
+type scalingPoint struct {
+	Procs     int     `json:"procs"`
+	MatrixNs  int64   `json:"matrix_build_ns"`
+	KNNNs     int64   `json:"knn_table_ns"`
+	TiledNs   int64   `json:"tiled_pass_ns"`
+	MatrixEff float64 `json:"matrix_parallel_efficiency"`
+	KNNEff    float64 `json:"knn_parallel_efficiency"`
+	TiledEff  float64 `json:"tiled_parallel_efficiency"`
+}
+
+// scalingResult is the multicore scaling shard: the three parallel
+// stages (eager matrix build, k-NN table, lazy tiled matrix + k-NN
+// pass) swept over GOMAXPROCS ∈ {1, 2, 4, ..., NumCPU}.
+type scalingResult struct {
+	N        int            `json:"n"`
+	HostCPUs int            `json:"host_cpus"`
+	Note     string         `json:"note,omitempty"`
+	Points   []scalingPoint `json:"points"`
+}
+
 type stageResult struct {
 	OptimizedNs int64   `json:"optimized_ns"`
 	ReferenceNs int64   `json:"reference_ns"`
@@ -97,13 +156,16 @@ type e2eResult struct {
 }
 
 type benchFile struct {
-	Bench      int           `json:"bench"`
-	Generated  string        `json:"generated"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Note       string        `json:"note"`
-	Shapes     []shapeResult `json:"shapes,omitempty"`
-	E2E        *e2eResult    `json:"e2e,omitempty"`
+	Bench      int             `json:"bench"`
+	Generated  string          `json:"generated"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Kernel     string          `json:"kernel,omitempty"`
+	Note       string          `json:"note"`
+	Kernels    []kernelVariant `json:"kernel_variants,omitempty"`
+	Shapes     []shapeResult   `json:"shapes,omitempty"`
+	Scaling    *scalingResult  `json:"scaling,omitempty"`
+	E2E        *e2eResult      `json:"e2e,omitempty"`
 }
 
 // genPool builds a deterministic pool of n unique segments.
@@ -181,6 +243,160 @@ func measureKernel(rng *rand.Rand) kernelResult {
 	r.EqualLengthSpeedx = r.RefEqualLengthNs / r.EqualLengthNsOp
 	r.SlidingSpeedx = r.RefSlidingNs / r.SlidingNsOp
 	return r
+}
+
+// measureKernelVariants times every kernel the host can run over a
+// fixed input grid: equal-length pairs at 8/16/32/64 bytes (per-call
+// and batched) and two sliding-window shapes. The active kernel is
+// restored afterwards.
+func measureKernelVariants(rng *rand.Rand) []kernelVariant {
+	orig := canberra.ActiveKernel()
+	defer func() {
+		if err := canberra.SetKernel(orig); err != nil {
+			log.Fatalf("benchperf: restoring kernel %q: %v", orig, err)
+		}
+	}()
+
+	const batchPartners = 64 // one matrix-build tile row
+	lens := []int{8, 16, 32, 64}
+	slides := [][2]int{{4, 16}, {8, 64}}
+
+	randView := func(n int) canberra.View {
+		b := make([]byte, n)
+		// (*rand.Rand).Read is documented to always return a nil error.
+		_, _ = rng.Read(b)
+		return canberra.NewView(b)
+	}
+
+	var sink float64
+	perCall := func(x, y canberra.View, reps int) float64 {
+		ns := timeIt(100*time.Millisecond, func() {
+			for i := 0; i < reps; i++ {
+				sink += canberra.DissimViews(x, y, canberra.DefaultPenalty)
+			}
+		})
+		return ns / float64(reps)
+	}
+
+	var out []kernelVariant
+	for _, name := range canberra.Kernels() {
+		if err := canberra.SetKernel(name); err != nil {
+			log.Printf("benchperf: kernel %s: %v (skipping)", name, err)
+			continue
+		}
+		v := kernelVariant{Kernel: name, Exact: canberra.KernelExact(name)}
+		for _, l := range lens {
+			x, y := randView(l), randView(l)
+			ts := make([]canberra.View, batchPartners)
+			for i := range ts {
+				ts[i] = randView(l)
+			}
+			dists := make([]float64, batchPartners)
+			reps := 200000 / l * 8
+			t := lenTiming{Len: l, PerCallNsOp: perCall(x, y, reps)}
+			batchNs := timeIt(100*time.Millisecond, func() {
+				for i := 0; i < reps/batchPartners+1; i++ {
+					canberra.DissimViewsBatch(x, ts, canberra.DefaultPenalty, dists)
+					sink += dists[0]
+				}
+			})
+			t.BatchNsPair = batchNs / float64(reps/batchPartners+1) / batchPartners
+			v.Equal = append(v.Equal, t)
+		}
+		for _, sh := range slides {
+			s, t := randView(sh[0]), randView(sh[1])
+			reps := 100000 / sh[1] * 16
+			v.Sliding = append(v.Sliding, slidingTiming{
+				Shape: fmt.Sprintf("%dx%d", sh[0], sh[1]),
+				NsOp:  perCall(s, t, reps),
+			})
+		}
+		out = append(out, v)
+	}
+	if sink == math.Inf(1) {
+		log.Fatal("benchperf: sink overflow")
+	}
+	var scalar8 float64
+	for _, v := range out {
+		if v.Kernel == "scalar" {
+			scalar8 = v.Equal[0].PerCallNsOp
+		}
+	}
+	for i := range out {
+		out[i].Equal8VsScalar = scalar8 / out[i].Equal[0].PerCallNsOp
+		out[i].Batch8VsPR1 = pr1EqualLen8NsOp / out[i].Equal[0].BatchNsPair
+	}
+	return out
+}
+
+// measureScaling sweeps GOMAXPROCS over powers of two up to the host's
+// CPU count and times the three parallel stages at each setting. On a
+// single-core host the sweep degenerates to one point with efficiency
+// 1.0 by definition — the shard still documents the harness and the
+// host limit.
+func measureScaling(n int, seed int64) *scalingResult {
+	pool := genPool(n, mixedLens, seed)
+	k := kMax(n)
+	host := runtime.NumCPU()
+	var procs []int
+	for p := 1; p < host; p *= 2 {
+		procs = append(procs, p)
+	}
+	procs = append(procs, host)
+
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	res := &scalingResult{N: n, HostCPUs: host}
+	if host == 1 {
+		res.Note = "single-CPU host: the sweep has one point and parallel " +
+			"efficiency is 1.0 by definition; rerun on a multicore host for " +
+			"meaningful scaling data"
+	}
+	const floor = 500 * time.Millisecond
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		pt := scalingPoint{Procs: p}
+		pt.MatrixNs = int64(timeIt(floor, func() {
+			if _, err := dissim.Compute(pool, canberra.DefaultPenalty); err != nil {
+				log.Fatalf("benchperf: scaling Compute(n=%d, p=%d): %v", n, p, err)
+			}
+		}))
+		m, err := dissim.Compute(pool, canberra.DefaultPenalty)
+		if err != nil {
+			log.Fatalf("benchperf: scaling Compute(n=%d, p=%d): %v", n, p, err)
+		}
+		pt.KNNNs = int64(timeIt(floor, func() {
+			if _, err := m.KNNTable(k); err != nil {
+				log.Fatalf("benchperf: scaling KNNTable(n=%d, p=%d): %v", n, p, err)
+			}
+		}))
+		pt.TiledNs = int64(timeIt(floor, func() {
+			tm, err := dissim.ComputeMatrix(pool, dissim.Config{
+				Penalty: canberra.DefaultPenalty,
+				Backend: dissim.BackendTiled,
+			})
+			if err != nil {
+				log.Fatalf("benchperf: scaling tiled(n=%d, p=%d): %v", n, p, err)
+			}
+			if _, err := tm.KNNTable(k); err != nil {
+				log.Fatalf("benchperf: scaling tiled KNNTable(n=%d, p=%d): %v", n, p, err)
+			}
+			if err := tm.Close(); err != nil {
+				log.Fatalf("benchperf: scaling tiled Close(n=%d, p=%d): %v", n, p, err)
+			}
+		}))
+		res.Points = append(res.Points, pt)
+	}
+	base := res.Points[0]
+	for i := range res.Points {
+		pt := &res.Points[i]
+		pf := float64(pt.Procs)
+		pt.MatrixEff = float64(base.MatrixNs) / (pf * float64(pt.MatrixNs))
+		pt.KNNEff = float64(base.KNNNs) / (pf * float64(pt.KNNNs))
+		pt.TiledEff = float64(base.TiledNs) / (pf * float64(pt.TiledNs))
+	}
+	return res
 }
 
 func kMax(n int) int {
@@ -483,16 +699,48 @@ func writeBenchFile(path string, f benchFile) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output path")
+	out := flag.String("out", "BENCH_6.json", "output path")
 	sizes := flag.String("sizes", "500,2000,8000", "comma-separated unique-segment counts")
 	seed := flag.Int64("seed", 1, "pool generation seed")
+	kernel := flag.String("kernel", "", "force a canberra kernel (see canberra.Kernels); default: auto/PROTOCLUST_KERNEL")
+	scalingN := flag.Int("scaling-n", 2000, "unique-segment count for the GOMAXPROCS scaling sweep (0 disables)")
+	scalingOnly := flag.Bool("scaling-only", false, "run only the scaling sweep (make bench-scaling smoke)")
 	e2eN := flag.Int("e2e-n", 0, "run the end-to-end tiled-backend pipeline on an n-segment clustered pool instead of the stage benchmarks")
 	e2eBudget := flag.Int64("e2e-budget", 2<<30, "with -e2e-n: tile LRU byte budget for the tiled backend")
 	e2eSpill := flag.String("e2e-spill", "", "with -e2e-n: tile spill directory (default: a fresh temp dir)")
 	flag.Parse()
 
+	if err := canberra.EnvError(); err != nil {
+		log.Printf("benchperf: warning: %v (fell back to auto kernel selection)", err)
+	}
+	if *kernel != "" {
+		if err := canberra.SetKernel(*kernel); err != nil {
+			log.Fatalf("benchperf: -kernel: %v", err)
+		}
+	}
+	log.Printf("benchperf: active kernel %s (compiled in: %v)", canberra.ActiveKernel(), canberra.Kernels())
+
 	if *e2eN > 0 {
 		runE2E(*e2eN, *e2eBudget, *e2eSpill, *seed, *out)
+		return
+	}
+
+	if *scalingOnly {
+		if *scalingN <= 0 {
+			log.Fatal("benchperf: -scaling-only needs -scaling-n > 0")
+		}
+		log.Printf("benchperf: scaling sweep n=%d ...", *scalingN)
+		f := benchFile{
+			Bench:      6,
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Kernel:     canberra.ActiveKernel(),
+			Note:       "GOMAXPROCS scaling sweep only (make bench-scaling)",
+			Scaling:    measureScaling(*scalingN, *seed),
+		}
+		writeBenchFile(*out, f)
+		printScaling(f.Scaling)
 		return
 	}
 
@@ -509,22 +757,37 @@ func main() {
 	}
 
 	f := benchFile{
-		Bench:      5,
+		Bench:      6,
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Note: "dissimilarity hot path: optimized = view kernel + early abandon + " +
-			"tiled scheduling + bounded-heap k-NN; reference = pre-kernel per-pair/" +
-			"per-row implementations kept in internal/dissim/reference.go; backends = " +
-			"matrix build + full k-NN pass per storage backend (dense / condensed / " +
-			"tiled / tiled under a constrained budget with disk spill)",
+		Kernel:     canberra.ActiveKernel(),
+		Note: "dissimilarity hot path: optimized = dispatched SIMD kernel + batched " +
+			"equal-length runs + early abandon + tiled scheduling + bounded-heap k-NN; " +
+			"reference = pre-kernel per-pair/per-row implementations kept in " +
+			"internal/dissim/reference.go; kernel_variants = every compiled kernel on " +
+			"this host over fixed inputs, batch_len8_speedup_vs_pr1 against the PR-1 " +
+			"scalar kernel's 12.174 ns/op (BENCH_1.json); backends = matrix build + " +
+			"full k-NN pass per storage backend; scaling = GOMAXPROCS sweep of the " +
+			"three parallel stages",
 	}
+	log.Printf("benchperf: measuring kernel variants ...")
+	f.Kernels = measureKernelVariants(rand.New(rand.NewSource(*seed)))
 	for _, n := range ns {
 		log.Printf("benchperf: measuring n=%d ...", n)
 		f.Shapes = append(f.Shapes, measureShape(n, *seed))
 	}
+	if *scalingN > 0 {
+		log.Printf("benchperf: scaling sweep n=%d ...", *scalingN)
+		f.Scaling = measureScaling(*scalingN, *seed)
+	}
 
 	writeBenchFile(*out, f)
+	for _, v := range f.Kernels {
+		fmt.Printf("kernel %-11s eq8 %6.2f ns/op  batch8 %6.2f ns/pair  vs-scalar %5.2fx  vs-pr1 %5.2fx\n",
+			v.Kernel, v.Equal[0].PerCallNsOp, v.Equal[0].BatchNsPair,
+			v.Equal8VsScalar, v.Batch8VsPR1)
+	}
 	for _, s := range f.Shapes {
 		fmt.Printf("n=%5d  matrix %6.2fx  knn %6.2fx  kernel eq %5.2fx sliding %5.2fx\n",
 			s.N, s.MatrixBuild.Speedup, s.KNNTable.Speedup,
@@ -533,6 +796,24 @@ func main() {
 			fmt.Printf("         backend %-12s %8.1f ns/pair  resident %11d B  vs dense %5.2fx\n",
 				b.Backend, b.NsPerPair, b.ResidentBytes, b.VsDense)
 		}
+	}
+	printScaling(f.Scaling)
+}
+
+// printScaling writes the scaling shard's summary lines to stdout.
+func printScaling(s *scalingResult) {
+	if s == nil {
+		return
+	}
+	if s.Note != "" {
+		fmt.Printf("scaling n=%d: %s\n", s.N, s.Note)
+	}
+	for _, pt := range s.Points {
+		fmt.Printf("scaling p=%2d  matrix %8.1fms eff %4.2f  knn %8.1fms eff %4.2f  tiled %8.1fms eff %4.2f\n",
+			pt.Procs,
+			float64(pt.MatrixNs)/1e6, pt.MatrixEff,
+			float64(pt.KNNNs)/1e6, pt.KNNEff,
+			float64(pt.TiledNs)/1e6, pt.TiledEff)
 	}
 }
 

@@ -1,0 +1,269 @@
+package canberra
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// hostKernels returns every registered kernel that can run on this
+// machine, scalar always first — the comparison baseline.
+func hostKernels(t *testing.T) []*kernelImpl {
+	t.Helper()
+	avail := []*kernelImpl{scalarKernel}
+	for _, k := range kernels {
+		if k == scalarKernel {
+			continue
+		}
+		if k.available != nil && !k.available() {
+			t.Logf("kernel %s: not supported on this CPU, skipping", k.name)
+			continue
+		}
+		avail = append(avail, k)
+	}
+	return avail
+}
+
+// ulp32 returns the distance in float32 ulps between two quantized
+// values (the precision stored distances actually keep, see
+// dbscan.Quantize).
+func ulp32(a, b float64) int64 {
+	ia := int64(int32(math.Float32bits(float32(a))))
+	ib := int64(int32(math.Float32bits(float32(b))))
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// checkKernel compares one kernel against scalar on one input pair:
+// exact kernels must match bit for bit, float32 kernels within one
+// float32 ulp of the stored (quantized) value.
+func checkKernel(t *testing.T, k *kernelImpl, s, u View, pf float64) {
+	t.Helper()
+	want := dissimViews(scalarKernel, s, u, pf)
+	got := dissimViews(k, s, u, pf)
+	if k.exact {
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("kernel %s diverges from scalar on (%v, %v, pf=%v): got %v (%x) want %v (%x)",
+				k.name, s, u, pf, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+		return
+	}
+	if d := ulp32(got, want); d > 1 {
+		t.Fatalf("kernel %s off by %d float32 ulps from scalar on (%v, %v, pf=%v): got %v want %v",
+			k.name, d, s, u, pf, got, want)
+	}
+}
+
+// TestKernelDispatchMatrix runs every available kernel over a grid of
+// shapes chosen to hit each code path: equal lengths across all four
+// tail residues (including the sub-vector lengths 1-3), sliding
+// windows with every remainder the vector batches leave behind, and
+// zero-sum / low-entropy segments that exercise recipSum[0] terms and
+// the dmin = 0 early exit.
+func TestKernelDispatchMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randView := func(n, mod int) View {
+		v := make(View, n)
+		for i := range v {
+			v[i] = float64(rng.Intn(mod))
+		}
+		return v
+	}
+	for _, k := range hostKernels(t) {
+		t.Run(k.name, func(t *testing.T) {
+			// Equal length: every residue mod 4 (scalar tail), both
+			// random and low-entropy content.
+			for n := 1; n <= 21; n++ {
+				for trial := 0; trial < 50; trial++ {
+					mod := 256
+					if trial%3 == 0 {
+						mod = 2
+					}
+					checkKernel(t, k, randView(n, mod), randView(n, mod), DefaultPenalty)
+				}
+			}
+			// All-zero segments: every term multiplies recipSum[0] = 0.
+			checkKernel(t, k, make(View, 7), make(View, 7), DefaultPenalty)
+			checkKernel(t, k, make(View, 5), make(View, 19), DefaultPenalty)
+			// Sliding windows: length gaps that leave 0-7 remainder
+			// windows after the vector batches, short and long.
+			for _, ls := range []int{1, 2, 3, 4, 5, 8, 13} {
+				for gap := 1; gap <= 17; gap++ {
+					for trial := 0; trial < 10; trial++ {
+						mod := 256
+						if trial%3 == 0 {
+							mod = 3
+						}
+						checkKernel(t, k, randView(ls, mod), randView(ls+gap, mod), DefaultPenalty)
+					}
+				}
+			}
+			// Penalty extremes on unequal lengths (saturation skip).
+			for _, pf := range []float64{0, 1, 2, -0.5} {
+				checkKernel(t, k, randView(3, 256), randView(9, 256), pf)
+			}
+		})
+	}
+}
+
+// TestDissimViewsBatch checks the batched entry point against per-pair
+// calls on a mixed-length partner list — equal-length runs take the
+// kernel's batch path, everything else the per-pair path, and both
+// must agree bit for bit with DissimViews.
+func TestDissimViewsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	randView := func(n int) View {
+		v := make(View, n)
+		for i := range v {
+			v[i] = float64(rng.Intn(256))
+		}
+		return v
+	}
+	for trial := 0; trial < 200; trial++ {
+		ls := 1 + rng.Intn(12)
+		s := randView(ls)
+		ts := make([]View, rng.Intn(40))
+		for i := range ts {
+			// Mostly equal-length (runs), sprinkled with other lengths
+			// to break the runs at random points.
+			n := ls
+			if rng.Intn(3) == 0 {
+				n = 1 + rng.Intn(20)
+			}
+			ts[i] = randView(n)
+		}
+		out := make([]float64, len(ts))
+		DissimViewsBatch(s, ts, DefaultPenalty, out)
+		for i := range ts {
+			want := DissimViews(s, ts[i], DefaultPenalty)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("trial %d: batch[%d] = %v, per-pair = %v (lens %d vs %d)",
+					trial, i, out[i], want, ls, len(ts[i]))
+			}
+		}
+	}
+	// Empty s zero-fills the output, mirroring DissimViews.
+	out := []float64{7, 7}
+	DissimViewsBatch(nil, []View{randView(3), randView(4)}, DefaultPenalty, out)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("empty s: out = %v, want zeros", out)
+	}
+}
+
+func TestSetKernel(t *testing.T) {
+	orig := ActiveKernel()
+	defer func() {
+		if err := SetKernel(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if err := SetKernel("scalar"); err != nil || ActiveKernel() != "scalar" {
+		t.Fatalf("SetKernel(scalar): err=%v active=%s", err, ActiveKernel())
+	}
+	// noasm is an alias for scalar.
+	if err := SetKernel("noasm"); err != nil || ActiveKernel() != "scalar" {
+		t.Fatalf("SetKernel(noasm): err=%v active=%s", err, ActiveKernel())
+	}
+	if err := SetKernel("no-such-kernel"); err == nil {
+		t.Fatal("SetKernel(no-such-kernel) succeeded")
+	} else if ActiveKernel() != "scalar" {
+		t.Fatalf("failed SetKernel changed active kernel to %s", ActiveKernel())
+	}
+	if err := SetKernel("auto"); err != nil {
+		t.Fatalf("SetKernel(auto): %v", err)
+	}
+	// Auto must pick an exact kernel — the float32 kernels are opt-in.
+	for _, k := range kernels {
+		if k.name == ActiveKernel() && !k.exact {
+			t.Fatalf("auto selected non-exact kernel %s", k.name)
+		}
+	}
+	if !slices.Contains(Kernels(), "scalar") {
+		t.Fatalf("Kernels() = %v, missing scalar", Kernels())
+	}
+	if !slices.IsSorted(Kernels()) {
+		t.Fatalf("Kernels() = %v, not sorted", Kernels())
+	}
+}
+
+func TestKernelEnvSelection(t *testing.T) {
+	orig := ActiveKernel()
+	defer func() {
+		if err := SetKernel(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	t.Setenv(envKernel, "scalar")
+	selectAtInit()
+	if ActiveKernel() != "scalar" || EnvError() != nil {
+		t.Fatalf("env=scalar: active=%s err=%v", ActiveKernel(), EnvError())
+	}
+
+	// An invalid value must fall back to auto and surface the error.
+	t.Setenv(envKernel, "bogus")
+	selectAtInit()
+	if EnvError() == nil {
+		t.Fatal("env=bogus: EnvError() = nil")
+	}
+	auto := autoKernel().name
+	if ActiveKernel() != auto {
+		t.Fatalf("env=bogus: active=%s, want auto fallback %s", ActiveKernel(), auto)
+	}
+
+	t.Setenv(envKernel, "auto")
+	selectAtInit()
+	if ActiveKernel() != auto || EnvError() != nil {
+		t.Fatalf("env=auto: active=%s err=%v", ActiveKernel(), EnvError())
+	}
+}
+
+// TestF32ScreeningNeverLosesBestWindow drives the float32 screening
+// kernels through adversarial slowly-improving window sequences — the
+// shape most likely to overflow the candidate buffer or to tempt the
+// inflated bound into abandoning the true best window.
+func TestF32ScreeningNeverLosesBestWindow(t *testing.T) {
+	var f32 []*kernelImpl
+	for _, k := range hostKernels(t) {
+		if !k.exact {
+			f32 = append(f32, k)
+		}
+	}
+	if len(f32) == 0 {
+		t.Skip("no float32 kernels available")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range f32 {
+		for trial := 0; trial < 300; trial++ {
+			ls := 2 + rng.Intn(8)
+			// A long t whose windows slowly converge toward a copy of s:
+			// every window improves on the previous one.
+			s := make(View, ls)
+			for i := range s {
+				s[i] = float64(rng.Intn(256))
+			}
+			nw := 20 + rng.Intn(60)
+			u := make(View, 0, nw+ls)
+			for w := 0; w < nw+ls; w++ {
+				base := s[w%ls]
+				noise := float64((nw - w) / 4)
+				if noise > 0 {
+					base += float64(rng.Intn(int(noise)+1)) - noise/2
+				}
+				if base < 0 {
+					base = 0
+				}
+				if base > 255 {
+					base = 255
+				}
+				u = append(u, math.Trunc(base))
+			}
+			checkKernel(t, k, s, u, DefaultPenalty)
+		}
+	}
+}

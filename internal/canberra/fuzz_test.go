@@ -68,3 +68,55 @@ func FuzzKernelDifferential(f *testing.F) {
 		}
 	})
 }
+
+// FuzzKernelCross cross-checks every registered kernel against the
+// scalar kernel on arbitrary segment pairs: exact kernels (the SIMD
+// float64 translations) must match bit for bit, float32 screening
+// kernels within one float32 ulp of the stored (quantized) value. The
+// batched entry point is checked against the per-pair one on the same
+// inputs.
+func FuzzKernelCross(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1}, DefaultPenalty)
+	f.Add([]byte{0}, []byte{0, 0, 0, 0, 0, 0, 0, 0}, 0.0)
+	f.Add([]byte{255, 255}, []byte{1}, 1.0)
+	f.Add([]byte{9, 9, 9, 9, 9}, []byte{9, 9, 1, 2, 3, 4, 9, 9, 9}, 3.0)
+	f.Add([]byte{5, 6, 7, 8}, []byte{1, 2, 5, 6, 7, 8, 9}, -0.5)
+	f.Add(make([]byte, 13), make([]byte, 37), DefaultPenalty)
+
+	f.Fuzz(func(t *testing.T, a, b []byte, pf float64) {
+		if len(a) == 0 || len(b) == 0 {
+			return
+		}
+		if math.IsNaN(pf) || math.IsInf(pf, 0) {
+			return
+		}
+		s, u := NewView(a), NewView(b)
+		want := dissimViews(scalarKernel, s, u, pf)
+		for _, k := range kernels {
+			if k.available != nil && !k.available() {
+				continue
+			}
+			got := dissimViews(k, s, u, pf)
+			if k.exact {
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("kernel %s diverges from scalar: (%x,%x,pf=%v) got %v want %v",
+						k.name, a, b, pf, got, want)
+				}
+			} else if d := ulp32(got, want); d > 1 {
+				t.Fatalf("kernel %s off by %d float32 ulps: (%x,%x,pf=%v) got %v want %v",
+					k.name, d, a, b, pf, got, want)
+			}
+		}
+		// Batch vs per-pair, including an equal-length self pair so the
+		// run detection and the batch asm kernels both fire.
+		ts := []View{u, s, u}
+		out := make([]float64, len(ts))
+		DissimViewsBatch(s, ts, pf, out)
+		for i, ti := range ts {
+			pp := DissimViews(s, ti, pf)
+			if math.Float64bits(out[i]) != math.Float64bits(pp) {
+				t.Fatalf("batch[%d] = %v, per-pair = %v on (%x,%x,pf=%v)", i, out[i], pp, a, b, pf)
+			}
+		}
+	})
+}

@@ -8,11 +8,24 @@ import (
 
 // This file is the optimized dissimilarity kernel behind the pairwise
 // matrix build. The reference implementations in canberra.go stay in
-// place as the readable oracle; the kernel must remain numerically
+// place as the readable oracle; every kernel must remain numerically
 // equivalent to them (the differential fuzz target FuzzKernelDifferential
 // and internal/dissim's matrix tests enforce this).
 //
-// Four ideas make the kernel fast:
+// Since the SIMD round, the kernel is split in two layers:
+//
+//   - This file holds the portable scalar implementation and the
+//     DissimViews/DissimViewsBatch orchestration shared by every
+//     backend. The scalar kernel is written so that the SIMD kernels
+//     can reproduce it bit for bit (see the accumulation-order notes
+//     on distScalar), which keeps cluster labels identical no matter
+//     which kernel a host dispatches to.
+//   - dispatch.go selects among the registered kernel implementations
+//     (scalar everywhere; AVX2 on amd64, NEON on arm64 unless the
+//     noasm build tag is set) once at init, overridable with the
+//     PROTOCLUST_KERNEL environment variable or SetKernel.
+//
+// Five ideas make the kernel fast:
 //
 //  1. Precomputed float views. Interpreting a segment as a float vector
 //     costs one byte→float64 conversion per element. The reference path
@@ -21,10 +34,11 @@ import (
 //
 //  2. A reciprocal table instead of division. Byte-pair sums a+b only
 //     take 511 values, so the per-term division becomes a branchless
-//     L1-resident table load and a multiply (see recipSum).
+//     L1-resident table load and a fused multiply-add (see recipSum).
 //
 //  3. Equal-length fast path. Equal-length segments skip the sliding
-//     window entirely — a single straight accumulation loop.
+//     window entirely — a single straight accumulation loop over four
+//     independent chains (vectorizable as one 4-lane register).
 //
 //  4. Branch-and-bound early abandoning in the sliding window. The
 //     per-byte Canberra terms are non-negative, so the partial sum at a
@@ -33,9 +47,18 @@ import (
 //     inner loop aborts. The blended dissimilarity is monotone in dmin,
 //     so when even dmin = 0 saturates the clamp the window is skipped
 //     altogether.
+//
+//  5. Window-level parallelism. Adjacent window offsets read adjacent
+//     bytes of t, so several windows accumulate as independent lanes —
+//     two interleaved scalar chains here, four AVX2 (or two NEON)
+//     vector lanes in the asm kernels — and a lane past the abandon
+//     bound keeps accumulating harmlessly until every lane is past it.
 
 // View is a segment's byte values precomputed as float64s, converted
-// once per unique segment instead of once per compared pair.
+// once per unique segment instead of once per compared pair. Kernels
+// assume views were built by NewView: every element is an integer in
+// [0, 255]. Views with other contents stay memory-safe (table indices
+// are masked) but their dissimilarities are unspecified.
 type View []float64
 
 // NewView converts a byte segment into a kernel view.
@@ -64,42 +87,53 @@ var recipSum = func() [512]float64 {
 	return r
 }()
 
-// distView returns the raw Canberra distance between two equal-length
-// views, mirroring Distance term by term. Branchless: math.Abs compiles
-// to a sign mask (the reference's if d < 0 mispredicts half the time on
-// random content), and zero terms multiply out instead of being
-// skipped. Terms alternate between two accumulators so consecutive adds
-// overlap instead of serializing on add latency; the reordered
-// summation and the d·(1/(a+b)) rounding keep the result within the
-// kernel's 1e-12 equivalence contract rather than bitwise equal.
-func distView(x, y View) float64 {
-	y = y[:len(x)] // bounds-check elimination for y[i]
-	var s0, s1 float64
-	i := 0
-	for ; i+1 < len(x); i += 2 {
-		a0, b0 := x[i], y[i]
-		a1, b1 := x[i+1], y[i+1]
-		s0 += math.Abs(a0-b0) * recipSum[int(a0+b0)&511]
-		s1 += math.Abs(a1-b1) * recipSum[int(a1+b1)&511]
-	}
-	if i < len(x) {
-		a, b := x[i], y[i]
-		s0 += math.Abs(a-b) * recipSum[int(a+b)&511]
-	}
-	return s0 + s1
+// term adds one Canberra term |a−b|/(a+b) to acc with a single fused
+// rounding: math.FMA is exact in the multiply, so every kernel — Go,
+// AVX2 (VFMADD231PD), NEON (FMLA) — produces the identical bit pattern
+// for the same accumulation order. math.Abs compiles to a sign mask
+// (the reference's if d < 0 mispredicts half the time on random
+// content), and zero terms multiply out instead of being skipped.
+func term(acc, a, b float64) float64 {
+	return math.FMA(math.Abs(a-b), recipSum[int(a+b)&511], acc)
 }
 
-// distViewAbandon accumulates the raw Canberra distance of one window
+// distScalar returns the raw Canberra distance between two equal-length
+// views, mirroring Distance term by term. Four accumulator chains (one
+// per index residue mod 4) overlap their fused-add latencies and map
+// one-to-one onto a 4-lane SIMD register; the reduce order
+// (s0+s2)+(s1+s3) and the sequential tail are part of the kernel
+// contract — the AVX2 kernel reproduces exactly this association, so
+// scalar and SIMD results are bit-identical, and both stay within the
+// 1e-12 equivalence band of the reference's two-rounding d/(a+b) terms.
+func distScalar(x, y View) float64 {
+	y = y[:len(x)] // bounds-check elimination for y[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 = term(s0, x[i], y[i])
+		s1 = term(s1, x[i+1], y[i+1])
+		s2 = term(s2, x[i+2], y[i+2])
+		s3 = term(s3, x[i+3], y[i+3])
+	}
+	sum := (s0 + s2) + (s1 + s3)
+	for ; i < len(x); i++ {
+		sum = term(sum, x[i], y[i])
+	}
+	return sum
+}
+
+// abandonScalar accumulates the raw Canberra distance of one window
 // but gives up as soon as the partial sum reaches bound. Because every
 // term is ≥ 0 and IEEE addition of non-negative values is monotone, a
 // partial sum ≥ bound proves the full sum is ≥ bound too, so the caller
 // learns everything it needs: this window cannot beat the best one.
-func distViewAbandon(x, y View, bound float64) float64 {
+// Each window is one accumulation chain, so a window that survives to
+// the end carries the exact same bits in every kernel.
+func abandonScalar(x, y View, bound float64) float64 {
 	y = y[:len(x)]
 	var sum float64
 	for i, a := range x {
-		b := y[i]
-		sum += math.Abs(a-b) * recipSum[int(a+b)&511]
+		sum = term(sum, a, y[i])
 		if sum >= bound {
 			return sum
 		}
@@ -107,21 +141,20 @@ func distViewAbandon(x, y View, bound float64) float64 {
 	return sum
 }
 
-// distViewAbandon2 accumulates two adjacent windows at once. The two
+// abandonScalar2 accumulates two adjacent windows at once. The two
 // sums are independent dependency chains, so the CPU overlaps their
 // floating-point adds where a single window is latency-bound; each
-// window's own terms still accumulate in reference order, so its final
+// window's own terms still accumulate in window order, so its final
 // sum is identical to a solo scan. The pair is abandoned only when both
 // windows have reached bound — a window past bound keeps accumulating
 // harmlessly (sums only grow, and the caller discards any sum ≥ bound).
-func distViewAbandon2(x, y0, y1 View, bound float64) (float64, float64) {
+func abandonScalar2(x, y0, y1 View, bound float64) (float64, float64) {
 	y0 = y0[:len(x)]
 	y1 = y1[:len(x)]
 	var s0, s1 float64
 	for i, a := range x {
-		b0, b1 := y0[i], y1[i]
-		s0 += math.Abs(a-b0) * recipSum[int(a+b0)&511]
-		s1 += math.Abs(a-b1) * recipSum[int(a+b1)&511]
+		s0 = term(s0, a, y0[i])
+		s1 = term(s1, a, y1[i])
 		if s0 >= bound && s1 >= bound {
 			return s0, s1
 		}
@@ -129,17 +162,78 @@ func distViewAbandon2(x, y0, y1 View, bound float64) (float64, float64) {
 	return s0, s1
 }
 
+// minWindowScalar returns the minimum normalized Canberra distance over
+// all |t|−|s|+1 sliding windows of s over t (|s| < |t|), visiting
+// windows in offset order, two at a time (ties keep the first minimum).
+//
+// dmin is tracked alongside the raw (un-normalized) sum that produced
+// it; the raw sum is the exact abandon bound, free of the rounding a
+// dmin·ls reconstruction would introduce. A sum ≥ bound implies
+// d ≥ dmin, so such windows skip the normalization division entirely.
+//
+// The selection is insensitive to how lanes are grouped: a window
+// updates dmin iff its full raw sum beats the best full sum so far, and
+// abandoned windows return a partial sum that is ≥ the bound they were
+// scanned under ≥ the current best, so they can never be selected. The
+// SIMD variants exploit this by scanning four (AVX2) or two (NEON)
+// windows per batch under the batch-entry bound and still selecting
+// bit-identically.
+func minWindowScalar(s, t View) float64 {
+	fls := float64(len(s))
+	dmin := 2.0
+	bound := dmin * fls
+	last := len(t) - len(s)
+	off := 0
+	for ; off < last; off += 2 {
+		s0, s1 := abandonScalar2(s, t[off:], t[off+1:], bound)
+		if s0 < bound {
+			if d := s0 / fls; d < dmin {
+				dmin = d
+				if vecmath.IsZero(dmin) {
+					return dmin
+				}
+				bound = s0
+			}
+		}
+		if s1 < bound {
+			if d := s1 / fls; d < dmin {
+				dmin = d
+				if vecmath.IsZero(dmin) {
+					return dmin
+				}
+				bound = s1
+			}
+		}
+	}
+	if off == last {
+		if sum := abandonScalar(s, t[off:off+len(s)], bound); sum < bound {
+			if d := sum / fls; d < dmin {
+				dmin = d
+			}
+		}
+	}
+	return dmin
+}
+
 // DissimViews computes the variable-length Canberra dissimilarity of
-// DissimilarityPenalty on precomputed views, allocation-free. Both views
-// must be non-empty (callers validate; empty inputs return 0 instead of
-// an error so the hot loop carries no error plumbing).
+// DissimilarityPenalty on precomputed views through the active kernel,
+// allocation-free. Both views must be non-empty (callers validate;
+// empty inputs return 0 instead of an error so the hot loop carries no
+// error plumbing).
 //
 // The result is numerically equivalent to
 // DissimilarityPenalty(bytes(s), bytes(t), pf) within 1e-12: windows
 // abandoned early are exactly those that could not have updated dmin,
-// and the reciprocal-table terms differ from the reference's divisions
-// by at most 1 ulp each.
+// and the reciprocal-table fused terms differ from the reference's
+// divisions by at most 1 ulp each. Across kernels the contract is
+// stricter: every float64 kernel (scalar, AVX2, NEON) returns the
+// identical bit pattern, and the opt-in float32 kernels stay within
+// one float32 ulp of the stored (quantized) value.
 func DissimViews(s, t View, pf float64) float64 {
+	return dissimViews(active, s, t, pf)
+}
+
+func dissimViews(k *kernelImpl, s, t View, pf float64) float64 {
 	if len(s) > len(t) {
 		s, t = t, s
 	}
@@ -152,7 +246,7 @@ func DissimViews(s, t View, pf float64) float64 {
 	ls, lt := len(s), len(t)
 	fls := float64(ls)
 	if ls == lt {
-		return distView(s, t) / fls
+		return k.dist(s, t) / fls
 	}
 	flt := float64(lt)
 
@@ -163,49 +257,44 @@ func DissimViews(s, t View, pf float64) float64 {
 		return 1
 	}
 
-	// dmin is tracked alongside the raw (un-normalized) sum that
-	// produced it; the raw sum is the exact abandon bound, free of the
-	// rounding a dmin·ls reconstruction would introduce. A sum ≥ bound
-	// implies d ≥ dmin, so such windows skip the normalization division
-	// entirely; windows are visited in reference order (ties keep the
-	// first minimum), two at a time.
-	dmin := 2.0
-	bound := dmin * fls
-	last := lt - ls
-	off := 0
-pairs:
-	for ; off < last; off += 2 {
-		s0, s1 := distViewAbandon2(s, t[off:], t[off+1:], bound)
-		if s0 < bound {
-			if d := s0 / fls; d < dmin {
-				dmin = d
-				if vecmath.IsZero(dmin) {
-					break pairs
-				}
-				bound = s0
-			}
-		}
-		if s1 < bound {
-			if d := s1 / fls; d < dmin {
-				dmin = d
-				if vecmath.IsZero(dmin) {
-					break pairs
-				}
-				bound = s1
-			}
-		}
-	}
-	if off == last && dmin > 0 {
-		if sum := distViewAbandon(s, t[off:off+ls], bound); sum < bound {
-			if d := sum / fls; d < dmin {
-				dmin = d
-			}
-		}
-	}
+	dmin := k.minWindow(s, t)
 
 	dis := (fls*dmin + (flt-fls)*pf*(1+dmin)) / flt
 	if dis > 1 {
 		dis = 1
 	}
 	return dis
+}
+
+// DissimViewsBatch fills out[j] = DissimViews(s, ts[j], pf) for every
+// view in ts. The tile builders call it once per tile row instead of
+// once per pair: runs of equal-length partners (adjacent under the
+// matrix build's length-sorted traversal) flow through the kernel's
+// batched equal-length entry point, which amortizes the per-call
+// overhead that dominates short segments. out must have len(ts)
+// capacity; results are bit-identical to per-pair DissimViews calls.
+func DissimViewsBatch(s View, ts []View, pf float64, out []float64) {
+	k := active
+	out = out[:len(ts)]
+	if len(s) == 0 {
+		for j := range out {
+			out[j] = 0
+		}
+		return
+	}
+	for j := 0; j < len(ts); {
+		// Extend the run of partners with the same length as s — the
+		// only shape the batched entry point handles.
+		if k.distBatch == nil || len(ts[j]) != len(s) {
+			out[j] = dissimViews(k, s, ts[j], pf)
+			j++
+			continue
+		}
+		r := j + 1
+		for r < len(ts) && len(ts[r]) == len(s) {
+			r++
+		}
+		k.distBatch(s, ts[j:r], out[j:r])
+		j = r
+	}
 }

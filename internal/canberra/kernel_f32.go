@@ -1,0 +1,132 @@
+package canberra
+
+import (
+	"math"
+
+	"protoclust/internal/vecmath"
+)
+
+// Float32 sliding-window kernels (opt-in, never auto-selected).
+//
+// Stored distances are float32 (dbscan.Quantize), so a full float64
+// window scan computes ~29 bits that quantization immediately throws
+// away. The float32 kernels exploit that: they SCREEN windows with
+// float32 accumulation — half the vector width cost, twice the SIMD
+// lanes — and then CONFIRM the few candidate windows in float64, so
+// the value returned is still produced by the float64 kernel on the
+// selected window.
+//
+// Screening must never abandon the true best window, so its abandon
+// bound is inflated by a rigorous error margin: float32 accumulation
+// of m non-negative terms has relative error ≤ ~m·2⁻²⁴ versus the
+// float64 sum, and f32Inflate dominates that with room to spare.
+// Windows whose inflated-bound screen survives are remembered (up to
+// f32MaxCand offsets — overflow falls back to the plain float64 scan)
+// and re-scanned in float64, in offset order, with the exact selection
+// logic of minWindowScalar. The result is therefore normally
+// bit-identical to the float64 kernels; the differential fuzz target
+// enforces the contractual guarantee of ≤1 float32 ulp of the stored
+// (quantized) value.
+
+// eps32 is the float32 unit roundoff, 2⁻²⁴.
+const eps32 = float32(5.9604645e-8)
+
+// f32MaxCand bounds the candidate-offset buffer. Screening appends a
+// candidate only when a window beats the current inflated best, so
+// random content produces a handful; adversarial slowly-improving
+// content overflows and falls back to the float64 scan.
+const f32MaxCand = 32
+
+// recipSum32 is recipSum quantized to float32, so the screening terms
+// track the float64 terms to within conversion error.
+var recipSum32 = func() [512]float32 {
+	var r [512]float32
+	for i, v := range recipSum {
+		r[i] = float32(v)
+	}
+	return r
+}()
+
+// f32Inflate returns the screening-bound inflation factor for windows
+// of ls elements: a window whose float64 sum is below the current best
+// has a float32 sum below best·inflate, so screening with the inflated
+// bound cannot abandon it. The factor is ~8× the worst-case relative
+// drift — deliberately loose, the cost is only a slightly less eager
+// abandon during screening.
+func f32Inflate(ls int) float32 {
+	return 1 + float32(ls+16)*8*eps32
+}
+
+// abandonScalarF32 is abandonScalar with float32 accumulation. Views
+// hold small integers, so a−b and a+b convert to float32 exactly; the
+// only float32 roundings are the term product and the running sum.
+func abandonScalarF32(x, y View, bound float32) float32 {
+	y = y[:len(x)]
+	var sum float32
+	for i, a := range x {
+		b := y[i]
+		sum += float32(math.Abs(a-b)) * recipSum32[int(a+b)&511]
+		if sum >= bound {
+			return sum
+		}
+	}
+	return sum
+}
+
+// minWindowScalarF32 screens every window in float32 and confirms the
+// candidates in float64. See the file comment for why the screen can
+// never lose the best window.
+func minWindowScalarF32(s, t View) float64 {
+	ls := len(s)
+	inflate := f32Inflate(ls)
+	best32 := 2 * float32(ls)
+	var cand [f32MaxCand]int
+	nc := 0
+	last := len(t) - ls
+	for off := 0; off <= last; off++ {
+		b := best32 * inflate
+		sum := abandonScalarF32(s, t[off:off+ls], b)
+		if sum >= b {
+			continue
+		}
+		if sum < best32 {
+			best32 = sum
+		}
+		if nc == f32MaxCand {
+			return minWindowScalar(s, t)
+		}
+		cand[nc] = off
+		nc++
+	}
+	return confirmWindows(s, t, cand[:nc])
+}
+
+// confirmWindows runs the exact float64 selection of minWindowScalar
+// restricted to the screened candidate offsets (ascending, so ties
+// resolve to the earliest window exactly as the full scan would).
+func confirmWindows(s, t View, offs []int) float64 {
+	fls := float64(len(s))
+	dmin := 2.0
+	bound := dmin * fls
+	for _, off := range offs {
+		if sum := abandonScalar(s, t[off:off+len(s)], bound); sum < bound {
+			if d := sum / fls; d < dmin {
+				dmin = d
+				if vecmath.IsZero(dmin) {
+					return dmin
+				}
+				bound = sum
+			}
+		}
+	}
+	return dmin
+}
+
+func init() {
+	register(&kernelImpl{
+		name:      "scalar-f32",
+		dist:      distScalar,
+		minWindow: minWindowScalarF32,
+		exact:     false,
+	})
+}

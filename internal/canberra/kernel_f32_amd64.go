@@ -1,0 +1,104 @@
+//go:build amd64 && !noasm
+
+package canberra
+
+import "sync"
+
+// avx2-f32: the float32 screening pass of kernel_f32.go with eight
+// window lanes per step (canberraAbandon8F32AVX2) instead of one. The
+// confirm pass is the shared float64 confirmWindows, so the selected
+// value is still a float64-kernel product.
+
+// canberraAbandon8F32AVX2 accumulates the eight sliding windows at
+// offsets t[0:] … t[7:] (t pre-offset and pre-converted to float32)
+// against s, abandoning only when all eight float32 partial sums have
+// reached bound.
+//
+//go:noescape
+func canberraAbandon8F32AVX2(s *float32, n int, t *float32, bound float32, sums *[8]float32)
+
+// f32Scratch holds the per-call float32 conversions of both views.
+// Pooled: minWindow runs inside parallel tile workers and must not
+// allocate per pair.
+type f32Scratch struct {
+	s, t []float32
+}
+
+var f32Pool = sync.Pool{New: func() any { return new(f32Scratch) }}
+
+func fillF32(dst []float32, src View) []float32 {
+	if cap(dst) < len(src) {
+		dst = make([]float32, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float32(v) // exact: views hold byte-valued integers
+	}
+	return dst
+}
+
+// minWindowAVX2F32 mirrors minWindowScalarF32 with eight windows per
+// screening step. The scalar remainder windows screen over the same
+// converted buffers via the float64 views (identical float32 values),
+// and candidate confirmation is shared.
+func minWindowAVX2F32(s, t View) float64 {
+	ls := len(s)
+	sc := f32Pool.Get().(*f32Scratch)
+	sc.s = fillF32(sc.s, s)
+	sc.t = fillF32(sc.t, t)
+
+	inflate := f32Inflate(ls)
+	best32 := 2 * float32(ls)
+	var cand [f32MaxCand]int
+	nc := 0
+	last := len(t) - ls
+	off := 0
+	var sums [8]float32
+	for ; off+7 <= last; off += 8 {
+		b := best32 * inflate
+		canberraAbandon8F32AVX2(&sc.s[0], ls, &sc.t[off], b, &sums)
+		for j, sum := range sums {
+			if sum >= b {
+				continue
+			}
+			if sum < best32 {
+				best32 = sum
+			}
+			if nc == f32MaxCand {
+				f32Pool.Put(sc)
+				return minWindowScalar(s, t)
+			}
+			cand[nc] = off + j
+			nc++
+		}
+	}
+	for ; off <= last; off++ {
+		b := best32 * inflate
+		sum := abandonScalarF32(s, t[off:off+ls], b)
+		if sum >= b {
+			continue
+		}
+		if sum < best32 {
+			best32 = sum
+		}
+		if nc == f32MaxCand {
+			f32Pool.Put(sc)
+			return minWindowScalar(s, t)
+		}
+		cand[nc] = off
+		nc++
+	}
+	f32Pool.Put(sc)
+	return confirmWindows(s, t, cand[:nc])
+}
+
+func init() {
+	register(&kernelImpl{
+		name:      "avx2-f32",
+		dist:      distAVX2,
+		distBatch: distBatchAVX2,
+		minWindow: minWindowAVX2F32,
+		available: haveAVX2,
+		exact:     false,
+	})
+}

@@ -90,11 +90,26 @@ func (p *Pool) TotalOccurrences() int {
 	return n
 }
 
-// Views converts every unique segment into a kernel view, once.
+// Views converts every unique segment into a kernel view, once. All
+// views share one contiguous backing array in pool order, so the
+// length-sorted tile traversal walks mostly-adjacent memory and the
+// kernel's batched entry point streams rather than pointer-chases.
 func (p *Pool) Views() []canberra.View {
+	total := 0
+	for _, s := range p.Unique {
+		total += len(s.Bytes())
+	}
+	backing := make([]float64, total)
 	views := make([]canberra.View, len(p.Unique))
+	off := 0
 	for i, s := range p.Unique {
-		views[i] = canberra.NewView(s.Bytes())
+		b := s.Bytes()
+		v := backing[off : off+len(b) : off+len(b)]
+		for j, c := range b {
+			v[j] = float64(c)
+		}
+		views[i] = v
+		off += len(b)
 	}
 	return views
 }
@@ -338,6 +353,10 @@ func fillMatrix(ctx context.Context, st settable, views []canberra.View, penalty
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch for the batched kernel entry point: one
+			// tile row of partner views and distances at a time.
+			ts := make([]canberra.View, 0, tileSize)
+			out := make([]float64, tileSize)
 			for {
 				t := int(next.Add(1) - 1)
 				if t >= len(tiles) || stop.Load() {
@@ -364,6 +383,7 @@ func fillMatrix(ctx context.Context, st settable, views []canberra.View, penalty
 					if bi == bj {
 						bLo = a + 1
 					}
+					ts = ts[:0]
 					for b := bLo; b < bHi; b++ {
 						j := order[b]
 						vj := views[j]
@@ -371,7 +391,14 @@ func fillMatrix(ctx context.Context, st settable, views []canberra.View, penalty
 							fail(fmt.Errorf("dissim: segment %d: %w", j, canberra.ErrEmpty))
 							return
 						}
-						st.Set(i, j, canberra.DissimViews(vi, vj, penalty))
+						ts = append(ts, vj)
+					}
+					// The length-sorted traversal makes this row a run of
+					// few distinct lengths, so the batch call spends almost
+					// all pairs in the kernel's equal-length batch path.
+					canberra.DissimViewsBatch(vi, ts, penalty, out[:len(ts)])
+					for k, d := range out[:len(ts)] {
+						st.Set(i, order[bLo+k], d)
 					}
 				}
 			}

@@ -87,11 +87,14 @@ func (h *maxHeap) popMax() float64 {
 // every call to fn receives the worker's reusable heap buffer of
 // capacity kcap, reset to length zero.
 func forEachRow(n, kcap int, fn func(i int, h maxHeap)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
 	const batch = 32
+	// Rows are handed out batch at a time, so more workers than batches
+	// would only spawn goroutines that find the counter exhausted on
+	// their first fetch.
+	workers := runtime.GOMAXPROCS(0)
+	if max := (n + batch - 1) / batch; workers > max {
+		workers = max
+	}
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup

@@ -89,6 +89,9 @@ func (m *Matrix) KNNTableSort(kmax int) ([][]float64, error) {
 	}
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
 	rows := make(chan int, n)
 	for i := 0; i < n; i++ {
 		rows <- i

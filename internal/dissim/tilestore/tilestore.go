@@ -457,23 +457,30 @@ func (s *Store) computeTile(bi, bj int) []float32 {
 	if s.canceled() {
 		return data
 	}
+	// One tile row per batch call: the kernel detects equal-length runs
+	// among the partner views and serves them through its vectorized
+	// batch path.
+	out := make([]float64, c)
 	if bi == bj {
 		for a := 0; a < r; a++ {
-			i := bi*s.ts + a
-			vi := s.views[i]
-			for b := a + 1; b < c; b++ {
-				d := dbscan.Quantize(canberra.DissimViews(vi, s.views[bj*s.ts+b], s.penalty))
+			vi := s.views[bi*s.ts+a]
+			ts := s.views[bj*s.ts+a+1 : bj*s.ts+c]
+			canberra.DissimViewsBatch(vi, ts, s.penalty, out[:len(ts)])
+			for k, v := range out[:len(ts)] {
+				b := a + 1 + k
+				d := dbscan.Quantize(v)
 				data[a*c+b] = d
 				data[b*c+a] = d
 			}
 		}
 		return data
 	}
+	cols := s.views[bj*s.ts : bj*s.ts+c]
 	for a := 0; a < r; a++ {
-		i := bi*s.ts + a
-		vi := s.views[i]
-		for b := 0; b < c; b++ {
-			data[a*c+b] = dbscan.Quantize(canberra.DissimViews(vi, s.views[bj*s.ts+b], s.penalty))
+		vi := s.views[bi*s.ts+a]
+		canberra.DissimViewsBatch(vi, cols, s.penalty, out)
+		for b, v := range out {
+			data[a*c+b] = dbscan.Quantize(v)
 		}
 	}
 	return data
