@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-noasm test-race test-service test-oracle golden-check golden-update vet lint bench bench-json bench-scaling smoke-tiled eval fuzz serve clean
+.PHONY: all build test test-short test-noasm test-race test-service test-oracle golden-check golden-update vet lint bench bench-json bench-scaling smoke-tiled smoke-distributed eval fuzz serve clean
 
 all: build lint test
 
@@ -42,10 +42,12 @@ test-noasm:
 test-race:
 	$(GO) test -race -short ./...
 
-# Race detector over the analysis service: worker pool, cancellation,
-# cache, and HTTP lifecycle (the full suite, not just -short).
+# Race detector over the analysis service and the distribution
+# subsystem: worker pool, cancellation, cache, HTTP lifecycle, shard
+# queue/lease lifecycle, and the durable job log (the full suites, not
+# just -short).
 test-service:
-	$(GO) test -race ./internal/service/ ./cmd/protoclustd/
+	$(GO) test -race ./internal/service/ ./cmd/protoclustd/ ./internal/shard/ ./internal/jobstore/
 
 # Differential tests of the production pipeline against the
 # obviously-correct reference implementations in internal/oracle, under
@@ -98,6 +100,15 @@ bench-scaling:
 # anyway but a leaking tile cache would not.
 smoke-tiled:
 	GOMEMLIMIT=768MiB $(GO) run ./cmd/benchperf -e2e-n 5000 -e2e-budget 4194304 -out /dev/null
+
+# End-to-end smoke of the distributed coordinator/worker path: builds
+# the protoclustd and protoclust-worker binaries, launches one
+# coordinator (durable jobstore, 2s shard leases) plus two workers,
+# SIGKILLs one worker while it holds a lease mid-run, and requires that
+# the surviving worker steals the expired lease and the job's report is
+# byte-identical to a single-process run. See docs/service.md.
+smoke-distributed:
+	$(GO) run ./cmd/smokedist
 
 # Regenerates Tables I/II, Figures 2/3, and the coverage comparison.
 eval:

@@ -9,6 +9,11 @@
 //
 //	protoclustd -addr :8077 -workers 4 -default-timeout 2m -cache-dir /var/cache/protoclust
 //
+// With -jobstore the queue is durable: accepted jobs survive restarts
+// and crashes and resume on the next start. With -distributed the
+// daemon becomes a coordinator that shards the O(n²) matrix builds to
+// stateless protoclust-worker processes and assembles their results.
+//
 // See docs/service.md for the API reference and a curl walkthrough.
 package main
 
@@ -24,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"protoclust/internal/jobstore"
 	"protoclust/internal/service"
 )
 
@@ -45,6 +51,11 @@ func run(args []string) error {
 		cacheEntries = fs.Int("cache-entries", 128, "in-memory result cache entries")
 		cacheDir     = fs.String("cache-dir", "", "directory for the result-cache disk spill (empty = memory only)")
 		spillDir     = fs.String("spill-dir", "", "scratch directory for the tiled matrix backend (default: <cache-dir>/tiles)")
+		jobstorePath = fs.String("jobstore", "", "path of the persistent job log; queued jobs survive restarts (empty = memory only)")
+		distributed  = fs.Bool("distributed", false, "shard matrix builds to protoclust-worker processes instead of computing in-process")
+		leaseTTL     = fs.Duration("lease-ttl", 0, "shard lease duration in distributed mode (0 = 30s default)")
+		shardTiles   = fs.Int("shard-tiles", 0, "64x64 tiles per leased shard (0 = 16 default)")
+		distMin      = fs.Int("distribute-min", 0, "minimum unique-segment pool size to distribute; smaller pools compute locally")
 		verbose      = fs.Bool("v", false, "debug-level logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +68,21 @@ func run(args []string) error {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	var store *jobstore.Store
+	if *jobstorePath != "" {
+		var err error
+		store, err = jobstore.Open(*jobstorePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Close after Shutdown has appended the final records; a close
+			// error at exit has nothing left to corrupt (appends fsync).
+			_ = store.Close()
+		}()
+		logger.Info("job store open", "path", store.Path())
+	}
+
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueSize:      *queueSize,
@@ -64,6 +90,11 @@ func run(args []string) error {
 		CacheEntries:   *cacheEntries,
 		CacheDir:       *cacheDir,
 		SpillDir:       *spillDir,
+		JobStore:       store,
+		Distributed:    *distributed,
+		LeaseTTL:       *leaseTTL,
+		TilesPerShard:  *shardTiles,
+		DistributeMin:  *distMin,
 		Logger:         logger,
 	})
 	srv := &http.Server{

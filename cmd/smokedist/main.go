@@ -1,0 +1,379 @@
+// Command smokedist is the end-to-end smoke test of the distributed
+// coordinator/worker path. It builds the protoclustd and
+// protoclust-worker binaries, launches one coordinator (with a durable
+// jobstore and a short shard-lease TTL) plus two workers, submits an
+// analysis job, SIGKILLs one worker mid-run, and requires that the
+// surviving fleet finishes the job with a report byte-identical to the
+// same job run on a single-process (non-distributed) daemon.
+//
+// It exits 0 on success and 1 with a diagnostic on any failure, so it
+// can gate CI directly (`make smoke-distributed`).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smokedist: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smokedist: PASS")
+}
+
+func run() error {
+	var (
+		shardDelay = flag.Duration("shard-delay", 150*time.Millisecond, "artificial per-shard delay in the workers, to widen the kill window")
+		leaseTTL   = flag.Duration("lease-ttl", 2*time.Second, "coordinator shard-lease TTL")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-phase deadline")
+		keep       = flag.Bool("keep", false, "keep the scratch directory for inspection")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dir, err := os.MkdirTemp("", "smokedist-")
+	if err != nil {
+		return err
+	}
+	if *keep {
+		fmt.Println("smokedist: scratch dir", dir)
+	} else {
+		defer func() {
+			// Scratch-dir cleanup; nothing to act on if it fails at exit.
+			_ = os.RemoveAll(dir)
+		}()
+	}
+
+	daemonBin := filepath.Join(dir, "protoclustd")
+	workerBin := filepath.Join(dir, "protoclust-worker")
+	for bin, pkg := range map[string]string{daemonBin: "./cmd/protoclustd", workerBin: "./cmd/protoclust-worker"} {
+		build := exec.CommandContext(ctx, "go", "build", "-o", bin, pkg)
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", pkg, err)
+		}
+	}
+
+	spec := map[string]any{
+		"proto": "ntp", "n": 60, "seed": 1, "segmenter": "truth",
+		"timeout_ms": jobTimeout.Milliseconds(),
+	}
+
+	distReport, err := distributedRun(ctx, dir, daemonBin, workerBin, *shardDelay, *leaseTTL, *jobTimeout, spec)
+	if err != nil {
+		return fmt.Errorf("distributed run: %w", err)
+	}
+	localReport, err := localRun(ctx, daemonBin, *jobTimeout, spec)
+	if err != nil {
+		return fmt.Errorf("single-process run: %w", err)
+	}
+	if !bytes.Equal(distReport, localReport) {
+		return fmt.Errorf("distributed report differs from single-process report:\ndistributed: %s\nlocal:       %s",
+			distReport, localReport)
+	}
+	fmt.Println("smokedist: distributed report is byte-identical to the single-process report")
+	return nil
+}
+
+// distributedRun drives the coordinator + two workers, kills one worker
+// after the first shard completes, and returns the final report JSON.
+func distributedRun(ctx context.Context, dir, daemonBin, workerBin string, shardDelay, leaseTTL, timeout time.Duration, spec map[string]any) ([]byte, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	base := "http://" + addr
+	daemon := exec.CommandContext(ctx, daemonBin,
+		"-addr", addr,
+		"-workers", "1",
+		"-distributed",
+		"-jobstore", filepath.Join(dir, "jobs.jsonl"),
+		"-lease-ttl", leaseTTL.String(),
+		"-shard-tiles", "2",
+		"-grace", "5s",
+	)
+	daemon.Stdout, daemon.Stderr = os.Stdout, os.Stderr
+	if err := daemon.Start(); err != nil {
+		return nil, fmt.Errorf("start coordinator: %w", err)
+	}
+	defer reap(daemon)
+	if err := waitHealthy(ctx, base, 30*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Worker 0 is the victim: its per-shard delay spans the whole lease
+	// TTL, so when it is killed it is guaranteed to die holding a lease
+	// mid-compute. Worker 1 is the fast survivor that steals the shard.
+	delays := []time.Duration{leaseTTL, shardDelay}
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		w := exec.CommandContext(ctx, workerBin,
+			"-coordinator", base,
+			"-id", fmt.Sprintf("smoke-worker-%d", i),
+			"-poll", "25ms",
+			"-shard-delay", delays[i].String(),
+		)
+		w.Stdout, w.Stderr = os.Stdout, os.Stderr
+		if err := w.Start(); err != nil {
+			return nil, fmt.Errorf("start worker %d: %w", i, err)
+		}
+		workers[i] = w
+		defer reap(w)
+	}
+
+	id, err := submit(ctx, base, spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("smokedist: submitted distributed job", id)
+
+	// Wait for the first completed shard, then SIGKILL worker 0 while
+	// the job is mid-flight. Its leases must expire and be stolen by the
+	// surviving worker.
+	if err := waitMetric(ctx, base, "protoclustd_shards_completed_total", 1, timeout); err != nil {
+		return nil, fmt.Errorf("no shard ever completed: %w", err)
+	}
+	if err := workers[0].Process.Kill(); err != nil {
+		return nil, fmt.Errorf("kill worker 0: %w", err)
+	}
+	// The killed worker's exit error is expected; reap it now so the
+	// deferred reap is a no-op.
+	_ = workers[0].Wait()
+	fmt.Println("smokedist: SIGKILLed worker 0 mid-run")
+
+	report, err := awaitResult(ctx, base, id, timeout)
+	if err != nil {
+		return nil, err
+	}
+	exp, err := metricValue(ctx, base, "protoclustd_shard_lease_expirations_total")
+	if err != nil {
+		return nil, err
+	}
+	if exp < 1 {
+		return nil, fmt.Errorf("job finished but no lease expired: the killed worker's shard was never stolen")
+	}
+	fmt.Printf("smokedist: %d lease(s) expired and were requeued after the kill\n", int(exp))
+	return report, shutdown(daemon)
+}
+
+// localRun computes the reference report on a plain non-distributed
+// daemon process.
+func localRun(ctx context.Context, daemonBin string, timeout time.Duration, spec map[string]any) ([]byte, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	base := "http://" + addr
+	daemon := exec.CommandContext(ctx, daemonBin, "-addr", addr, "-workers", "1", "-grace", "5s")
+	daemon.Stdout, daemon.Stderr = os.Stdout, os.Stderr
+	if err := daemon.Start(); err != nil {
+		return nil, fmt.Errorf("start daemon: %w", err)
+	}
+	defer reap(daemon)
+	if err := waitHealthy(ctx, base, 30*time.Second); err != nil {
+		return nil, err
+	}
+	id, err := submit(ctx, base, spec)
+	if err != nil {
+		return nil, err
+	}
+	report, err := awaitResult(ctx, base, id, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return report, shutdown(daemon)
+}
+
+// freeAddr reserves a loopback port and releases it for the child to
+// bind. The tiny reuse race is acceptable in a smoke test.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	return addr, l.Close()
+}
+
+func waitHealthy(ctx context.Context, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		body, err := get(ctx, base+"/healthz")
+		if err == nil && len(body) > 0 {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon at %s not healthy after %v", base, timeout)
+}
+
+func submit(ctx context.Context, base string, spec map[string]any) (string, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	closeErr := resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if closeErr != nil {
+		return "", closeErr
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return "", fmt.Errorf("submit response %q: %w", body, err)
+	}
+	return out.ID, nil
+}
+
+// awaitResult polls the job until it is terminal, requires "done", and
+// returns the raw report JSON.
+func awaitResult(ctx context.Context, base, id string, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		body, err := get(ctx, base+"/v1/jobs/"+id)
+		if err != nil {
+			return nil, err
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, fmt.Errorf("status response %q: %w", body, err)
+		}
+		switch st.State {
+		case "done":
+			return get(ctx, base+"/v1/jobs/"+id+"/result")
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("job %s not terminal after %v", id, timeout)
+}
+
+// waitMetric polls /metrics until the named counter reaches min.
+func waitMetric(ctx context.Context, base, name string, min float64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if v, err := metricValue(ctx, base, name); err == nil && v >= min {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("%s never reached %v within %v", name, min, timeout)
+}
+
+func metricValue(ctx context.Context, base, name string) (float64, error) {
+	body, err := get(ctx, base+"/metrics")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			return strconv.ParseFloat(fields[1], 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not exposed", name)
+}
+
+func get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	closeErr := resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// shutdown asks a daemon to drain via SIGTERM and waits for it.
+func shutdown(daemon *exec.Cmd) error {
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal daemon: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exit: %w", err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		// Wedged daemon: hard-kill so the smoke run terminates; the
+		// earlier assertions already decided pass/fail.
+		_ = daemon.Process.Kill()
+		return fmt.Errorf("daemon did not drain within 30s of SIGTERM")
+	}
+}
+
+// reap hard-kills a child that is still running and collects it; exit
+// errors here are expected (killed workers, already-reaped daemons).
+func reap(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	// Kill on an exited process just returns an error; ignoring it
+	// keeps reap idempotent across the deferred and explicit call sites.
+	_ = cmd.Process.Kill()
+	// Wait's exit error is expected here (killed worker, reaped daemon).
+	_ = cmd.Wait()
+}

@@ -80,16 +80,36 @@ func ClusterSegments(segs []netmsg.Segment, p Params) (*Result, error) {
 // pairs. A cancelled or expired context surfaces as an error wrapping
 // ctx.Err().
 func ClusterSegmentsContext(ctx context.Context, segs []netmsg.Segment, p Params) (*Result, error) {
+	return ClusterSegmentsBuildContext(ctx, segs, p, nil)
+}
+
+// MatrixBuilder computes the dissimilarity matrix for a pool. It exists
+// so a caller can substitute the local kernel build with another source
+// of the same bits — the distributed coordinator assembles the matrix
+// from worker-computed shards. Params stays comparable (it carries no
+// function fields); the builder rides alongside it instead.
+type MatrixBuilder func(ctx context.Context, pool *dissim.Pool) (*dissim.Matrix, error)
+
+// ClusterSegmentsBuildContext is ClusterSegmentsContext with the matrix
+// build injected. A nil build computes locally through
+// dissim.ComputeMatrixContext, exactly as ClusterSegmentsContext does;
+// everything downstream of the matrix is identical either way.
+func ClusterSegmentsBuildContext(ctx context.Context, segs []netmsg.Segment, p Params, build MatrixBuilder) (*Result, error) {
 	pool := dissim.NewPool(segs)
 	if pool.Size() < 3 {
 		return nil, fmt.Errorf("%w (pool has %d)", ErrTooFewSegments, pool.Size())
 	}
-	m, err := dissim.ComputeMatrixContext(ctx, pool, dissim.Config{
-		Penalty:      p.Penalty,
-		Backend:      p.MatrixBackend,
-		MemoryBudget: p.MemoryBudget,
-		SpillDir:     p.MatrixSpillDir,
-	})
+	if build == nil {
+		build = func(ctx context.Context, pool *dissim.Pool) (*dissim.Matrix, error) {
+			return dissim.ComputeMatrixContext(ctx, pool, dissim.Config{
+				Penalty:      p.Penalty,
+				Backend:      p.MatrixBackend,
+				MemoryBudget: p.MemoryBudget,
+				SpillDir:     p.MatrixSpillDir,
+			})
+		}
+	}
+	m, err := build(ctx, pool)
 	if err != nil {
 		return nil, fmt.Errorf("core: dissimilarity matrix: %w", err)
 	}

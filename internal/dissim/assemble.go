@@ -1,0 +1,178 @@
+package dissim
+
+import (
+	"context"
+	"fmt"
+
+	"protoclust/internal/canberra"
+	"protoclust/internal/dbscan"
+	"protoclust/internal/dissim/tilestore"
+)
+
+// Assembler builds a Matrix from externally computed tiles instead of
+// running the kernel locally — the coordinator side of a distributed
+// matrix build. Tiles arrive in the tiled backend's layout (64×64
+// upper-triangle blocks, diagonal blocks as full mirrored squares, as
+// tilestore.ComputeTile emits) and land on the same backend
+// ComputeMatrixContext would have selected for the pool, so everything
+// downstream of the matrix is oblivious to how it was computed:
+//
+//   - Resident backends (dense, condensed) take tile values through
+//     Set. Set re-quantizes float64 → float32, but dbscan.Quantize is
+//     an exact round-trip on already-quantized values, so assembled
+//     matrices are bit-identical to locally computed ones.
+//   - The tiled backend takes whole tiles through tilestore.Ingest,
+//     which parks them in their fixed spill slots; this path requires
+//     Config.SpillDir.
+//
+// An Assembler is not safe for concurrent use; the coordinator ingests
+// shards under its own serialization.
+type Assembler struct {
+	n, ts, nb int
+	backend   string
+	set       settable
+	st        store
+	tiles     *tilestore.Store
+	views     []canberra.View
+	seen      []bool
+	remaining int
+	done      bool
+}
+
+// NewAssembler prepares an empty matrix for the pool on the backend cfg
+// selects (the same auto rule as ComputeMatrixContext) and returns the
+// assembler that fills it tile by tile. tile is the tile edge length;
+// ≤ 0 selects the standard 64. The tiled backend accepts only the
+// standard size (its spill slots are fixed-geometry) and requires
+// cfg.SpillDir.
+func NewAssembler(ctx context.Context, pool *Pool, cfg Config, tile int) (*Assembler, error) {
+	n := pool.Size()
+	if n == 0 {
+		return nil, ErrEmptyPool
+	}
+	if tile <= 0 {
+		tile = tileSize
+	}
+	budget := cfg.MemoryBudget
+	if budget <= 0 {
+		budget = DefaultMemoryBudget
+	}
+	backend := cfg.Backend
+	if backend == "" || backend == BackendAuto {
+		if b, err := dbscan.CondensedBytes(n); err == nil && b <= budget {
+			backend = BackendCondensed
+		} else {
+			backend = BackendTiled
+		}
+	}
+	a := &Assembler{
+		n:       n,
+		ts:      tile,
+		nb:      (n + tile - 1) / tile,
+		backend: backend,
+		views:   pool.Views(),
+	}
+	a.remaining = a.nb * (a.nb + 1) / 2
+	a.seen = make([]bool, a.remaining)
+	switch backend {
+	case BackendDense, BackendCondensed:
+		m, err := newResident(n, backend, budget)
+		if err != nil {
+			return nil, err
+		}
+		a.set, a.st = m, m
+	case BackendTiled:
+		if cfg.SpillDir == "" {
+			return nil, fmt.Errorf("dissim: assembling a tiled matrix requires Config.SpillDir")
+		}
+		if tile != tilestore.DefaultTileSize {
+			return nil, fmt.Errorf("dissim: tiled assembly requires tile size %d, got %d",
+				tilestore.DefaultTileSize, tile)
+		}
+		ts, err := tilestore.New(ctx, a.views, tilestore.Config{
+			BudgetBytes: budget,
+			SpillDir:    cfg.SpillDir,
+			Penalty:     cfg.Penalty,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dissim: tiled assembly: %w", err)
+		}
+		a.tiles, a.st = ts, ts
+	default:
+		return nil, fmt.Errorf("dissim: unknown matrix backend %q", cfg.Backend)
+	}
+	return a, nil
+}
+
+// N returns the number of unique segments (matrix dimension).
+func (a *Assembler) N() int { return a.n }
+
+// TileSize returns the tile edge length the assembler expects.
+func (a *Assembler) TileSize() int { return a.ts }
+
+// Backend names the backend the assembled matrix lands on.
+func (a *Assembler) Backend() string { return a.backend }
+
+// Remaining returns how many tiles have not been set yet.
+func (a *Assembler) Remaining() int { return a.remaining }
+
+// SetTile stores tile block (bi ≤ bj). data must carry exactly the
+// tile's element count — full mirrored squares on the diagonal, as
+// tilestore.ComputeTile emits. Setting a tile twice overwrites; the
+// distributed protocol's content addressing guarantees repeats carry
+// identical bytes.
+func (a *Assembler) SetTile(bi, bj int, data []float32) error {
+	if bi < 0 || bi > bj || bj >= a.nb {
+		return fmt.Errorf("dissim: assemble: tile (%d, %d) outside %d-block grid", bi, bj, a.nb)
+	}
+	r := min(a.ts, a.n-bi*a.ts)
+	c := min(a.ts, a.n-bj*a.ts)
+	if len(data) != r*c {
+		return fmt.Errorf("dissim: assemble: tile (%d, %d) has %d values, want %d",
+			bi, bj, len(data), r*c)
+	}
+	if a.tiles != nil {
+		if err := a.tiles.Ingest(bi, bj, data); err != nil {
+			return err
+		}
+	} else {
+		for x := 0; x < r; x++ {
+			i := bi*a.ts + x
+			lo := 0
+			if bi == bj {
+				// Diagonal tiles are symmetric; reading the upper half is
+				// enough, and Set ignores the zero diagonal anyway.
+				lo = x + 1
+			}
+			for y := lo; y < c; y++ {
+				a.set.Set(i, bj*a.ts+y, float64(data[x*c+y]))
+			}
+		}
+	}
+	idx := bi*a.nb - bi*(bi-1)/2 + (bj - bi)
+	if !a.seen[idx] {
+		a.seen[idx] = true
+		a.remaining--
+	}
+	return nil
+}
+
+// Matrix returns the assembled matrix once every tile is set. The
+// matrix owns the backend from here on — close it, not the assembler.
+func (a *Assembler) Matrix() (*Matrix, error) {
+	if a.remaining > 0 {
+		return nil, fmt.Errorf("dissim: assemble: %d of %d tiles missing", a.remaining, len(a.seen))
+	}
+	a.done = true
+	return &Matrix{store: a.st, views: a.views, backend: a.backend}, nil
+}
+
+// Close releases the backend of an assembly abandoned before Matrix
+// succeeded (the tiled backend holds a spill file). After a successful
+// Matrix call it is a no-op; the matrix owns the backend then.
+func (a *Assembler) Close() error {
+	if a.done || a.tiles == nil {
+		return nil
+	}
+	return a.tiles.Close()
+}

@@ -249,40 +249,15 @@ func ComputeMatrixContext(ctx context.Context, pool *Pool, cfg Config) (*Matrix,
 
 	var st store
 	switch backend {
-	case BackendDense:
-		b, err := dbscan.DenseBytes(n)
+	case BackendDense, BackendCondensed:
+		m, err := newResident(n, backend, budget)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
-		}
-		if b > budget {
-			return nil, fmt.Errorf("%w: %d unique segments need %d bytes dense (budget %d)",
-				ErrPoolTooLarge, n, b, budget)
-		}
-		dense, err := dbscan.NewDenseMatrix(n)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
-		}
-		if err := fillMatrix(ctx, dense, views, cfg.Penalty); err != nil {
 			return nil, err
 		}
-		st = dense
-	case BackendCondensed:
-		b, err := dbscan.CondensedBytes(n)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
-		}
-		if b > budget {
-			return nil, fmt.Errorf("%w: %d unique segments need %d bytes condensed (budget %d)",
-				ErrPoolTooLarge, n, b, budget)
-		}
-		cond, err := dbscan.NewCondensedMatrix(n)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
-		}
-		if err := fillMatrix(ctx, cond, views, cfg.Penalty); err != nil {
+		if err := fillMatrix(ctx, m, views, cfg.Penalty); err != nil {
 			return nil, err
 		}
-		st = cond
+		st = m
 	case BackendTiled:
 		ts, err := tilestore.New(ctx, views, tilestore.Config{
 			BudgetBytes: budget,
@@ -303,6 +278,49 @@ func ComputeMatrixContext(ctx context.Context, pool *Pool, cfg Config) (*Matrix,
 type settable interface {
 	dbscan.Matrix
 	Set(i, j int, v float64)
+}
+
+// residentStore is a fully allocated resident backend: settable for
+// filling and a complete store once filled.
+type residentStore interface {
+	store
+	Set(i, j int, v float64)
+}
+
+// newResident allocates an empty dense or condensed matrix, enforcing
+// the memory budget before touching memory.
+func newResident(n int, backend string, budget int64) (residentStore, error) {
+	switch backend {
+	case BackendDense:
+		b, err := dbscan.DenseBytes(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		if b > budget {
+			return nil, fmt.Errorf("%w: %d unique segments need %d bytes dense (budget %d)",
+				ErrPoolTooLarge, n, b, budget)
+		}
+		m, err := dbscan.NewDenseMatrix(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		return m, nil
+	case BackendCondensed:
+		b, err := dbscan.CondensedBytes(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		if b > budget {
+			return nil, fmt.Errorf("%w: %d unique segments need %d bytes condensed (budget %d)",
+				ErrPoolTooLarge, n, b, budget)
+		}
+		m, err := dbscan.NewCondensedMatrix(n)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %d unique segments: %v", ErrPoolTooLarge, n, err)
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("dissim: %q is not a resident backend", backend)
 }
 
 // fillMatrix computes every upper-triangle pair of views into st.

@@ -446,26 +446,35 @@ func (s *Store) canceled() bool {
 	return failed
 }
 
-// computeTile builds tile (bi ≤ bj) through the kernel. Diagonal tiles
-// are full squares mirrored from their upper half so row slices serve
-// StreamRow directly; values pass through dbscan.Quantize, the single
-// float32 boundary every backend shares. A cancelled context yields a
-// zero tile and records the sticky error instead.
+// computeTile builds tile (bi ≤ bj) through the kernel. A cancelled
+// context yields a zero tile and records the sticky error instead.
 func (s *Store) computeTile(bi, bj int) []float32 {
-	r, c := s.dim(bi), s.dim(bj)
-	data := make([]float32, r*c)
 	if s.canceled() {
-		return data
+		return make([]float32, s.dim(bi)*s.dim(bj))
 	}
+	return ComputeTile(s.views, s.penalty, s.ts, bi, bj)
+}
+
+// ComputeTile builds one tile (bi ≤ bj) of the upper-triangle tile grid
+// over views through the batched kernel. Diagonal tiles are full
+// squares mirrored from their upper half so row slices serve StreamRow
+// directly; values pass through dbscan.Quantize, the single float32
+// boundary every backend shares. Exported so distributed shard workers
+// compute the byte-for-byte identical tiles a local tiled build would.
+func ComputeTile(views []canberra.View, penalty float64, tileSize, bi, bj int) []float32 {
+	n := len(views)
+	dim := func(b int) int { return min(tileSize, n-b*tileSize) }
+	r, c := dim(bi), dim(bj)
+	data := make([]float32, r*c)
 	// One tile row per batch call: the kernel detects equal-length runs
 	// among the partner views and serves them through its vectorized
 	// batch path.
 	out := make([]float64, c)
 	if bi == bj {
 		for a := 0; a < r; a++ {
-			vi := s.views[bi*s.ts+a]
-			ts := s.views[bj*s.ts+a+1 : bj*s.ts+c]
-			canberra.DissimViewsBatch(vi, ts, s.penalty, out[:len(ts)])
+			vi := views[bi*tileSize+a]
+			ts := views[bj*tileSize+a+1 : bj*tileSize+c]
+			canberra.DissimViewsBatch(vi, ts, penalty, out[:len(ts)])
 			for k, v := range out[:len(ts)] {
 				b := a + 1 + k
 				d := dbscan.Quantize(v)
@@ -475,13 +484,48 @@ func (s *Store) computeTile(bi, bj int) []float32 {
 		}
 		return data
 	}
-	cols := s.views[bj*s.ts : bj*s.ts+c]
+	cols := views[bj*tileSize : bj*tileSize+c]
 	for a := 0; a < r; a++ {
-		vi := s.views[bi*s.ts+a]
-		canberra.DissimViewsBatch(vi, cols, s.penalty, out)
+		vi := views[bi*tileSize+a]
+		canberra.DissimViewsBatch(vi, cols, penalty, out)
 		for b, v := range out {
 			data[a*c+b] = dbscan.Quantize(v)
 		}
 	}
 	return data
+}
+
+// Ingest seeds the store with an externally computed tile (bi ≤ bj):
+// the data is written to the tile's fixed spill slot and marked
+// reloadable, so later reads pread it back under the LRU budget instead
+// of recomputing. This is how a distributed coordinator assembles
+// worker-computed shards into a bounded-memory matrix. Requires a
+// configured spill directory; data must match the tile's dimensions
+// (diagonal tiles are full mirrored squares, as ComputeTile emits).
+func (s *Store) Ingest(bi, bj int, data []float32) error {
+	if bi > bj || bj >= s.nb {
+		return fmt.Errorf("tilestore: ingest: tile (%d, %d) outside %d-block grid", bi, bj, s.nb)
+	}
+	if want := s.dim(bi) * s.dim(bj); len(data) != want {
+		return fmt.Errorf("tilestore: ingest: tile (%d, %d) has %d values, want %d", bi, bj, len(data), want)
+	}
+	buf := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	idx := s.tileIndex(bi, bj)
+	s.mu.Lock()
+	f := s.spill
+	s.mu.Unlock()
+	if f == nil {
+		return errors.New("tilestore: ingest requires a spill directory")
+	}
+	if _, err := f.WriteAt(buf, int64(idx)*s.slot); err != nil {
+		return fmt.Errorf("tilestore: ingest: %w", err)
+	}
+	s.mu.Lock()
+	s.spilled[idx] = true
+	s.mu.Unlock()
+	s.spills.Add(1)
+	return nil
 }

@@ -1,0 +1,232 @@
+// Package jobstore persists protoclustd's job queue across daemon
+// restarts and crashes: every submission and state transition is
+// appended to a JSON-lines log and fsynced, so the set of jobs that
+// were accepted but not yet finished can be replayed after kill -9 and
+// re-enqueued. The log is self-compacting — opening it rewrites one
+// merged record per job still worth recovering and truncates any
+// torn tail a crash left mid-line — so the file stays proportional to
+// the live queue, not to history.
+//
+// The store is deliberately schema-light: it persists the job ID, a
+// state string, and an opaque spec blob. The service layer owns what a
+// spec means and which states are terminal; the store only guarantees
+// durability and last-record-wins replay.
+package jobstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Job states the store knows to be terminal; anything else is
+// recoverable. These mirror the service's JobState values.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Terminal reports whether a state needs no recovery.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// Record is one log entry. Appends are deltas: a record without a Spec
+// inherits the spec of the job's earlier records on replay.
+type Record struct {
+	// ID is the service's job ID.
+	ID string `json:"id"`
+	// State is the job's lifecycle state at append time.
+	State string `json:"state"`
+	// Spec is the service's serialized job spec; present at least on
+	// the first record of a job.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Error and Retryable describe a failed state.
+	Error     string `json:"error,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
+	// UpdatedMS is the append time in Unix milliseconds.
+	UpdatedMS int64 `json:"updated_ms"`
+}
+
+// Store is an append-only job log. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	live  map[string]*Record // latest merged record per job
+	order []string           // job IDs in first-seen order
+}
+
+// Open replays the log at path (creating it if absent), compacts it to
+// one merged record per non-terminal job, and returns the store ready
+// for appends. A torn final line — the signature of a crash mid-append
+// — is dropped silently; every fully written record survives.
+func Open(path string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s := &Store{path: path, live: make(map[string]*Record)}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	if err := s.compact(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// replay loads the latest merged record per job from the existing log.
+func (s *Store) replay() error {
+	b, err := os.ReadFile(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: replay: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A malformed line can only be the torn tail of a crashed
+			// append; everything before it already replayed. Stop here.
+			return nil
+		}
+		if rec.ID == "" {
+			continue
+		}
+		s.mergeLocked(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("jobstore: replay: %w", err)
+	}
+	return nil
+}
+
+// mergeLocked folds a record into the live map, preserving the spec of
+// earlier records when the new one carries none.
+func (s *Store) mergeLocked(rec Record) {
+	prev, ok := s.live[rec.ID]
+	if !ok {
+		r := rec
+		s.live[rec.ID] = &r
+		s.order = append(s.order, rec.ID)
+		return
+	}
+	if rec.Spec == nil {
+		rec.Spec = prev.Spec
+	}
+	*prev = rec
+}
+
+// compact rewrites the log with one merged record per non-terminal job
+// and drops terminal history. Runs only at Open, before the append
+// handle exists.
+func (s *Store) compact() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, id := range s.order {
+		rec := s.live[id]
+		if Terminal(rec.State) {
+			continue
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("jobstore: compact: %w", err)
+		}
+	}
+	// Drop terminal jobs from memory too, so Jobs() lists only what
+	// recovery cares about.
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if Terminal(s.live[id].State) {
+			delete(s.live, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("jobstore: compact: %w", err)
+	}
+	return nil
+}
+
+// Append durably logs a record: the line is written and fsynced before
+// Append returns, so an accepted submission survives an immediate
+// crash.
+func (s *Store) Append(rec Record) error {
+	if rec.ID == "" {
+		return errors.New("jobstore: record without id")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("jobstore: store closed")
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: sync: %w", err)
+	}
+	s.mergeLocked(rec)
+	return nil
+}
+
+// Jobs returns the latest merged record of every job that is not in a
+// terminal state, in first-submission order.
+func (s *Store) Jobs() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, id := range s.order {
+		rec := s.live[id]
+		if Terminal(rec.State) {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	return out
+}
+
+// Path returns the log file path.
+func (s *Store) Path() string { return s.path }
+
+// Close releases the append handle. The store rejects further appends.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

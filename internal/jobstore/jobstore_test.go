@@ -1,0 +1,171 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, path
+}
+
+func reopen(t *testing.T, s *Store, path string) *Store {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	return r
+}
+
+func TestAppendReplayLastRecordWins(t *testing.T) {
+	s, path := openTemp(t)
+	spec := json.RawMessage(`{"proto":"ntp","n":50}`)
+	must(t, s.Append(Record{ID: "j1", State: StateQueued, Spec: spec, UpdatedMS: 1}))
+	must(t, s.Append(Record{ID: "j2", State: StateQueued, Spec: json.RawMessage(`{"proto":"dns","n":9}`), UpdatedMS: 2}))
+	must(t, s.Append(Record{ID: "j1", State: StateRunning, UpdatedMS: 3}))
+
+	s = reopen(t, s, path)
+	jobs := s.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("Jobs() = %d records, want 2", len(jobs))
+	}
+	if jobs[0].ID != "j1" || jobs[0].State != StateRunning {
+		t.Fatalf("j1 replayed as %+v", jobs[0])
+	}
+	// The running delta carried no spec; replay must inherit the
+	// original submission's.
+	if string(jobs[0].Spec) != string(spec) {
+		t.Fatalf("j1 spec = %s, want inherited %s", jobs[0].Spec, spec)
+	}
+	if jobs[1].ID != "j2" || jobs[1].State != StateQueued {
+		t.Fatalf("j2 replayed as %+v", jobs[1])
+	}
+}
+
+func TestCompactionDropsTerminalJobs(t *testing.T) {
+	s, path := openTemp(t)
+	must(t, s.Append(Record{ID: "j1", State: StateQueued, Spec: json.RawMessage(`{}`), UpdatedMS: 1}))
+	must(t, s.Append(Record{ID: "j1", State: StateDone, UpdatedMS: 2}))
+	must(t, s.Append(Record{ID: "j2", State: StateQueued, Spec: json.RawMessage(`{}`), UpdatedMS: 3}))
+	must(t, s.Append(Record{ID: "j3", State: StateQueued, Spec: json.RawMessage(`{}`), UpdatedMS: 4}))
+	must(t, s.Append(Record{ID: "j3", State: StateCanceled, UpdatedMS: 5}))
+
+	s = reopen(t, s, path)
+	jobs := s.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != "j2" {
+		t.Fatalf("Jobs() after compaction = %+v, want only j2", jobs)
+	}
+	// The compacted file holds exactly one line.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if lines := strings.Count(string(b), "\n"); lines != 1 {
+		t.Fatalf("compacted log has %d lines, want 1:\n%s", lines, b)
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	s, path := openTemp(t)
+	must(t, s.Append(Record{ID: "j1", State: StateQueued, Spec: json.RawMessage(`{"n":1}`), UpdatedMS: 1}))
+	must(t, s.Append(Record{ID: "j2", State: StateQueued, Spec: json.RawMessage(`{"n":2}`), UpdatedMS: 2}))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Simulate a crash mid-append: a torn, non-JSON final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.WriteString(`{"id":"j3","sta`); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	defer func() { _ = r.Close() }()
+	jobs := r.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != "j1" || jobs[1].ID != "j2" {
+		t.Fatalf("Jobs() after torn tail = %+v, want j1 and j2", jobs)
+	}
+	// The store stays appendable after recovery.
+	must(t, r.Append(Record{ID: "j4", State: StateQueued, Spec: json.RawMessage(`{}`), UpdatedMS: 3}))
+	if got := len(r.Jobs()); got != 3 {
+		t.Fatalf("Jobs() after post-recovery append = %d, want 3", got)
+	}
+}
+
+func TestCrashReplaySurvivesKill(t *testing.T) {
+	// A "crash" is simulated by never calling Close: the append handle
+	// goes away with the test, but every Append fsynced its line.
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	must(t, s.Append(Record{ID: "j1", State: StateQueued, Spec: json.RawMessage(`{"proto":"ntp"}`), UpdatedMS: 1}))
+	must(t, s.Append(Record{ID: "j1", State: StateRunning, UpdatedMS: 2}))
+	// No Close. Reopen the same path as a fresh process would.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen without close: %v", err)
+	}
+	defer func() { _ = r.Close() }()
+	jobs := r.Jobs()
+	if len(jobs) != 1 || jobs[0].State != StateRunning {
+		t.Fatalf("Jobs() = %+v, want j1 running", jobs)
+	}
+	_ = s.Close()
+}
+
+func TestAppendValidation(t *testing.T) {
+	s, _ := openTemp(t)
+	if err := s.Append(Record{State: StateQueued}); err == nil {
+		t.Error("Append accepted record without ID")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Append(Record{ID: "j1", State: StateQueued}); err == nil {
+		t.Error("Append accepted record after Close")
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for state, want := range map[string]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCanceled: true,
+		"mystery": false,
+	} {
+		if Terminal(state) != want {
+			t.Errorf("Terminal(%q) = %v, want %v", state, !want, want)
+		}
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+}

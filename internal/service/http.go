@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"protoclust/internal/shard"
 )
 
 // maxPCAPBytes bounds uploaded captures (64 MiB).
@@ -48,6 +50,13 @@ type errorResponse struct {
 //	GET    /healthz          liveness probe
 //	GET    /metrics          Prometheus text exposition
 //	GET    /debug/pprof/     runtime profiles
+//
+// Distributed mode adds the shard API protoclust-worker speaks
+// (404 when distributed mode is off):
+//
+//	GET  /v1/shards/lease             lease one shard (204 when idle)
+//	GET  /v1/shards/{job}/pool        fetch a job's pool payload
+//	POST /v1/shards/{job}/{id}/result post a computed shard
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJSON)
@@ -55,6 +64,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET "+shard.LeasePath, s.handleShardLease)
+	mux.HandleFunc("GET /v1/shards/{job}/pool", s.handleShardPool)
+	mux.HandleFunc("POST /v1/shards/{job}/{id}/result", s.handleShardResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -25,9 +25,45 @@ type Metrics struct {
 	// Cache outcome counters.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
+	// Recovered counts jobs re-enqueued from the job store at startup.
+	Recovered atomic.Int64
+	// Distributed-mode counters: granted shard leases, first-accepted
+	// shard completions, and content-addressed duplicate completions.
+	LeasesGranted   atomic.Int64
+	ShardsCompleted atomic.Int64
+	ShardsDuplicate atomic.Int64
 
-	mu     sync.Mutex
-	stages map[string]*stageStat
+	mu          sync.Mutex
+	stages      map[string]*stageStat
+	shardSource func() ShardQueueStats
+}
+
+// ShardQueueStats is a point-in-time snapshot of the distributed shard
+// queue, rendered into the metrics exposition when a source is set.
+type ShardQueueStats struct {
+	// Pending is the number of shards waiting for a lease.
+	Pending int
+	// Leased is the number of currently active leases.
+	Leased int
+	// Expirations is the cumulative count of expired, requeued leases.
+	Expirations int64
+	// Jobs holds per-job shard completion progress.
+	Jobs []ShardJobProgress
+}
+
+// ShardJobProgress is one job's shard completion count.
+type ShardJobProgress struct {
+	Job   string
+	Done  int
+	Total int
+}
+
+// SetShardSource installs the queue snapshot provider; call once before
+// the metrics endpoint is served.
+func (m *Metrics) SetShardSource(fn func() ShardQueueStats) {
+	m.mu.Lock()
+	m.shardSource = fn
+	m.mu.Unlock()
 }
 
 // stageStat accumulates the latency of one pipeline stage.
@@ -104,6 +140,51 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	if err := p("# HELP protoclustd_cache_hit_rate Result-cache hit rate.\n# TYPE protoclustd_cache_hit_rate gauge\nprotoclustd_cache_hit_rate %g\n",
 		m.CacheHitRate()); err != nil {
 		return n, err
+	}
+	if err := p("# HELP protoclustd_jobs_recovered_total Jobs re-enqueued from the job store at startup.\n# TYPE protoclustd_jobs_recovered_total counter\nprotoclustd_jobs_recovered_total %d\n",
+		m.Recovered.Load()); err != nil {
+		return n, err
+	}
+	m.mu.Lock()
+	shardFn := m.shardSource
+	m.mu.Unlock()
+	if shardFn != nil {
+		st := shardFn()
+		if err := p("# HELP protoclustd_shard_queue_depth Shards waiting for a lease.\n# TYPE protoclustd_shard_queue_depth gauge\nprotoclustd_shard_queue_depth %d\n",
+			st.Pending); err != nil {
+			return n, err
+		}
+		if err := p("# HELP protoclustd_shard_leases_active Currently leased shards.\n# TYPE protoclustd_shard_leases_active gauge\nprotoclustd_shard_leases_active %d\n",
+			st.Leased); err != nil {
+			return n, err
+		}
+		if err := p("# HELP protoclustd_shard_lease_expirations_total Expired leases requeued for stealing.\n# TYPE protoclustd_shard_lease_expirations_total counter\nprotoclustd_shard_lease_expirations_total %d\n",
+			st.Expirations); err != nil {
+			return n, err
+		}
+		if err := p("# HELP protoclustd_shard_leases_granted_total Shard leases granted to workers.\n# TYPE protoclustd_shard_leases_granted_total counter\nprotoclustd_shard_leases_granted_total %d\n",
+			m.LeasesGranted.Load()); err != nil {
+			return n, err
+		}
+		if err := p("# HELP protoclustd_shards_completed_total First-accepted shard completions.\n# TYPE protoclustd_shards_completed_total counter\nprotoclustd_shards_completed_total %d\n",
+			m.ShardsCompleted.Load()); err != nil {
+			return n, err
+		}
+		if err := p("# HELP protoclustd_shards_duplicate_total Duplicate shard completions (idempotent no-ops).\n# TYPE protoclustd_shards_duplicate_total counter\nprotoclustd_shards_duplicate_total %d\n",
+			m.ShardsDuplicate.Load()); err != nil {
+			return n, err
+		}
+		if len(st.Jobs) > 0 {
+			if err := p("# HELP protoclustd_job_shards Per-job shard completion progress.\n# TYPE protoclustd_job_shards gauge\n"); err != nil {
+				return n, err
+			}
+			for _, jp := range st.Jobs {
+				if err := p("protoclustd_job_shards{job=%q,kind=\"done\"} %d\nprotoclustd_job_shards{job=%q,kind=\"total\"} %d\n",
+					jp.Job, jp.Done, jp.Job, jp.Total); err != nil {
+					return n, err
+				}
+			}
+		}
 	}
 	m.mu.Lock()
 	names := make([]string, 0, len(m.stages))

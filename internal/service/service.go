@@ -15,6 +15,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -27,6 +28,7 @@ import (
 
 	"protoclust"
 	"protoclust/internal/dissim"
+	"protoclust/internal/jobstore"
 )
 
 // JobState is the lifecycle state of a job.
@@ -133,6 +135,30 @@ type Config struct {
 	// disk spill (default: "<CacheDir>/tiles" when CacheDir is set;
 	// otherwise tiles are recomputed instead of spilled).
 	SpillDir string
+	// JobStore, when non-nil, makes the job queue durable: every
+	// submission and state transition is appended to the store, and New
+	// re-enqueues jobs the store holds in a non-terminal state — a
+	// daemon restart (or crash) resumes where it left off. The caller
+	// opens the store (jobstore.Open) and closes it after Shutdown.
+	JobStore *jobstore.Store
+	// Distributed enables the shard coordinator: instead of computing
+	// dissimilarity matrices in-process, jobs are decomposed into leased
+	// tile-range shards that external protoclust-worker processes
+	// compute and post back. Requires at least one worker polling the
+	// shard API, or distributed jobs wait forever (bound them with
+	// timeouts).
+	Distributed bool
+	// LeaseTTL is the shard lease duration in distributed mode; ≤ 0
+	// selects shard.DefaultLeaseTTL. A worker that dies mid-shard delays
+	// its job by at most one TTL before the shard is requeued.
+	LeaseTTL time.Duration
+	// TilesPerShard sets how many 64×64 tiles one leased shard carries
+	// (≤ 0: shard.DefaultTilesPerShard).
+	TilesPerShard int
+	// DistributeMin is the minimum pool size (unique segments) for a
+	// matrix build to be distributed; smaller pools compute locally,
+	// where shard round-trips would dominate. 0 distributes everything.
+	DistributeMin int
 	// Logger receives structured per-job logs (default: slog.Default).
 	Logger *slog.Logger
 }
@@ -178,6 +204,8 @@ type Service struct {
 	log     *slog.Logger
 	cache   *Cache
 	metrics Metrics
+	store   *jobstore.Store
+	dist    *coordinator
 
 	queue chan *job
 
@@ -214,6 +242,7 @@ func New(cfg Config) *Service {
 		cfg:   cfg,
 		log:   cfg.Logger,
 		cache: NewCache(cfg.CacheEntries, cfg.CacheDir),
+		store: cfg.JobStore,
 		queue: make(chan *job, cfg.QueueSize),
 		jobs:  make(map[string]*job),
 	}
@@ -221,11 +250,97 @@ func New(cfg Config) *Service {
 	// caller and is canceled exactly once, by Shutdown.
 	//lint:ignore ctxflow service-lifetime root context, canceled via Shutdown
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.Distributed {
+		s.dist = newCoordinator(cfg, s.log, &s.metrics)
+		s.metrics.SetShardSource(s.dist.stats)
+		go s.dist.expiryLoop(s.baseCtx)
+	}
+	s.recover()
 	for w := 0; w < cfg.Workers; w++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// storedSpec is the persisted form of a JobSpec: the spec's JSON fields
+// plus the timeout, which JobSpec itself keeps off the wire.
+type storedSpec struct {
+	JobSpec
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// recover re-enqueues every non-terminal job the store replayed, under
+// its original ID, and advances the ID counter past them. Runs before
+// the worker pool starts, so recovered jobs keep submission order ahead
+// of new ones.
+func (s *Service) recover() {
+	if s.store == nil {
+		return
+	}
+	var maxID int64
+	for _, rec := range s.store.Jobs() {
+		if n, err := strconv.ParseInt(strings.TrimPrefix(rec.ID, "j"), 10, 64); err == nil && n > maxID {
+			maxID = n
+		}
+		var st storedSpec
+		if err := json.Unmarshal(rec.Spec, &st); err != nil {
+			s.log.Warn("jobstore: dropping job with unreadable spec", "job", rec.ID, "err", err)
+			continue
+		}
+		spec := st.JobSpec
+		spec.Timeout = time.Duration(st.TimeoutMS) * time.Millisecond
+		j := &job{id: rec.ID, spec: spec, state: StateQueued, submitted: time.Now()}
+		s.mu.Lock()
+		select {
+		case s.queue <- j:
+			s.jobs[j.id] = j
+		default:
+			s.mu.Unlock()
+			s.log.Warn("jobstore: queue full, recovered job left in store", "job", rec.ID)
+			continue
+		}
+		s.mu.Unlock()
+		s.metrics.Submitted.Add(1)
+		s.metrics.Queued.Add(1)
+		s.metrics.Recovered.Add(1)
+		// A job replayed as "running" crashed mid-run; normalize the log
+		// to queued so the store reflects what the queue holds.
+		if rec.State != jobstore.StateQueued {
+			s.persist(j, StateQueued, "", false, false)
+		}
+		s.log.Info("job recovered from store", "job", j.id, "prev_state", rec.State)
+	}
+	if maxID > s.nextID.Load() {
+		s.nextID.Store(maxID)
+	}
+}
+
+// persist appends a state transition to the job store, when one is
+// configured. Append failures are logged, not fatal: the in-memory
+// queue stays authoritative for this process's lifetime.
+func (s *Service) persist(j *job, state JobState, errMsg string, retryable bool, withSpec bool) {
+	if s.store == nil {
+		return
+	}
+	rec := jobstore.Record{
+		ID:        j.id,
+		State:     string(state),
+		Error:     errMsg,
+		Retryable: retryable,
+		UpdatedMS: time.Now().UnixMilli(),
+	}
+	if withSpec {
+		b, err := json.Marshal(storedSpec{JobSpec: j.spec, TimeoutMS: int64(j.spec.Timeout / time.Millisecond)})
+		if err != nil {
+			s.log.Warn("jobstore: spec marshal failed", "job", j.id, "err", err)
+		} else {
+			rec.Spec = b
+		}
+	}
+	if err := s.store.Append(rec); err != nil {
+		s.log.Warn("jobstore: append failed", "job", j.id, "state", state, "err", err)
+	}
 }
 
 // Metrics exposes the service counters (read-only use).
@@ -259,6 +374,7 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	s.mu.Unlock()
 	s.metrics.Submitted.Add(1)
 	s.metrics.Queued.Add(1)
+	s.persist(j, StateQueued, "", false, true)
 	s.log.Info("job submitted", "job", j.id, "proto", spec.Proto,
 		"pcap_bytes", len(spec.PCAP), "segmenter", spec.Segmenter)
 	return j.id, nil
@@ -326,6 +442,7 @@ func (s *Service) Cancel(id string) error {
 		j.errMsg = errCanceledByUser.Error()
 		j.finished = time.Now()
 		s.metrics.Canceled.Add(1)
+		s.persist(j, StateCanceled, j.errMsg, false, false)
 		s.log.Info("job canceled while queued", "job", j.id)
 	case StateRunning:
 		j.cancel(errCanceledByUser)
@@ -347,8 +464,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	close(s.queue)
 	s.mu.Unlock()
 
-	// Fail everything still waiting; workers racing on the same channel
-	// just see fewer jobs.
+	// Drain everything still waiting; workers racing on the same channel
+	// just see fewer jobs. With a job store, queued jobs are not dropped:
+	// their last persisted record is "queued", so the next start recovers
+	// and runs them. Without one, the old contract holds — fail them with
+	// a retryable status so clients know to resubmit.
 	for j := range s.queue {
 		j.mu.Lock()
 		if j.state == StateQueued {
@@ -358,7 +478,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			j.finished = time.Now()
 			s.metrics.Queued.Add(-1)
 			s.metrics.Failed.Add(1)
-			s.log.InfoContext(ctx, "queued job failed retryable at shutdown", "job", j.id)
+			if s.store != nil {
+				s.log.InfoContext(ctx, "queued job persisted for restart", "job", j.id)
+			} else {
+				s.log.InfoContext(ctx, "queued job failed retryable at shutdown", "job", j.id)
+			}
 		}
 		j.mu.Unlock()
 	}
@@ -398,6 +522,7 @@ func (s *Service) worker() {
 		}
 		j.state = StateRunning
 		j.started = time.Now()
+		s.persist(j, StateRunning, "", false, false)
 		timeout := j.spec.Timeout
 		if timeout <= 0 {
 			timeout = s.cfg.DefaultTimeout
@@ -445,7 +570,7 @@ func (s *Service) run(ctx context.Context, j *job) {
 		} else {
 			s.metrics.CacheMisses.Add(1)
 			var analysis *protoclust.Analysis
-			analysis, err = protoclust.AnalyzeContext(ctx, tr, opts)
+			analysis, err = protoclust.AnalyzeWithMatrixBuilder(ctx, tr, opts, s.matrixBuilder(j, opts))
 			if err == nil {
 				samples := j.spec.Samples
 				if samples <= 0 {
@@ -473,6 +598,7 @@ func (s *Service) run(ctx context.Context, j *job) {
 		j.result = report
 		j.cacheHit = hit
 		s.metrics.Done.Add(1)
+		s.persist(j, StateDone, "", false, false)
 		s.log.InfoContext(ctx, "job done", "job", j.id, "elapsed", elapsed,
 			"cache_hit", hit, "key", shortKey(key), "stages", timingSummary(j.timings))
 	case errors.Is(err, errCanceledByUser),
@@ -480,6 +606,7 @@ func (s *Service) run(ctx context.Context, j *job) {
 		j.state = StateCanceled
 		j.errMsg = errCanceledByUser.Error()
 		s.metrics.Canceled.Add(1)
+		s.persist(j, StateCanceled, j.errMsg, false, false)
 		s.log.InfoContext(ctx, "job canceled", "job", j.id, "elapsed", elapsed)
 	default:
 		j.state = StateFailed
@@ -488,6 +615,13 @@ func (s *Service) run(ctx context.Context, j *job) {
 		// own deadline) leaves the job retryable.
 		j.retryable = errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil
 		s.metrics.Failed.Add(1)
+		if j.retryable {
+			// Killed by shutdown, not by its own fault: persist as queued
+			// so a restart reruns it instead of reporting a failure.
+			s.persist(j, StateQueued, "", false, false)
+		} else {
+			s.persist(j, StateFailed, j.errMsg, false, false)
+		}
 		s.log.WarnContext(ctx, "job failed", "job", j.id, "elapsed", elapsed,
 			"retryable", j.retryable, "err", err)
 	}

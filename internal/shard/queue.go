@@ -1,0 +1,306 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Queue is the coordinator's leased shard queue: pending shards are
+// handed out FIFO under expiring leases, expired leases requeue their
+// shard (work-stealing survives worker death), and completion is
+// idempotent by content address — the first completion of a shard wins,
+// a repeat with the same digest is a no-op, and a repeat with a
+// different digest is an integrity error (the kernel is deterministic,
+// so it can only mean corruption).
+//
+// The queue tracks state only; shard payload bytes flow through the
+// caller, which ingests them on an Accepted disposition.
+type Queue struct {
+	mu        sync.Mutex
+	ttl       time.Duration
+	now       func() time.Time
+	nextToken int64
+
+	jobs map[string]*jobShards
+	// pending is the FIFO of (job, shard) waiting for a lease; entries
+	// whose job was dropped or whose shard is no longer pending are
+	// skipped lazily on Lease.
+	pending []shardKey
+
+	leased      int
+	expirations int64
+}
+
+type shardKey struct {
+	job string
+	id  int
+}
+
+type shardState int
+
+const (
+	statePending shardState = iota
+	stateLeased
+	stateDone
+)
+
+type shardRec struct {
+	task    Task
+	state   shardState
+	token   string
+	worker  string
+	expires time.Time
+	digest  string
+}
+
+type jobShards struct {
+	recs []*shardRec
+	done int
+}
+
+// Lease is one granted shard lease.
+type Lease struct {
+	// Task is the work to compute.
+	Task Task `json:"task"`
+	// Token identifies this grant; completions echo it for diagnostics,
+	// but acceptance is decided by content address, not token.
+	Token string `json:"token"`
+	// TTL is the lease duration: a worker that has not completed within
+	// it must assume the shard was requeued.
+	TTL time.Duration `json:"ttl_ns"`
+}
+
+// Disposition classifies a completion.
+type Disposition int
+
+const (
+	// Accepted means this is the shard's first completion: the caller
+	// must ingest the payload now.
+	Accepted Disposition = iota
+	// Duplicate means the shard was already completed with the same
+	// digest: drop the payload, nothing to do.
+	Duplicate
+)
+
+// Errors returned by Complete.
+var (
+	// ErrUnknownShard is returned for a job the queue is not tracking or
+	// a shard index out of range (e.g. the job finished and was dropped).
+	ErrUnknownShard = errors.New("shard: unknown shard")
+	// ErrDigestMismatch is returned when a shard is re-completed with a
+	// different content address than the accepted one.
+	ErrDigestMismatch = errors.New("shard: completion digest mismatch")
+)
+
+// DefaultLeaseTTL is the lease duration when NewQueue gets ttl ≤ 0.
+const DefaultLeaseTTL = 30 * time.Second
+
+// NewQueue returns a queue granting leases of the given TTL. now
+// overrides the clock for tests; nil uses time.Now.
+func NewQueue(ttl time.Duration, now func() time.Time) *Queue {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Queue{ttl: ttl, now: now, jobs: make(map[string]*jobShards)}
+}
+
+// TTL returns the queue's lease duration.
+func (q *Queue) TTL() time.Duration { return q.ttl }
+
+// Add registers a job's shards as pending. Task IDs must be dense from
+// 0 in slice order (what Plan produces).
+func (q *Queue) Add(job string, tasks []Task) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("shard: job %s: no tasks", job)
+	}
+	recs := make([]*shardRec, len(tasks))
+	for i, t := range tasks {
+		if t.ID != i || t.Job != job {
+			return fmt.Errorf("shard: job %s: task %d carries id %d job %q", job, i, t.ID, t.Job)
+		}
+		recs[i] = &shardRec{task: t}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.jobs[job]; ok {
+		return fmt.Errorf("shard: job %s already queued", job)
+	}
+	q.jobs[job] = &jobShards{recs: recs}
+	for i := range recs {
+		q.pending = append(q.pending, shardKey{job: job, id: i})
+	}
+	return nil
+}
+
+// Drop forgets a job (finished, failed, or canceled): its pending
+// entries are skipped lazily and any active leases stop counting.
+func (q *Queue) Drop(job string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	js, ok := q.jobs[job]
+	if !ok {
+		return
+	}
+	for _, rec := range js.recs {
+		if rec.state == stateLeased {
+			q.leased--
+		}
+	}
+	delete(q.jobs, job)
+}
+
+// Lease grants the next pending shard to worker, or ok = false when
+// nothing is pending. Expired leases are requeued first, so a stalled
+// worker's shard becomes stealable no later than the next Lease call
+// after its TTL.
+func (q *Queue) Lease(worker string) (Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(q.now())
+	for len(q.pending) > 0 {
+		key := q.pending[0]
+		q.pending = q.pending[1:]
+		js, ok := q.jobs[key.job]
+		if !ok {
+			continue
+		}
+		rec := js.recs[key.id]
+		if rec.state != statePending {
+			continue
+		}
+		q.nextToken++
+		rec.state = stateLeased
+		rec.token = "t" + strconv.FormatInt(q.nextToken, 10)
+		rec.worker = worker
+		rec.expires = q.now().Add(q.ttl)
+		q.leased++
+		return Lease{Task: rec.task, Token: rec.token, TTL: q.ttl}, true
+	}
+	return Lease{}, false
+}
+
+// Complete records a shard result digest. Acceptance is content-
+// addressed: the shard's first completion — from whichever worker,
+// with or without a live lease — is Accepted and the caller must
+// ingest the payload; a repeat with the same digest is a Duplicate
+// no-op; a repeat with a different digest fails with
+// ErrDigestMismatch. A worker completing after its lease expired (even
+// after the shard was re-leased) therefore costs nothing and loses
+// nothing.
+func (q *Queue) Complete(job string, id int, digest string) (Disposition, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	js, ok := q.jobs[job]
+	if !ok || id < 0 || id >= len(js.recs) {
+		return 0, fmt.Errorf("%w: %s/%d", ErrUnknownShard, job, id)
+	}
+	rec := js.recs[id]
+	if rec.state == stateDone {
+		if rec.digest != digest {
+			return 0, fmt.Errorf("%w: shard %s/%d accepted %s, got %s",
+				ErrDigestMismatch, job, id, rec.digest, digest)
+		}
+		return Duplicate, nil
+	}
+	if rec.state == stateLeased {
+		q.leased--
+	}
+	rec.state = stateDone
+	rec.digest = digest
+	js.done++
+	return Accepted, nil
+}
+
+// ExpireNow requeues every lease whose TTL has passed and returns how
+// many it requeued. The coordinator calls this on a ticker so leases
+// of dead workers requeue even while no live worker is polling.
+func (q *Queue) ExpireNow() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expireLocked(q.now())
+}
+
+func (q *Queue) expireLocked(now time.Time) int {
+	n := 0
+	for job, js := range q.jobs {
+		for id, rec := range js.recs {
+			if rec.state == stateLeased && !rec.expires.After(now) {
+				rec.state = statePending
+				rec.token = ""
+				rec.worker = ""
+				q.leased--
+				q.pending = append(q.pending, shardKey{job: job, id: id})
+				n++
+			}
+		}
+	}
+	q.expirations += int64(n)
+	return n
+}
+
+// Progress returns a job's completed and total shard counts.
+func (q *Queue) Progress(job string) (done, total int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	js, found := q.jobs[job]
+	if !found {
+		return 0, 0, false
+	}
+	return js.done, len(js.recs), true
+}
+
+// ActiveLeases returns the number of currently leased shards.
+func (q *Queue) ActiveLeases() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.leased
+}
+
+// PendingShards returns the number of shards waiting for a lease.
+func (q *Queue) PendingShards() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, js := range q.jobs {
+		for _, rec := range js.recs {
+			if rec.state == statePending {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Expirations returns the cumulative count of requeued expired leases.
+func (q *Queue) Expirations() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expirations
+}
+
+// JobProgress is one job's shard completion snapshot.
+type JobProgress struct {
+	Job   string
+	Done  int
+	Total int
+}
+
+// Snapshot returns per-job shard progress, sorted by job ID for
+// deterministic metrics output.
+func (q *Queue) Snapshot() []JobProgress {
+	q.mu.Lock()
+	out := make([]JobProgress, 0, len(q.jobs))
+	for job, js := range q.jobs {
+		out = append(out, JobProgress{Job: job, Done: js.done, Total: len(js.recs)})
+	}
+	q.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}

@@ -159,6 +159,18 @@ func Analyze(tr *Trace, o Options) (*Analysis, error) {
 // ctx.Err(); test with errors.Is(err, context.Canceled) or
 // errors.Is(err, context.DeadlineExceeded).
 func AnalyzeContext(ctx context.Context, tr *Trace, o Options) (*Analysis, error) {
+	return AnalyzeWithMatrixBuilder(ctx, tr, o, nil)
+}
+
+// AnalyzeWithMatrixBuilder is AnalyzeContext with the dissimilarity
+// matrix build injected: a non-nil build replaces the local kernel
+// computation with another source of the same bits — the distributed
+// coordinator assembles the matrix from worker-computed shards. A nil
+// build is exactly AnalyzeContext. Every stage around the matrix
+// (segmentation, ε auto-configuration, clustering, refinement) is
+// identical either way, which is what makes distributed and local runs
+// bit-identical.
+func AnalyzeWithMatrixBuilder(ctx context.Context, tr *Trace, o Options, build core.MatrixBuilder) (*Analysis, error) {
 	if tr == nil || len(tr.Messages) == 0 {
 		return nil, errors.New("protoclust: empty trace")
 	}
@@ -191,7 +203,7 @@ func AnalyzeContext(ctx context.Context, tr *Trace, o Options) (*Analysis, error
 	}
 	stage("segment", start)
 	start = time.Now()
-	res, err := core.ClusterSegmentsContext(ctx, segs, o.Params)
+	res, err := core.ClusterSegmentsBuildContext(ctx, segs, o.Params, build)
 	if err != nil {
 		return nil, fmt.Errorf("protoclust: clustering: %w", err)
 	}
