@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-noasm test-race test-service test-oracle golden-check golden-update vet lint bench bench-json bench-scaling smoke-tiled smoke-distributed eval fuzz serve clean
+.PHONY: all build test test-short test-noasm test-race test-service test-oracle golden-check golden-update vet lint bench bench-json bench-scaling smoke-tiled smoke-distributed smoke-sweep eval fuzz serve clean
 
 all: build lint test
 
@@ -44,10 +44,11 @@ test-race:
 
 # Race detector over the analysis service and the distribution
 # subsystem: worker pool, cancellation, cache, HTTP lifecycle, shard
-# queue/lease lifecycle, and the durable job log (the full suites, not
-# just -short).
+# queue/lease lifecycle, the durable job log, and the configuration-
+# sweep harness (shared-matrix fan-out; the full suites, not just
+# -short).
 test-service:
-	$(GO) test -race ./internal/service/ ./cmd/protoclustd/ ./internal/shard/ ./internal/jobstore/
+	$(GO) test -race ./internal/service/ ./cmd/protoclustd/ ./internal/shard/ ./internal/jobstore/ ./internal/sweep/
 
 # Differential tests of the production pipeline against the
 # obviously-correct reference implementations in internal/oracle, under
@@ -109,6 +110,14 @@ smoke-tiled:
 # byte-identical to a single-process run. See docs/service.md.
 smoke-distributed:
 	$(GO) run ./cmd/smokedist
+
+# End-to-end smoke of the configuration-sweep harness: a 24-config grid
+# (2 segmenters × 2 clusterers × 3 k's × 2 ε-sources, with ensembles)
+# over one golden trace. Requires zero failed configs, exactly one
+# matrix build per segmenter, the paper's reference configuration on
+# the Pareto front, and a byte-identical report on a second run.
+smoke-sweep:
+	$(GO) run ./cmd/smokesweep
 
 # Regenerates Tables I/II, Figures 2/3, and the coverage comparison.
 eval:

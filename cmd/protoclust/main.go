@@ -63,6 +63,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		memBudget = fs.Int64("memory-budget", 0, "resident bytes allowed for the dissimilarity matrix (0 = 2 GiB default); larger pools switch to the tiled backend")
 		backend   = fs.String("matrix-backend", "", "force the matrix storage backend: dense, condensed, tiled (default: auto within -memory-budget)")
 		spillDir  = fs.String("spill-dir", "", "with the tiled backend: spill evicted tiles to scratch files under this directory")
+
+		sweepFlag  = fs.Bool("sweep", false, "run a configuration sweep instead of a single analysis (see the -sweep-* axes)")
+		sweepSegs  = fs.String("sweep-segmenters", "", "comma-separated segmenter axis (default: the -segmenter value)")
+		sweepCls   = fs.String("sweep-clusterers", "", "comma-separated clusterer axis: dbscan, optics, hdbscan (default: dbscan)")
+		sweepKs    = fs.String("sweep-ks", "", "comma-separated k' axis; 0 = auto kMax (default: 0)")
+		sweepEps   = fs.String("sweep-eps", "", `comma-separated ε-source axis: "knee", "quantile:Q", "fixed:E" (default: knee)`)
+		ensembleOn = fs.Bool("ensemble", false, "with -sweep: co-association ensemble voting per segmenter")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +128,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	opts.MemoryBudget = *memBudget
 	opts.Params.MatrixBackend = *backend
 	opts.Params.MatrixSpillDir = *spillDir
+
+	if *sweepFlag {
+		if out.err != nil {
+			return out.err
+		}
+		return runSweep(ctx, tr, opts, sweepArgs{
+			segmenters: *sweepSegs,
+			clusterers: *sweepCls,
+			ks:         *sweepKs,
+			eps:        *sweepEps,
+			ensemble:   *ensembleOn,
+			samples:    *samples,
+			asJSON:     *asJSON,
+		}, stdout)
+	}
 
 	if *msgTypes {
 		mt, err := protoclust.ClusterMessageTypes(tr, opts)

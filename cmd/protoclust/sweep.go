@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"protoclust"
+	"protoclust/internal/sweep"
+)
+
+// sweepArgs carries the parsed -sweep-* flags into runSweep.
+type sweepArgs struct {
+	segmenters string
+	clusterers string
+	ks         string
+	eps        string
+	ensemble   bool
+	samples    int
+	asJSON     bool
+}
+
+// runSweep fans the flag grid over the trace and renders the report as
+// a table (or JSON with -json). The base options carry the segmenter
+// default and the matrix budget/backend flags into every configuration.
+func runSweep(ctx context.Context, tr *protoclust.Trace, opts protoclust.Options, a sweepArgs, stdout io.Writer) error {
+	grid := sweep.Grid{
+		Segmenters: splitList(a.segmenters),
+		Clusterers: splitList(a.clusterers),
+	}
+	if len(grid.Segmenters) == 0 {
+		grid.Segmenters = []string{opts.Segmenter}
+	}
+	for _, name := range grid.Segmenters {
+		if _, err := protoclust.NewSegmenter(name); err != nil {
+			return err
+		}
+	}
+	for _, raw := range splitList(a.ks) {
+		k, err := strconv.Atoi(raw)
+		if err != nil {
+			return fmt.Errorf("bad -sweep-ks entry %q: %w", raw, err)
+		}
+		grid.Ks = append(grid.Ks, k)
+	}
+	for _, raw := range splitList(a.eps) {
+		es, err := sweep.ParseEps(raw)
+		if err != nil {
+			return err
+		}
+		grid.EpsSources = append(grid.EpsSources, es)
+	}
+
+	rep, err := sweep.Run(ctx, tr, sweep.Options{
+		Grid:         grid,
+		Base:         opts,
+		Ensemble:     a.ensemble,
+		SampleValues: a.samples,
+	})
+	if err != nil {
+		return err
+	}
+	if a.asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return sweep.WriteTable(stdout, rep)
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}

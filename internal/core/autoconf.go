@@ -48,6 +48,20 @@ type CurveData struct {
 // are available — no meaningful density estimate exists.
 var ErrTooFewSegments = errors.New("core: need at least three unique segments")
 
+// ErrKOutOfRange is returned when Params.FixedK lies outside the
+// [2, round(ln n)] candidate range Algorithm 1 searches; the sweep
+// harness reports such configurations as skipped rather than failing
+// the whole grid.
+var ErrKOutOfRange = errors.New("core: fixed k outside the [2, ln n] candidate range")
+
+// ErrBadQuantile is returned when Params.EpsQuantile is not in [0, 1).
+var ErrBadQuantile = errors.New("core: eps quantile must be in [0, 1)")
+
+// ErrAllIdentical is returned when every candidate distance is zero and
+// no positive pairwise dissimilarity exists anywhere in the matrix —
+// there is nothing to cluster.
+var ErrAllIdentical = errors.New("core: all segments identical; nothing to cluster")
+
 // fallbackQuantile is the k-NN distance quantile used when no knee is
 // detected.
 const fallbackQuantile = 0.6
@@ -78,6 +92,16 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 	if n < 3 {
 		return nil, fmt.Errorf("%w (have %d)", ErrTooFewSegments, n)
 	}
+	if p.EpsQuantile < 0 || p.EpsQuantile >= 1 {
+		return nil, fmt.Errorf("%w (got %g)", ErrBadQuantile, p.EpsQuantile)
+	}
+	kLo, kHi := 2, kMax(n)
+	if p.FixedK != 0 {
+		if p.FixedK < 2 || p.FixedK > kHi {
+			return nil, fmt.Errorf("%w: k=%d, candidates are [2, %d] for n=%d", ErrKOutOfRange, p.FixedK, kHi, n)
+		}
+		kLo, kHi = p.FixedK, p.FixedK
+	}
 
 	// For each k build the ECDF of k-NN distances (below cut), smooth
 	// it, and detect its knees. The per-k sharpness δB̂_k is the
@@ -94,11 +118,11 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 		gap      float64        // fallback sharpness: largest step gap
 	}
 	var curves []kCurve
-	table, err := m.KNNTable(kMax(n))
+	table, err := m.KNNTable(kHi)
 	if err != nil {
 		return nil, fmt.Errorf("core: k-NN distances: %w", err)
 	}
-	for k := 2; k <= kMax(n); k++ {
+	for k := kLo; k <= kHi; k++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: auto-configuration: %w", err)
 		}
@@ -163,6 +187,9 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 
 	// k' = argmax_k δB̂_k: the k whose ECDF has the sharpest knee. When
 	// no curve has a knee, fall back to the largest raw distance gap.
+	// Ties are strict-greater comparisons, so two curves with exactly
+	// equal sharpness (or gap) deterministically resolve to the smaller
+	// k — curves are visited in ascending k order.
 	best := curves[0]
 	for _, c := range curves[1:] {
 		if c.sharp > best.sharp || (vecmath.IsZero(best.sharp) && vecmath.IsZero(c.sharp) && c.gap > best.gap) {
@@ -181,9 +208,20 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 		},
 	}
 
-	// The rightmost prominent knee's distance becomes ε. The knee index
-	// refers to the sample grid the detector ran on; locate the same
-	// distance on the collapsed curve for reporting.
+	// Quantile ε source (sweep harness): skip knee selection entirely
+	// and take the configured quantile of the selected curve's raw k-NN
+	// distances — the same population the knee-less fallback below uses
+	// with its fixed fallbackQuantile.
+	if p.EpsQuantile > 0 {
+		return ac, quantileEpsilon(ac, best.raw, m, p.EpsQuantile)
+	}
+
+	// The rightmost prominent knee's distance becomes ε. Knees that tie
+	// exactly on prominence both survive the prominence filter above, so
+	// the tie-break is positional and documented: the knee with the
+	// larger distance (rightmost) wins. The knee index refers to the
+	// sample grid the detector ran on; locate the same distance on the
+	// collapsed curve for reporting.
 	if k, ok := kneedle.Rightmost(best.knees); ok && k.X > 0 {
 		ac.Epsilon = k.X
 		ac.FromKnee = true
@@ -195,20 +233,27 @@ func configure(ctx context.Context, m *dissim.Matrix, p Params, cut float64) (*A
 
 	// Fallback: no knee detected (e.g. nearly uniform distances). Use a
 	// fixed quantile of the k-NN distances so clustering can proceed.
-	// The quantile is taken over the raw population — duplicates carry
-	// probability mass even though the curve collapses them.
-	ac.Epsilon = vecmath.Percentile(best.raw, fallbackQuantile*100)
+	return ac, quantileEpsilon(ac, best.raw, m, fallbackQuantile)
+}
+
+// quantileEpsilon sets ac.Epsilon to the q-quantile of the raw k-NN
+// distances. The quantile is taken over the raw population — duplicates
+// carry probability mass even though the curve collapses them. A zero
+// quantile value falls back to the smallest positive pairwise
+// dissimilarity anywhere in the matrix, or fails with ErrAllIdentical.
+func quantileEpsilon(ac *AutoConfig, raw []float64, m *dissim.Matrix, q float64) error {
+	ac.Epsilon = vecmath.Percentile(raw, q*100)
 	if ac.Epsilon <= 0 {
 		// All candidate distances are zero — pick the smallest positive
 		// pairwise dissimilarity, or give up. MinPositive streams the
 		// matrix instead of materializing the n(n−1)/2 upper triangle.
 		pos := m.MinPositive()
 		if math.IsInf(pos, 1) {
-			return nil, errors.New("core: all segments identical; nothing to cluster")
+			return ErrAllIdentical
 		}
 		ac.Epsilon = pos
 	}
-	return ac, nil
+	return nil
 }
 
 // collapseSteps reduces a sorted sample slice to one point per distinct

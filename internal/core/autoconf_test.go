@@ -230,3 +230,86 @@ func TestConfigureKInRange(t *testing.T) {
 		t.Errorf("k = %d outside [2, %d]", cfg.K, kMax(m.Len()))
 	}
 }
+
+func TestConfigureFixedKPins(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, m := poolFromValues(t, bimodalValues(rng, 60))
+	for _, k := range []int{2, 3, kMax(m.Len())} {
+		p := DefaultParams()
+		p.FixedK = k
+		cfg, err := Configure(m, p)
+		if err != nil {
+			t.Fatalf("FixedK=%d: %v", k, err)
+		}
+		if cfg.K != k {
+			t.Errorf("FixedK=%d selected k=%d; pinning must bypass sharpness selection", k, cfg.K)
+		}
+	}
+}
+
+func TestConfigureFixedKOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	_, m := poolFromValues(t, bimodalValues(rng, 60))
+	for _, k := range []int{-1, 1, kMax(m.Len()) + 1} {
+		p := DefaultParams()
+		p.FixedK = k
+		if _, err := Configure(m, p); !errors.Is(err, ErrKOutOfRange) {
+			t.Errorf("FixedK=%d: err = %v, want ErrKOutOfRange", k, err)
+		}
+	}
+}
+
+func TestConfigureEpsQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	_, m := poolFromValues(t, bimodalValues(rng, 40))
+	for _, q := range []float64{-0.1, 1.0, 1.5} {
+		p := DefaultParams()
+		p.EpsQuantile = q
+		if _, err := Configure(m, p); !errors.Is(err, ErrBadQuantile) {
+			t.Errorf("EpsQuantile=%g: err = %v, want ErrBadQuantile", q, err)
+		}
+	}
+}
+
+func TestConfigureEpsQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	_, m := poolFromValues(t, bimodalValues(rng, 60))
+	var prev float64
+	for i, q := range []float64{0.2, 0.5, 0.9} {
+		p := DefaultParams()
+		p.EpsQuantile = q
+		cfg, err := Configure(m, p)
+		if err != nil {
+			t.Fatalf("EpsQuantile=%g: %v", q, err)
+		}
+		if cfg.FromKnee {
+			t.Errorf("EpsQuantile=%g: FromKnee=true; the quantile source must bypass knee detection", q)
+		}
+		if cfg.Epsilon <= 0 {
+			t.Errorf("EpsQuantile=%g: eps = %g, want > 0", q, cfg.Epsilon)
+		}
+		if i > 0 && cfg.Epsilon < prev {
+			t.Errorf("EpsQuantile=%g: eps = %g < eps(previous quantile) = %g; quantile ε must be monotone", q, cfg.Epsilon, prev)
+		}
+		prev = cfg.Epsilon
+	}
+}
+
+func TestQuantileEpsilonAllIdentical(t *testing.T) {
+	// A zero quantile falls back to the smallest positive pairwise
+	// dissimilarity; when the matrix has none (a single unique value has
+	// no positive pair), the guard fails with ErrAllIdentical rather
+	// than handing DBSCAN an eps of 0. Identical segments dedupe in the
+	// pool, so Configure itself rejects such inputs earlier with
+	// ErrTooFewSegments — the guard is exercised at its own level.
+	_, m := poolFromValues(t, [][]byte{{1, 2}})
+	if err := quantileEpsilon(&AutoConfig{}, []float64{0, 0, 0}, m, 0.5); !errors.Is(err, ErrAllIdentical) {
+		t.Errorf("err = %v, want ErrAllIdentical", err)
+	}
+	// With any positive distance in the matrix the fallback uses it.
+	_, m2 := poolFromValues(t, [][]byte{{1, 2}, {9, 9}})
+	ac := &AutoConfig{}
+	if err := quantileEpsilon(ac, []float64{0, 0, 0}, m2, 0.5); err != nil || ac.Epsilon <= 0 {
+		t.Errorf("eps = %g err = %v, want positive fallback eps", ac.Epsilon, err)
+	}
+}

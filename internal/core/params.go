@@ -41,6 +41,17 @@ type Params struct {
 	// FixedEpsilon, when positive, bypasses the ε auto-configuration
 	// (ablation A2).
 	FixedEpsilon float64
+	// FixedK, when ≥ 2, pins the k-NN rank k' the ε auto-configuration
+	// evaluates instead of searching 2…round(ln n) for the sharpest
+	// knee. Values outside [2, kMax(n)] fail with ErrKOutOfRange. Used
+	// by the configuration-sweep harness to expose the k axis.
+	FixedK int
+	// EpsQuantile, when in (0, 1), derives ε as that quantile of the
+	// selected k's nearest-neighbor distances instead of from a detected
+	// knee — the sweep harness's "quantile" ε source, which generalizes
+	// the knee-less fallback (fallbackQuantile). Values outside [0, 1)
+	// fail with ErrBadQuantile; 0 keeps the knee-based Algorithm 1.
+	EpsQuantile float64
 	// Clusterer selects the density clusterer: "" or "dbscan"
 	// (default), "optics" (OPTICS with DBSCAN-equivalent extraction),
 	// or "hdbscan" (ablation A4). The paper chose DBSCAN over OPTICS

@@ -3,6 +3,7 @@ package eval
 import (
 	"math"
 
+	"protoclust/internal/core"
 	"protoclust/internal/detmap"
 	"protoclust/internal/netmsg"
 )
@@ -62,6 +63,38 @@ func External(clusters [][]netmsg.FieldType, noise []netmsg.FieldType) ExternalM
 		m.VMeasure = 2 * m.Homogeneity * m.Completeness / (m.Homogeneity + m.Completeness)
 	}
 	return m
+}
+
+// ExternalResult labels every unique segment of a pipeline result with
+// its dominant ground-truth type and computes the external metrics —
+// the same input shape EvaluateResult feeds the combinatorial
+// statistics. It requires ground-truth dissections on the underlying
+// messages.
+func ExternalResult(res *core.Result) ExternalMetrics {
+	clusters, noise := resultTypeLists(res)
+	return External(clusters, noise)
+}
+
+// resultTypeLists converts a pipeline result into per-cluster and noise
+// ground-truth type lists, the shared input of ClusterMetrics and
+// External.
+func resultTypeLists(res *core.Result) (clusters [][]netmsg.FieldType, noise []netmsg.FieldType) {
+	clusters = make([][]netmsg.FieldType, len(res.Clusters))
+	inCluster := make(map[int]bool)
+	for i, c := range res.Clusters {
+		for _, idx := range c.UniqueIndexes {
+			typ, _ := res.Pool.Unique[idx].DominantTrueType()
+			clusters[i] = append(clusters[i], typ)
+			inCluster[idx] = true
+		}
+	}
+	for idx := range res.Pool.Unique {
+		if !inCluster[idx] {
+			typ, _ := res.Pool.Unique[idx].DominantTrueType()
+			noise = append(noise, typ)
+		}
+	}
+	return clusters, noise
 }
 
 func comb2(x float64) float64 { return x * (x - 1) / 2 }

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"protoclust/internal/dbscan"
+)
+
+// distOnly strips the RowStreamer fast path from a matrix so the Dist
+// fallback loop can be compared against the streaming accumulation.
+type distOnly struct{ m dbscan.Matrix }
+
+func (d distOnly) Len() int              { return d.m.Len() }
+func (d distOnly) Dist(i, j int) float64 { return d.m.Dist(i, j) }
+
+// q round-trips a distance through the backends' float32 quantization
+// so hand-computed expectations match stored values exactly.
+func q(v float64) float64 { return float64(dbscan.Quantize(v)) }
+
+// pairScore is the silhouette of one point of a tight pair against the
+// far pair: a = 0.1, b = 0.9 after quantization.
+func pairScore() float64 { return (q(0.9) - q(0.1)) / q(0.9) }
+
+// twoBlobs builds a 4-point matrix with two tight pairs: intra-pair
+// distance 0.1, inter-pair 0.9.
+func twoBlobs(t *testing.T) *dbscan.CondensedMatrix {
+	t.Helper()
+	m, err := dbscan.NewCondensedMatrix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			d := 0.9
+			if i/2 == j/2 {
+				d = 0.1
+			}
+			m.Set(i, j, d)
+		}
+	}
+	return m
+}
+
+func TestSilhouetteSeparatedPairs(t *testing.T) {
+	m := twoBlobs(t)
+	labels := []int{0, 0, 1, 1}
+	// Every point: a = 0.1, b = 0.9, s = (b−a)/b.
+	want := pairScore()
+	got := Silhouette(m, labels)
+	if !almost(got, want) {
+		t.Errorf("silhouette = %v, want %v", got, want)
+	}
+}
+
+func TestSilhouetteStreamerMatchesDistLoop(t *testing.T) {
+	m := twoBlobs(t)
+	labels := []int{0, 0, 1, 1}
+	if s, d := Silhouette(m, labels), Silhouette(distOnly{m}, labels); s != d {
+		t.Errorf("streamed = %v, dist loop = %v; want identical", s, d)
+	}
+}
+
+func TestSilhouetteNoiseExcluded(t *testing.T) {
+	m, err := dbscan.NewCondensedMatrix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			d := 0.9
+			if i/2 == j/2 {
+				d = 0.1
+			}
+			if j == 4 {
+				d = 0.5 // noise point at arbitrary distances
+			}
+			m.Set(i, j, d)
+		}
+	}
+	got := Silhouette(m, []int{0, 0, 1, 1, -1})
+	want := pairScore()
+	if !almost(got, want) {
+		t.Errorf("silhouette with noise = %v, want %v (noise must not shift the score)", got, want)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	m := twoBlobs(t)
+	cases := []struct {
+		name   string
+		labels []int
+	}{
+		{"single cluster", []int{0, 0, 0, 0}},
+		{"all noise", []int{-1, -1, -1, -1}},
+		{"length mismatch", []int{0, 0}},
+	}
+	for _, c := range cases {
+		if got := Silhouette(m, c.labels); got != 0 {
+			t.Errorf("%s: silhouette = %v, want 0", c.name, got)
+		}
+	}
+}
+
+func TestSilhouetteSingletonScoresZero(t *testing.T) {
+	// Pair {0,1} plus singleton {2}: the pair's points score normally,
+	// the singleton contributes a 0 to the mean.
+	m, err := dbscan.NewCondensedMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(0, 1, 0.1)
+	m.Set(0, 2, 0.9)
+	m.Set(1, 2, 0.9)
+	got := Silhouette(m, []int{0, 0, 1})
+	want := (pairScore() + pairScore() + 0) / 3
+	if !almost(got, want) {
+		t.Errorf("silhouette = %v, want %v", got, want)
+	}
+}
+
+func TestSilhouetteBoundedAndSigned(t *testing.T) {
+	// A deliberately wrong labeling (splitting the true pairs) must score
+	// negative; any score stays within [-1, 1].
+	m := twoBlobs(t)
+	got := Silhouette(m, []int{0, 1, 0, 1})
+	if got >= 0 {
+		t.Errorf("silhouette of mis-labeling = %v, want < 0", got)
+	}
+	if got < -1 || got > 1 {
+		t.Errorf("silhouette = %v outside [-1, 1]", got)
+	}
+	if math.IsNaN(got) {
+		t.Error("silhouette is NaN")
+	}
+}

@@ -168,13 +168,20 @@ func Find(xs, ys []float64, shape Shape, sensitivity float64) ([]Knee, error) {
 		knees = append(knees, kneeAt(candidate, diff[candidate], shape, n, xs, ys))
 	}
 
-	sort.Slice(knees, func(i, j int) bool { return cmp.Less(knees[i].X, knees[j].X) })
+	// Stable: knees sharing one X (two difference-curve maxima inside a
+	// run of duplicate abscissae) keep their detection order, so the
+	// returned slice is reproducible input for positional tie-breaks.
+	sort.SliceStable(knees, func(i, j int) bool { return cmp.Less(knees[i].X, knees[j].X) })
 	return knees, nil
 }
 
 // FilterProminent keeps knees whose prominence is at least share of the
 // most prominent knee's. Use it to discard faint tail knees before
-// picking the rightmost one.
+// picking the rightmost one. Knees that tie exactly on the maximum
+// prominence all pass the filter (share·maxP ≤ maxP for share ≤ 1), so
+// the tie-break between them is deliberately NOT made here: it is
+// positional and belongs to Rightmost, where the knee with the largest
+// X wins.
 func FilterProminent(knees []Knee, share float64) []Knee {
 	var maxP float64
 	for _, k := range knees {
@@ -192,7 +199,11 @@ func FilterProminent(knees []Knee, share float64) []Knee {
 }
 
 // Rightmost returns the knee with the largest X, or false when the slice
-// is empty.
+// is empty. This is the documented tie-break for knees that tie exactly
+// on prominence: the rightmost one (largest distance) wins, which biases
+// ε toward the coarser clustering. Knees sharing the exact same X (only
+// possible inside a duplicate-abscissa run, where either choice yields
+// the same ε) resolve to the first in the stable detection order.
 func Rightmost(knees []Knee) (Knee, bool) {
 	if len(knees) == 0 {
 		return Knee{}, false

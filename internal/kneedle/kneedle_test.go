@@ -268,3 +268,67 @@ func TestConvexIncreasingIndexMapping(t *testing.T) {
 		}
 	}
 }
+
+// TestTiedProminenceRightmostWins is the regression test for the knee
+// tie-break: a curve engineered so two knees score the exact same
+// prominence must survive the prominence filter together, and the
+// selected knee (hence ε in the auto-configuration) must be the
+// rightmost one. Every input value is a dyadic rational, so the unit
+// normalization and the difference curve compute exactly and the tie is
+// bit-level, not approximate.
+func TestTiedProminenceRightmostWins(t *testing.T) {
+	// diff[i] = ys[i] − xs[i] by construction (normalization is the
+	// identity: xs spans [0,1], ys[0]=0, max(ys)=1). Two difference
+	// maxima of exactly 8/32 sit at i=3 and i=8; each is confirmed by
+	// the subsequent drop below its sensitivity threshold.
+	diff := []float64{0, 4, 6, 8, 4, 2, 4, 6, 8, 4, 2, 2, 1, 1, 0.5, 0.5, 0}
+	n := len(diff)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range diff {
+		xs[i] = float64(i) / 16
+		ys[i] = diff[i]/32 + xs[i]
+	}
+
+	knees, err := Find(xs, ys, ConcaveIncreasing, 1)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(knees) != 2 {
+		t.Fatalf("got %d knees (%+v), want the 2 engineered ones", len(knees), knees)
+	}
+	if !vecmath.EqualExact(knees[0].Prominence, 0.25) || !vecmath.EqualExact(knees[1].Prominence, 0.25) {
+		t.Fatalf("prominences %v and %v are not exactly tied at 0.25",
+			knees[0].Prominence, knees[1].Prominence)
+	}
+
+	// Both tied knees pass the prominence filter at any share ≤ 1...
+	prominent := FilterProminent(knees, 0.33)
+	if len(prominent) != 2 {
+		t.Fatalf("prominence filter dropped a tied knee: kept %d of 2", len(prominent))
+	}
+	// ...and the documented tie-break selects the rightmost.
+	best, ok := Rightmost(prominent)
+	if !ok {
+		t.Fatal("Rightmost found nothing")
+	}
+	if !vecmath.EqualExact(best.X, 0.5) {
+		t.Errorf("tie resolved to X=%v, want the rightmost knee at X=0.5", best.X)
+	}
+	if best.Index != 8 {
+		t.Errorf("tie resolved to index %d, want 8", best.Index)
+	}
+
+	// The selection is stable across repeated runs on the same input.
+	for run := 0; run < 3; run++ {
+		again, err := Find(xs, ys, ConcaveIncreasing, 1)
+		if err != nil {
+			t.Fatalf("Find (run %d): %v", run, err)
+		}
+		b2, _ := Rightmost(FilterProminent(again, 0.33))
+		if !vecmath.EqualExact(b2.X, best.X) || b2.Index != best.Index {
+			t.Fatalf("run %d selected (X=%v idx=%d), want (X=%v idx=%d)",
+				run, b2.X, b2.Index, best.X, best.Index)
+		}
+	}
+}

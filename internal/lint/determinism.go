@@ -20,12 +20,13 @@ import (
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid time.Now/time.Since, the global math/rand source, and map iteration " +
-		"in result-producing packages (internal/core, golden, eval, report)",
+		"in result-producing packages (internal/core, golden, eval, report, sweep)",
 	Applies: scopedTo(
 		"protoclust/internal/core",
 		"protoclust/internal/golden",
 		"protoclust/internal/eval",
 		"protoclust/internal/report",
+		"protoclust/internal/sweep",
 	),
 	Run: runDeterminism,
 }

@@ -60,6 +60,8 @@ var canonicalCoverage = map[string]string{
 	"Params.PercentRankThreshold":     "hashed",
 	"Params.DisableRefinement":        "hashed",
 	"Params.FixedEpsilon":             "hashed",
+	"Params.FixedK":                   "hashed",
+	"Params.EpsQuantile":              "hashed",
 	"Params.Clusterer":                "hashed",
 	"Params.MemoryBudget":             "neutral",
 	"Params.MatrixBackend":            "neutral",
@@ -77,25 +79,26 @@ func writeCanonicalOptions(h hash.Hash, o protoclust.Options) {
 		p = core.DefaultParams()
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	fmt.Fprintf(h, "v1\x00seg=%s\x00dedup=%t\x00penalty=%s\x00ks=%s\x00ss=%s\x00rho=%s\x00nd=%s\x00lcs=%s\x00prt=%s\x00norefine=%t\x00feps=%s\x00clusterer=%s\x00",
+	fmt.Fprintf(h, "v2\x00seg=%s\x00dedup=%t\x00penalty=%s\x00ks=%s\x00ss=%s\x00rho=%s\x00nd=%s\x00lcs=%s\x00prt=%s\x00norefine=%t\x00feps=%s\x00fk=%d\x00epsq=%s\x00clusterer=%s\x00",
 		o.Segmenter, !o.NoDeduplicate, f(p.Penalty), f(p.KneedleSensitivity),
 		f(p.SplineSmoothness), f(p.EpsRhoThreshold), f(p.NeighborDensityThreshold),
 		f(p.LargeClusterShare), f(p.PercentRankThreshold), p.DisableRefinement,
-		f(p.FixedEpsilon), p.Clusterer)
+		f(p.FixedEpsilon), p.FixedK, f(p.EpsQuantile), p.Clusterer)
 }
 
-// cacheEntry is one cached analysis outcome.
-type cacheEntry struct {
+// cacheEntry is one cached outcome.
+type cacheEntry[T any] struct {
 	key    string
-	report *protoclust.Report
+	report *T
 }
 
-// Cache is a bounded, content-addressed LRU of analysis reports with an
-// optional disk spill: entries evicted from (or inserted into) memory
-// are kept as JSON blobs under Dir, so a warm directory survives
-// restarts and an in-memory miss can still be served without
-// recomputing the matrix.
-type Cache struct {
+// jsonCache is a bounded, content-addressed LRU of JSON-serializable
+// values with an optional disk spill: entries evicted from (or inserted
+// into) memory are kept as JSON blobs under Dir, so a warm directory
+// survives restarts and an in-memory miss can still be served without
+// recomputing the matrix. The Cache alias instantiates it for analysis
+// reports; the sweep cache instantiates it for sweep reports.
+type jsonCache[T any] struct {
 	mu      sync.Mutex
 	max     int
 	dir     string
@@ -103,14 +106,21 @@ type Cache struct {
 	lru     *list.List // front = most recently used
 }
 
+// Cache is the analysis-report instantiation of jsonCache.
+type Cache = jsonCache[protoclust.Report]
+
 // NewCache returns a cache bounded to maxEntries in memory (minimum 1),
 // spilling to dir when non-empty. The directory is created on first
 // write; disk errors are treated as misses, never as failures.
 func NewCache(maxEntries int, dir string) *Cache {
+	return newJSONCache[protoclust.Report](maxEntries, dir)
+}
+
+func newJSONCache[T any](maxEntries int, dir string) *jsonCache[T] {
 	if maxEntries < 1 {
 		maxEntries = 1
 	}
-	return &Cache{
+	return &jsonCache[T]{
 		max:     maxEntries,
 		dir:     dir,
 		entries: make(map[string]*list.Element),
@@ -118,13 +128,13 @@ func NewCache(maxEntries int, dir string) *Cache {
 	}
 }
 
-// Get returns the cached report for key, consulting memory first and
+// Get returns the cached value for key, consulting memory first and
 // then the disk spill. A disk hit is promoted back into memory.
-func (c *Cache) Get(key string) (*protoclust.Report, bool) {
+func (c *jsonCache[T]) Get(key string) (*T, bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
-		r := el.Value.(*cacheEntry).report
+		r := el.Value.(*cacheEntry[T]).report
 		c.mu.Unlock()
 		return r, true
 	}
@@ -136,7 +146,7 @@ func (c *Cache) Get(key string) (*protoclust.Report, bool) {
 	if err != nil {
 		return nil, false
 	}
-	var r protoclust.Report
+	var r T
 	if err := json.Unmarshal(b, &r); err != nil {
 		return nil, false
 	}
@@ -144,22 +154,22 @@ func (c *Cache) Get(key string) (*protoclust.Report, bool) {
 	return &r, true
 }
 
-// Put stores the report under key, evicting the least recently used
+// Put stores the value under key, evicting the least recently used
 // in-memory entry beyond the bound and spilling the new entry to disk
 // when a spill directory is configured.
-func (c *Cache) Put(key string, r *protoclust.Report) { c.put(key, r, true) }
+func (c *jsonCache[T]) Put(key string, r *T) { c.put(key, r, true) }
 
-func (c *Cache) put(key string, r *protoclust.Report, spill bool) {
+func (c *jsonCache[T]) put(key string, r *T, spill bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).report = r
+		el.Value.(*cacheEntry[T]).report = r
 		c.lru.MoveToFront(el)
 	} else {
-		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, report: r})
+		c.entries[key] = c.lru.PushFront(&cacheEntry[T]{key: key, report: r})
 		for c.lru.Len() > c.max {
 			last := c.lru.Back()
 			c.lru.Remove(last)
-			delete(c.entries, last.Value.(*cacheEntry).key)
+			delete(c.entries, last.Value.(*cacheEntry[T]).key)
 		}
 	}
 	c.mu.Unlock()
@@ -178,12 +188,12 @@ func (c *Cache) put(key string, r *protoclust.Report, spill bool) {
 }
 
 // Len returns the number of in-memory entries.
-func (c *Cache) Len() int {
+func (c *jsonCache[T]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
 }
 
-func (c *Cache) spillPath(key string) string {
+func (c *jsonCache[T]) spillPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }

@@ -195,7 +195,7 @@ func perturb(t *testing.T, path string) protoclust.Options {
 		v.SetBool(!v.Bool())
 	case reflect.Float64:
 		v.SetFloat(v.Float() + 0.127)
-	case reflect.Int64:
+	case reflect.Int, reflect.Int64:
 		v.SetInt(v.Int() + 12345)
 	default:
 		t.Fatalf("field %q has unsupported kind %s; teach perturb about it", path, v.Kind())

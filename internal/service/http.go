@@ -47,6 +47,9 @@ type errorResponse struct {
 //	GET    /v1/jobs/{id}     job status snapshot
 //	GET    /v1/jobs/{id}/result  analysis report of a done job
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	POST   /v1/sweeps        submit a configuration sweep (JSON body)
+//	GET    /v1/sweeps/{id}   sweep job status snapshot
+//	GET    /v1/sweeps/{id}/result  sweep report of a done sweep
 //	GET    /healthz          liveness probe
 //	GET    /metrics          Prometheus text exposition
 //	GET    /debug/pprof/     runtime profiles
@@ -64,6 +67,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	mux.HandleFunc("GET "+shard.LeasePath, s.handleShardLease)
 	mux.HandleFunc("GET /v1/shards/{job}/pool", s.handleShardPool)
 	mux.HandleFunc("POST /v1/shards/{job}/{id}/result", s.handleShardResult)

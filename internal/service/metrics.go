@@ -32,10 +32,31 @@ type Metrics struct {
 	LeasesGranted   atomic.Int64
 	ShardsCompleted atomic.Int64
 	ShardsDuplicate atomic.Int64
+	// Sweep counters: dissimilarity matrices built by sweeps (one per
+	// distinct segmenter per sweep — the cache-reuse witness) and sweep
+	// configurations completed (any terminal per-config status).
+	SweepMatrixBuilds atomic.Int64
+	SweepConfigs      atomic.Int64
 
 	mu          sync.Mutex
 	stages      map[string]*stageStat
 	shardSource func() ShardQueueStats
+	sweepSource func() []SweepProgress
+}
+
+// SweepProgress is one running sweep's configuration completion count.
+type SweepProgress struct {
+	Job   string
+	Done  int
+	Total int
+}
+
+// SetSweepSource installs the running-sweep snapshot provider; call once
+// before the metrics endpoint is served.
+func (m *Metrics) SetSweepSource(fn func() []SweepProgress) {
+	m.mu.Lock()
+	m.sweepSource = fn
+	m.mu.Unlock()
 }
 
 // ShardQueueStats is a point-in-time snapshot of the distributed shard
@@ -181,6 +202,30 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			for _, jp := range st.Jobs {
 				if err := p("protoclustd_job_shards{job=%q,kind=\"done\"} %d\nprotoclustd_job_shards{job=%q,kind=\"total\"} %d\n",
 					jp.Job, jp.Done, jp.Job, jp.Total); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	if err := p("# HELP protoclustd_sweep_matrix_builds_total Dissimilarity matrices built by sweeps.\n# TYPE protoclustd_sweep_matrix_builds_total counter\nprotoclustd_sweep_matrix_builds_total %d\n",
+		m.SweepMatrixBuilds.Load()); err != nil {
+		return n, err
+	}
+	if err := p("# HELP protoclustd_sweep_configs_total Sweep configurations completed.\n# TYPE protoclustd_sweep_configs_total counter\nprotoclustd_sweep_configs_total %d\n",
+		m.SweepConfigs.Load()); err != nil {
+		return n, err
+	}
+	m.mu.Lock()
+	sweepFn := m.sweepSource
+	m.mu.Unlock()
+	if sweepFn != nil {
+		if sw := sweepFn(); len(sw) > 0 {
+			if err := p("# HELP protoclustd_sweep_progress Per-sweep configuration completion progress.\n# TYPE protoclustd_sweep_progress gauge\n"); err != nil {
+				return n, err
+			}
+			for _, sp := range sw {
+				if err := p("protoclustd_sweep_progress{job=%q,kind=\"done\"} %d\nprotoclustd_sweep_progress{job=%q,kind=\"total\"} %d\n",
+					sp.Job, sp.Done, sp.Job, sp.Total); err != nil {
 					return n, err
 				}
 			}

@@ -29,6 +29,7 @@ import (
 	"protoclust"
 	"protoclust/internal/dissim"
 	"protoclust/internal/jobstore"
+	"protoclust/internal/sweep"
 )
 
 // JobState is the lifecycle state of a job.
@@ -73,6 +74,12 @@ type JobSpec struct {
 	// labels are bit-identical across backends.
 	MemoryBudget  int64  `json:"memory_budget_bytes,omitempty"`
 	MatrixBackend string `json:"matrix_backend,omitempty"`
+	// Sweep, when non-nil, turns the job into a configuration sweep: the
+	// grid's configurations fan out over the trace with shared prefixes
+	// (segmentation, dissimilarity matrix) computed once per segmenter.
+	// The result is retrieved via SweepResult / GET /v1/sweeps/{id}/result
+	// instead of Result.
+	Sweep *SweepRequest `json:"sweep,omitempty"`
 	// Timeout bounds the job's run time; 0 falls back to the service
 	// default.
 	Timeout time.Duration `json:"-"`
@@ -94,6 +101,11 @@ func (sp *JobSpec) Validate() error {
 	case "", dissim.BackendAuto, dissim.BackendDense, dissim.BackendCondensed, dissim.BackendTiled:
 	default:
 		return fmt.Errorf("service: unknown matrix_backend %q", sp.MatrixBackend)
+	}
+	if sp.Sweep != nil {
+		if _, err := sp.Sweep.grid(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -190,22 +202,31 @@ type job struct {
 	retryable bool
 	cacheHit  bool
 	result    *protoclust.Report
-	timings   []protoclust.StageTiming
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	// sweepResult holds the report of a sweep job (spec.Sweep != nil);
+	// result stays nil for those.
+	sweepResult *sweep.Report
+	timings     []protoclust.StageTiming
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 	// cancel aborts the running analysis; non-nil only while running.
 	cancel context.CancelCauseFunc
 }
 
 // Service runs analysis jobs on a bounded worker pool.
 type Service struct {
-	cfg     Config
-	log     *slog.Logger
-	cache   *Cache
-	metrics Metrics
-	store   *jobstore.Store
-	dist    *coordinator
+	cfg        Config
+	log        *slog.Logger
+	cache      *Cache
+	sweepCache *jsonCache[sweep.Report]
+	metrics    Metrics
+	store      *jobstore.Store
+	dist       *coordinator
+
+	// sweepMu guards sweeps, the per-running-sweep progress records
+	// scraped by the metrics exposition.
+	sweepMu sync.Mutex
+	sweeps  map[string]*sweepProgress
 
 	queue chan *job
 
@@ -238,14 +259,21 @@ func New(cfg Config) *Service {
 	if cfg.SpillDir == "" && cfg.CacheDir != "" {
 		cfg.SpillDir = filepath.Join(cfg.CacheDir, "tiles")
 	}
-	s := &Service{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		cache: NewCache(cfg.CacheEntries, cfg.CacheDir),
-		store: cfg.JobStore,
-		queue: make(chan *job, cfg.QueueSize),
-		jobs:  make(map[string]*job),
+	sweepDir := ""
+	if cfg.CacheDir != "" {
+		sweepDir = filepath.Join(cfg.CacheDir, "sweeps")
 	}
+	s := &Service{
+		cfg:        cfg,
+		log:        cfg.Logger,
+		cache:      NewCache(cfg.CacheEntries, cfg.CacheDir),
+		sweepCache: newJSONCache[sweep.Report](cfg.CacheEntries, sweepDir),
+		store:      cfg.JobStore,
+		queue:      make(chan *job, cfg.QueueSize),
+		jobs:       make(map[string]*job),
+		sweeps:     make(map[string]*sweepProgress),
+	}
+	s.metrics.SetSweepSource(s.sweepProgressSnapshot)
 	// The service root context is deliberately fresh: it outlives any
 	// caller and is canceled exactly once, by Shutdown.
 	//lint:ignore ctxflow service-lifetime root context, canceled via Shutdown
@@ -416,6 +444,8 @@ func (s *Service) Result(id string) (*protoclust.Report, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch {
+	case j.spec.Sweep != nil:
+		return nil, fmt.Errorf("service: job %s is a sweep; use /v1/sweeps/%s/result", j.id, j.id)
 	case !j.state.Terminal():
 		return nil, ErrNotFinished
 	case j.state == StateDone:
@@ -548,8 +578,14 @@ func (s *Service) worker() {
 }
 
 // run executes one job: build the trace, consult the cache, analyze on
-// a miss, and record the terminal state.
+// a miss, and record the terminal state. Sweep jobs branch to runSweep,
+// which fans the grid out internally and shares the terminal-state
+// bookkeeping via finalize.
 func (s *Service) run(ctx context.Context, j *job) {
+	if j.spec.Sweep != nil {
+		s.runSweep(ctx, j)
+		return
+	}
 	start := time.Now()
 	tr, opts, err := s.prepare(j.spec)
 	var (
@@ -589,13 +625,23 @@ func (s *Service) run(ctx context.Context, j *job) {
 	}
 
 	j.mu.Lock()
+	j.result = report
+	j.mu.Unlock()
+	s.finalize(ctx, j, start, err, hit, key)
+}
+
+// finalize records a run's terminal state: done, canceled (by the user),
+// or failed (retryable when killed by shutdown). The job's result or
+// sweepResult must already be stored; finalize only transitions state,
+// counters, persistence, and logs.
+func (s *Service) finalize(ctx context.Context, j *job, start time.Time, err error, hit bool, key string) {
+	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = time.Now()
 	elapsed := j.finished.Sub(start)
 	switch {
 	case err == nil:
 		j.state = StateDone
-		j.result = report
 		j.cacheHit = hit
 		s.metrics.Done.Add(1)
 		s.persist(j, StateDone, "", false, false)

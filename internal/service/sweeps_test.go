@@ -1,0 +1,249 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"protoclust"
+)
+
+// sweep24 is the acceptance grid: 2 segmenters × 2 clusterers ×
+// 3 k-settings × 2 ε-sources = 24 configurations over one trace, with
+// the dissimilarity matrix computed once per segmenter.
+func sweep24() SweepRequest {
+	return SweepRequest{
+		Segmenters: []string{protoclust.SegmenterTruth, protoclust.SegmenterNEMESYS},
+		Clusterers: []string{"dbscan", "optics"},
+		Ks:         []int{0, 2, 3},
+		EpsSources: []string{"knee", "quantile:0.5"},
+		Ensemble:   true,
+	}
+}
+
+func TestSweepThroughService(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4})
+	req := sweep24()
+	spec := JobSpec{Proto: "ntp", N: 50, Seed: 1, Sweep: &req}
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := pollTerminal(t, s, id, 120*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state = %q (err %q), want done", st.State, st.Error)
+	}
+	rep, err := s.SweepResult(id)
+	if err != nil {
+		t.Fatalf("SweepResult: %v", err)
+	}
+	if rep.Total != 24 {
+		t.Fatalf("Total = %d, want 24", rep.Total)
+	}
+	// Cache-reuse witness: one matrix per distinct segmenter, never per
+	// configuration, both in the report and in the service counters.
+	if rep.MatrixBuilds != 2 {
+		t.Errorf("MatrixBuilds = %d, want 2 (one per segmenter)", rep.MatrixBuilds)
+	}
+	if got := s.Metrics().SweepMatrixBuilds.Load(); got != 2 {
+		t.Errorf("SweepMatrixBuilds metric = %d, want 2", got)
+	}
+	if got := s.Metrics().SweepConfigs.Load(); got != 24 {
+		t.Errorf("SweepConfigs metric = %d, want 24", got)
+	}
+	if rep.Completed == 0 {
+		t.Error("no configuration completed")
+	}
+	if len(rep.Pareto) == 0 {
+		t.Error("Pareto set is empty")
+	}
+	for _, i := range rep.Pareto {
+		if !rep.Configs[i].Pareto {
+			t.Errorf("Pareto index %d not marked on its config", i)
+		}
+	}
+	if len(rep.Ensembles) == 0 {
+		t.Error("ensemble voting produced no result")
+	}
+	first, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report not JSON-serializable: %v", err)
+	}
+
+	// Resubmission of the identical sweep must hit the sweep cache and
+	// return a byte-identical report.
+	hitsBefore := s.Metrics().CacheHits.Load()
+	id2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	st2 := pollTerminal(t, s, id2, 30*time.Second)
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("resubmit state = %q cache_hit=%v, want done via cache", st2.State, st2.CacheHit)
+	}
+	if got := s.Metrics().CacheHits.Load(); got != hitsBefore+1 {
+		t.Errorf("CacheHits = %d, want %d", got, hitsBefore+1)
+	}
+	rep2, err := s.SweepResult(id2)
+	if err != nil {
+		t.Fatalf("SweepResult after cache hit: %v", err)
+	}
+	second, err := json.Marshal(rep2)
+	if err != nil {
+		t.Fatalf("cached report not JSON-serializable: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cached sweep report differs from the computed one")
+	}
+
+	// The result endpoints are disjoint: Result refuses sweep jobs and
+	// SweepResult refuses analysis jobs.
+	if _, err := s.Result(id); err == nil || !strings.Contains(err.Error(), "sweeps") {
+		t.Errorf("Result on sweep job: err = %v, want redirect to sweeps endpoint", err)
+	}
+	plain, err := s.Submit(JobSpec{Proto: "ntp", N: 30, Seed: 1, Segmenter: protoclust.SegmenterTruth})
+	if err != nil {
+		t.Fatalf("Submit plain: %v", err)
+	}
+	pollTerminal(t, s, plain, 30*time.Second)
+	if _, err := s.SweepResult(plain); err == nil || !strings.Contains(err.Error(), "not a sweep") {
+		t.Errorf("SweepResult on analysis job: err = %v, want not-a-sweep", err)
+	}
+}
+
+func TestSweepSubmitValidation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  SweepRequest
+	}{
+		{"unknown segmenter", SweepRequest{Segmenters: []string{"nope"}}},
+		{"unknown clusterer", SweepRequest{Clusterers: []string{"kmeans"}}},
+		{"bad k", SweepRequest{Ks: []int{1}}},
+		{"negative k", SweepRequest{Ks: []int{-2}}},
+		{"bad eps spec", SweepRequest{EpsSources: []string{"quantile:1.5"}}},
+		{"grid too large", SweepRequest{Ks: func() []int {
+			ks := make([]int, maxSweepConfigs+1)
+			for i := range ks {
+				ks[i] = i + 2
+			}
+			return ks
+		}()}},
+	}
+	for _, tc := range cases {
+		req := tc.req
+		if _, err := s.Submit(JobSpec{Proto: "ntp", N: 20, Sweep: &req}); err == nil {
+			t.Errorf("%s: Submit accepted invalid sweep", tc.name)
+		}
+	}
+}
+
+func TestSweepHTTPEndToEnd(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 2})
+	body := `{"proto":"ntp","n":40,"seed":1,
+		"sweep":{"segmenters":["truth"],"clusterers":["dbscan"],"ks":[0,2],"eps_sources":["knee","quantile:0.5"]}}`
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, body %s", resp.StatusCode, b)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := s.Status(sub.ID)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.State.Terminal() {
+			if st.State != StateDone {
+				t.Fatalf("sweep job %s: %s (%s)", sub.ID, st.State, st.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep did not finish in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Status via the sweeps route, then the report itself.
+	stResp, err := http.Get(fmt.Sprintf("%s/v1/sweeps/%s", srv.URL, sub.ID))
+	if err != nil || stResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sweeps/{id}: %v status=%v", err, stResp.StatusCode)
+	}
+	stResp.Body.Close()
+	resResp, err := http.Get(fmt.Sprintf("%s/v1/sweeps/%s/result", srv.URL, sub.ID))
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resResp.Body.Close()
+	if resResp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resResp.Body)
+		t.Fatalf("result status = %d, body %s", resResp.StatusCode, b)
+	}
+	var rep struct {
+		Total  int   `json:"total"`
+		Pareto []int `json:"pareto"`
+	}
+	if err := json.NewDecoder(resResp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Total != 4 {
+		t.Errorf("total = %d, want 4", rep.Total)
+	}
+	if len(rep.Pareto) == 0 {
+		t.Error("pareto set empty in HTTP report")
+	}
+
+	// The sweep counters show up in the exposition.
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mResp.Body.Close()
+	mb, _ := io.ReadAll(mResp.Body)
+	for _, want := range []string{"protoclustd_sweep_matrix_builds_total 1", "protoclustd_sweep_configs_total 4"} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestSweepCacheKeySensitivity(t *testing.T) {
+	tr, err := protoclust.GenerateTrace("ntp", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := protoclust.DefaultOptions()
+	base := SweepCacheKey(tr, opts, &SweepRequest{Segmenters: []string{"truth"}})
+	variants := []SweepRequest{
+		{Segmenters: []string{"nemesys"}},
+		{Segmenters: []string{"truth"}, Clusterers: []string{"optics"}},
+		{Segmenters: []string{"truth"}, Ks: []int{2}},
+		{Segmenters: []string{"truth"}, EpsSources: []string{"fixed:0.3"}},
+		{Segmenters: []string{"truth"}, Ensemble: true},
+	}
+	for i, v := range variants {
+		req := v
+		if got := SweepCacheKey(tr, opts, &req); got == base {
+			t.Errorf("variant %d: sweep cache key collides with base", i)
+		}
+	}
+	// Identical request → identical key.
+	if got := SweepCacheKey(tr, opts, &SweepRequest{Segmenters: []string{"truth"}}); got != base {
+		t.Error("identical sweep request produced a different key")
+	}
+}

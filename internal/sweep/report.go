@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// tablePrinter funnels every write through one error slot, so the
+// rendering code stays linear and the first write failure wins.
+type tablePrinter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *tablePrinter) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// WriteTable renders the sweep report as a human-readable table:
+// one row per configuration in grid order, a Pareto marker column,
+// and an ensemble summary block when voting ran.
+func WriteTable(w io.Writer, rep *Report) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	p := &tablePrinter{w: tw}
+	p.printf("sweep: %s\ttruth=%v\tconfigs=%d ok=%d skipped=%d failed=%d\tmatrix builds=%d\n",
+		rep.Trace, rep.Truth, rep.Total, rep.Completed, rep.Skipped, rep.Failed, rep.MatrixBuilds)
+	p.printf("\n")
+	if rep.Truth {
+		p.printf("  \tCONFIG\tSTATUS\tCLUSTERS\tε\tk\tF₀.₂₅\tARI\tV\tCOVERAGE\tSILHOUETTE\n")
+	} else {
+		p.printf("  \tCONFIG\tSTATUS\tCLUSTERS\tε\tk\tSILHOUETTE\tCLUSTERED\n")
+	}
+	for i := range rep.Configs {
+		c := &rep.Configs[i]
+		mark := " "
+		if c.Pareto {
+			mark = "*"
+		}
+		if c.Status != StatusOK {
+			p.printf("%s\t%s\t%s: %s\n", mark, c.Config.Label(), c.Status, c.Reason)
+			continue
+		}
+		s := c.Scores
+		if rep.Truth {
+			p.printf("%s\t%s\t%s\t%d\t%.4f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+				mark, c.Config.Label(), c.Status, s.Clusters, s.Epsilon, s.K,
+				s.FScore, s.AdjustedRand, s.VMeasure, s.Coverage, s.Silhouette)
+		} else {
+			p.printf("%s\t%s\t%s\t%d\t%.4f\t%d\t%.4f\t%.4f\n",
+				mark, c.Config.Label(), c.Status, s.Clusters, s.Epsilon, s.K,
+				s.Silhouette, s.ClusteredShare)
+		}
+	}
+	if len(rep.Ensembles) > 0 {
+		p.printf("\n")
+		p.printf("  \tENSEMBLE\tMEMBERS\tCLUSTERS\tNOISE\tSILHOUETTE\tARI\tLABELS\n")
+		for i := range rep.Ensembles {
+			e := &rep.Ensembles[i]
+			p.printf("  \t%s\t%d\t%d\t%d\t%.4f\t%.4f\t%.12s…\n",
+				e.Segmenter, len(e.Members), e.Clusters, e.Noise, e.Silhouette, e.AdjustedRand, e.LabelsHash)
+		}
+	}
+	p.printf("\n* = Pareto front over %v\n", rep.Objectives)
+	if p.err != nil {
+		return p.err
+	}
+	return tw.Flush()
+}

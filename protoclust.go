@@ -215,6 +215,22 @@ func AnalyzeWithMatrixBuilder(ctx context.Context, tr *Trace, o Options, build c
 // execution order.
 func (a *Analysis) Timings() []StageTiming { return a.timings }
 
+// NewAnalysis assembles an Analysis from a pipeline result computed
+// outside AnalyzeContext — the configuration-sweep harness segments and
+// builds the dissimilarity matrix once per (segmenter, pool) group and
+// runs core.ClusterPoolContext per configuration, then wraps each
+// result here so Report, Evaluate, and the render helpers produce
+// byte-identical output to a direct AnalyzeContext run. tr must be the
+// (deduplicated) trace the segments came from.
+func NewAnalysis(tr *Trace, segs []Segment, res *core.Result) *Analysis {
+	return &Analysis{result: res, trace: tr, segs: segs}
+}
+
+// Result exposes the underlying pipeline result for metric packages
+// (internal validity, external ARI/V-measure) that operate below the
+// Analysis surface.
+func (a *Analysis) Result() *core.Result { return a.result }
+
 // NewSegmenter returns the named segmenter.
 func NewSegmenter(name string) (segment.Segmenter, error) {
 	switch name {
