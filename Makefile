@@ -12,11 +12,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Full lint gate: go vet, the domain analyzers (cmd/protoclustvet:
-# determinism, floatcmp, nanguard, ctxflow, errdiscard — see
-# docs/linting.md), and staticcheck when it is on PATH. vet and
-# protoclustvet are stdlib-only and always run; staticcheck needs a
-# network install, so it is skipped (loudly) when absent.
+# Full lint gate: go vet, the nine domain analyzers (cmd/protoclustvet:
+# ctxflow, determinism, detflow, errdiscard, floatcmp, goroleak,
+# idxoverflow, mutexhold, nanguard — see docs/linting.md), and
+# staticcheck when it is on PATH. vet and protoclustvet are stdlib-only
+# and always run; staticcheck needs a network install, so it is skipped
+# (loudly) when absent.
 lint: vet
 	$(GO) run ./cmd/protoclustvet
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -107,6 +107,7 @@ func run(args []string) error {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//lint:ignore goroleak the listener goroutine ends when srv.ListenAndServe returns, which srv.Shutdown below forces during the signal-driven teardown; errc is buffered so the send never blocks
 	go func() {
 		logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queueSize)
 		errc <- srv.ListenAndServe()

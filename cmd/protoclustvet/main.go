@@ -1,18 +1,22 @@
 // Command protoclustvet runs the protoclust domain lint suite
-// (internal/lint) over every package in the module: determinism,
-// floatcmp, nanguard, ctxflow, and errdiscard. It depends on the Go
-// standard library only, so it works in offline CI.
+// (internal/lint) over every package in the module: the per-package
+// analyzers (ctxflow, determinism, errdiscard, floatcmp, idxoverflow,
+// nanguard) plus the module-wide dataflow analyzers (detflow, goroleak,
+// mutexhold) that run over the whole-program call graph. It depends on
+// the Go standard library only, so it works in offline CI.
 //
 // Usage:
 //
-//	protoclustvet [-dir .] [-analyzers a,b] [-json] [-out findings.json] [-list]
+//	protoclustvet [-dir .] [-analyzers a,b] [-json] [-sarif] [-out findings.json] [-sarif-out findings.sarif] [-timing] [-list]
 //
 // Exit status is 0 when the module is clean, 1 when findings exist,
 // and 2 on loader or usage errors. Findings print as
 // file:line:col: message (analyzer); -json switches stdout to a
 // machine-readable report, and -out additionally writes that JSON to a
 // file while keeping the human-readable text on stdout (used by CI to
-// upload a triage artifact without losing the log).
+// upload a triage artifact without losing the log). -sarif and
+// -sarif-out do the same with a SARIF 2.1.0 log that code-scanning
+// viewers ingest; -timing appends the per-analyzer wall-clock table.
 //
 // Suppress a finding with //lint:ignore <analyzer> <reason> on the
 // offending line or the line above it. See docs/linting.md.
@@ -39,8 +43,11 @@ func run(args []string) int {
 		names     = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		asJSON    = fs.Bool("json", false, "write the report as JSON on stdout")
 		outPath   = fs.String("out", "", "also write the JSON report to this file")
+		sarifPath = fs.String("sarif-out", "", "also write a SARIF 2.1.0 report to this file")
+		asSARIF   = fs.Bool("sarif", false, "write the report as SARIF 2.1.0 on stdout")
 		list      = fs.Bool("list", false, "list available analyzers and exit")
 		showSuppr = fs.Bool("suppressed", false, "include suppressed findings in the text report")
+		timing    = fs.Bool("timing", false, "print per-analyzer wall-clock cost after the text report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,14 +96,28 @@ func run(args []string) int {
 			return 2
 		}
 	}
-	if *asJSON {
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, res, root); err != nil {
+			fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
+			return 2
+		}
+	}
+	switch {
+	case *asSARIF:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(toSARIF(res, root)); err != nil {
+			fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
+			return 2
+		}
+	case *asJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fmt.Fprintf(os.Stderr, "protoclustvet: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range res.Findings {
 			fmt.Println(f)
 		}
@@ -107,6 +128,11 @@ func run(args []string) int {
 		}
 		fmt.Printf("protoclustvet: %d package(s), %d finding(s), %d suppressed\n",
 			len(pkgs), len(res.Findings), len(res.Suppressed))
+		if *timing {
+			for _, t := range res.Timing {
+				fmt.Printf("  %-12s %8.1fms\n", t.Analyzer, t.Millis)
+			}
+		}
 	}
 	if len(res.Findings) > 0 {
 		return 1

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"protoclust/internal/lint"
+)
+
+// SARIF 2.1.0 is the interchange format code-scanning UIs (GitHub,
+// VS Code SARIF viewers) consume. The subset below is the minimum a
+// valid run needs: one tool driver carrying the analyzer catalogue as
+// rules, and one result per finding with a physical location. Only
+// active findings are exported — suppressed ones stay in the JSON
+// report, which remains the audit artifact.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// toSARIF converts a lint result into a single-run SARIF log. The rule
+// table always lists the full analyzer catalogue (plus the framework's
+// directive pseudo-analyzer) so rule metadata stays stable regardless
+// of which subset ran.
+func toSARIF(res *lint.Result, root string) sarifLog {
+	rules := make([]sarifRule, 0, len(lint.All)+1)
+	for _, a := range lint.All {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               lint.DirectiveAnalyzerName,
+		ShortDescription: sarifMessage{Text: "malformed //lint:ignore directive"},
+	})
+
+	results := make([]sarifResult, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		uri := f.File
+		if rel, err := filepath.Rel(root, uri); err == nil && filepath.IsAbs(uri) {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "protoclustvet",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+}
+
+func writeSARIF(path string, res *lint.Result, root string) error {
+	data, err := json.MarshalIndent(toSARIF(res, root), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

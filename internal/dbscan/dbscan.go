@@ -192,19 +192,29 @@ func NewDenseMatrix(n int) (*DenseMatrix, error) {
 // Len returns the number of points.
 func (d *DenseMatrix) Len() int { return d.n }
 
+// The row offsets below are hoisted out of the index expressions: the
+// product i*n cannot wrap because MatrixBytes already rejected any n
+// with n*n > maxElems at allocation time, and len(data) == n*n bounds
+// every index.
+
 // Dist returns the stored dissimilarity between i and j.
-func (d *DenseMatrix) Dist(i, j int) float64 { return float64(d.data[i*d.n+j]) }
+func (d *DenseMatrix) Dist(i, j int) float64 {
+	row := i * d.n
+	return float64(d.data[row+j])
+}
 
 // Set stores a symmetric dissimilarity between i and j.
 func (d *DenseMatrix) Set(i, j int, v float64) {
 	q := Quantize(v)
-	d.data[i*d.n+j] = q
-	d.data[j*d.n+i] = q
+	ri, rj := i*d.n, j*d.n
+	d.data[ri+j] = q
+	d.data[rj+i] = q
 }
 
 // Row returns row i as a raw float32 slice, aliasing the matrix storage.
 // Hot scans (k-NN selection) iterate it directly instead of paying one
 // bounds-checked Dist call per entry. Callers must not mutate it.
 func (d *DenseMatrix) Row(i int) []float32 {
-	return d.data[i*d.n : (i+1)*d.n]
+	lo := i * d.n
+	return d.data[lo : lo+d.n]
 }

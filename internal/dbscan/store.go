@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"protoclust/internal/vecmath"
 )
 
 // This file holds the storage side of the Matrix interface: the float32
@@ -57,7 +59,7 @@ func CondensedBytes(n int) (int64, error) {
 	if int64(n) > (2*maxElems)/int64(n-1) {
 		return 0, fmt.Errorf("%w: %d points overflow a condensed upper-triangle layout", ErrMatrixSize, n)
 	}
-	return int64(n) * int64(n-1) / 2 * 4, nil
+	return int64(vecmath.CheckedTriNum(n)) * 4, nil
 }
 
 // RowStreamer is the streaming row access every matrix backend
@@ -123,7 +125,7 @@ func (c *CondensedMatrix) ResidentBytes() int64 { return int64(len(c.data)) * 4 
 
 // off returns the condensed index of (i, j); requires i < j.
 func (c *CondensedMatrix) off(i, j int) int {
-	return i*(2*c.n-i-1)/2 + (j - i - 1)
+	return vecmath.CheckedCondensedOff(i, j, c.n)
 }
 
 // Dist returns the stored dissimilarity between i and j.

@@ -7,6 +7,7 @@ import (
 	"protoclust/internal/canberra"
 	"protoclust/internal/dbscan"
 	"protoclust/internal/dissim/tilestore"
+	"protoclust/internal/vecmath"
 )
 
 // Assembler builds a Matrix from externally computed tiles instead of
@@ -72,7 +73,7 @@ func NewAssembler(ctx context.Context, pool *Pool, cfg Config, tile int) (*Assem
 		backend: backend,
 		views:   pool.Views(),
 	}
-	a.remaining = a.nb * (a.nb + 1) / 2
+	a.remaining = vecmath.CheckedTriNum(a.nb + 1)
 	a.seen = make([]bool, a.remaining)
 	switch backend {
 	case BackendDense, BackendCondensed:
@@ -138,6 +139,7 @@ func (a *Assembler) SetTile(bi, bj int, data []float32) error {
 	} else {
 		for x := 0; x < r; x++ {
 			i := bi*a.ts + x
+			row := x * c // hoisted: len(data) == r*c was checked above
 			lo := 0
 			if bi == bj {
 				// Diagonal tiles are symmetric; reading the upper half is
@@ -145,11 +147,11 @@ func (a *Assembler) SetTile(bi, bj int, data []float32) error {
 				lo = x + 1
 			}
 			for y := lo; y < c; y++ {
-				a.set.Set(i, bj*a.ts+y, float64(data[x*c+y]))
+				a.set.Set(i, bj*a.ts+y, float64(data[row+y]))
 			}
 		}
 	}
-	idx := bi*a.nb - bi*(bi-1)/2 + (bj - bi)
+	idx := vecmath.CheckedMulAdd(bi, a.nb, bj-bi) - vecmath.CheckedTriNum(bi)
 	if !a.seen[idx] {
 		a.seen[idx] = true
 		a.remaining--

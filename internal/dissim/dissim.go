@@ -28,6 +28,7 @@ import (
 	"protoclust/internal/dbscan"
 	"protoclust/internal/dissim/tilestore"
 	"protoclust/internal/netmsg"
+	"protoclust/internal/vecmath"
 )
 
 // MinSegmentLength is the shortest segment admitted to clustering;
@@ -341,7 +342,7 @@ func fillMatrix(ctx context.Context, st settable, views []canberra.View, penalty
 	})
 
 	nb := (n + tileSize - 1) / tileSize
-	tiles := make([][2]int, 0, nb*(nb+1)/2)
+	tiles := make([][2]int, 0, vecmath.CheckedTriNum(nb+1))
 	for bi := 0; bi < nb; bi++ {
 		for bj := bi; bj < nb; bj++ {
 			tiles = append(tiles, [2]int{bi, bj})
@@ -497,7 +498,7 @@ func (m *Matrix) PairwiseWithin(idx []int) []float64 {
 	if len(idx) < 2 {
 		return nil
 	}
-	out := make([]float64, len(idx)*(len(idx)-1)/2)
+	out := make([]float64, vecmath.CheckedTriNum(len(idx)))
 	p := 0
 	for a := 0; a < len(idx); a++ {
 		for b := a + 1; b < len(idx); b++ {
@@ -515,7 +516,7 @@ func (m *Matrix) UpperTriangle() []float64 {
 	if n < 2 {
 		return nil
 	}
-	out := make([]float64, n*(n-1)/2)
+	out := make([]float64, vecmath.CheckedTriNum(n))
 	p := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

@@ -26,6 +26,7 @@ import (
 
 	"protoclust/internal/canberra"
 	"protoclust/internal/dbscan"
+	"protoclust/internal/vecmath"
 )
 
 // DefaultTileSize is the edge length of one tile: 64×64 float32 = 16 KiB,
@@ -152,7 +153,7 @@ func New(ctx context.Context, views []canberra.View, cfg Config) (*Store, error)
 		ctx:     ctx,
 		tiles:   make(map[int]*tile),
 		lru:     list.New(),
-		spilled: make([]bool, nb*(nb+1)/2),
+		spilled: make([]bool, vecmath.CheckedTriNum(nb+1)),
 	}
 	if cfg.SpillDir != "" {
 		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
@@ -228,7 +229,7 @@ func (s *Store) dim(b int) int {
 
 // tileIndex maps an upper-triangle block pair (bi ≤ bj) to its slot.
 func (s *Store) tileIndex(bi, bj int) int {
-	return bi*s.nb - bi*(bi-1)/2 + (bj - bi)
+	return vecmath.CheckedMulAdd(bi, s.nb, bj-bi) - vecmath.CheckedTriNum(bi)
 }
 
 // Dist returns the stored dissimilarity between i and j.
@@ -241,7 +242,11 @@ func (s *Store) Dist(i, j int) float64 {
 	}
 	bi, bj := i/s.ts, j/s.ts
 	data := s.acquire(bi, bj)
-	return float64(data[(i-bi*s.ts)*s.dim(bj)+(j-bj*s.ts)])
+	// Hoisted tile-local offsets: r < s.dim(bi) and c < s.dim(bj), so
+	// the product stays within len(data) = dim(bi)*dim(bj).
+	r, c := i-bi*s.ts, j-bj*s.ts
+	row := r * s.dim(bj)
+	return float64(data[row+c])
 }
 
 // StreamRow yields row i tile by tile in ascending column order:
@@ -260,14 +265,17 @@ func (s *Store) StreamRow(i int, fn func(lo int, vals []float32)) {
 			if buf == nil {
 				buf = make([]float32, s.ts)
 			}
+			off := r // column r of successive tile rows, stride cols
 			for a := 0; a < rows; a++ {
-				buf[a] = data[a*cols+r]
+				buf[a] = data[off]
+				off += cols
 			}
 			fn(bj*s.ts, buf[:rows])
 		default:
 			data := s.acquire(bi, bj)
 			cols := s.dim(bj)
-			fn(bj*s.ts, data[r*cols:(r+1)*cols])
+			lo := r * cols // hoisted: r < dim(bi), len(data) = dim(bi)*cols
+			fn(bj*s.ts, data[lo:lo+cols])
 		}
 	}
 }
@@ -281,7 +289,7 @@ func (s *Store) PairwiseWithin(idx []int) []float64 {
 	if len(idx) < 2 {
 		return nil
 	}
-	out := make([]float64, len(idx)*(len(idx)-1)/2)
+	out := make([]float64, vecmath.CheckedTriNum(len(idx)))
 	p := 0
 	lastKey := -1
 	var (
@@ -304,7 +312,10 @@ func (s *Store) PairwiseWithin(idx []int) []float64 {
 				lastCols = s.dim(bj)
 				lastKey = key
 			}
-			out[p] = float64(lastData[(i-bi*s.ts)*lastCols+(j-bj*s.ts)])
+			// Hoisted tile-local offsets, bounded as in Dist.
+			r, c := i-bi*s.ts, j-bj*s.ts
+			row := r * lastCols
+			out[p] = float64(lastData[row+c])
 			p++
 		}
 	}
@@ -470,26 +481,34 @@ func ComputeTile(views []canberra.View, penalty float64, tileSize, bi, bj int) [
 	// among the partner views and serves them through its vectorized
 	// batch path.
 	out := make([]float64, c)
+	// Block bases and row offsets are hoisted out of the index
+	// expressions: every product is bounded by len(views) or by
+	// len(data) = r*c, both already allocated.
+	rowBase, colBase := bi*tileSize, bj*tileSize
 	if bi == bj {
 		for a := 0; a < r; a++ {
-			vi := views[bi*tileSize+a]
-			ts := views[bj*tileSize+a+1 : bj*tileSize+c]
+			vi := views[rowBase+a]
+			ts := views[colBase+a+1 : colBase+c]
 			canberra.DissimViewsBatch(vi, ts, penalty, out[:len(ts)])
-			for k, v := range out[:len(ts)] {
-				b := a + 1 + k
+			row := a * c
+			moff := (a+1)*c + a // mirror cell (a+1, a), stride c
+			for _, v := range out[:len(ts)] {
 				d := dbscan.Quantize(v)
-				data[a*c+b] = d
-				data[b*c+a] = d
+				data[row+a+1] = d
+				data[moff] = d
+				row++
+				moff += c
 			}
 		}
 		return data
 	}
-	cols := views[bj*tileSize : bj*tileSize+c]
+	cols := views[colBase : colBase+c]
 	for a := 0; a < r; a++ {
-		vi := views[bi*tileSize+a]
+		vi := views[rowBase+a]
 		canberra.DissimViewsBatch(vi, cols, penalty, out)
+		row := a * c
 		for b, v := range out {
-			data[a*c+b] = dbscan.Quantize(v)
+			data[row+b] = dbscan.Quantize(v)
 		}
 	}
 	return data

@@ -1,11 +1,18 @@
 package lint
 
-// All is the protoclustvet analyzer suite, in report order.
+// All is the protoclustvet analyzer suite, in report order: the five
+// per-package syntactic analyzers from the original suite plus the
+// four CFG/callgraph dataflow analyzers (detflow, goroleak,
+// idxoverflow, mutexhold).
 var All = []*Analyzer{
 	CtxFlow,
 	Determinism,
+	DetFlow,
 	ErrDiscard,
 	FloatCmp,
+	GoroLeak,
+	IdxOverflow,
+	MutexHold,
 	NaNGuard,
 }
 

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Program is the module-wide view used by the dataflow analyzers: every
+// typechecked package plus a conservative static call graph over the
+// declared functions and methods.
+//
+// The graph records direct calls only — a call site resolves to an edge
+// when calleeOf can name a declared *types.Func (package functions and
+// methods called through a concrete receiver). Calls through function
+// values, interface methods, and reflection are left unresolved; the
+// analyzers built on the graph treat an unresolved call as "no
+// information", so their facts under-approximate (they can miss, never
+// over-report through the graph itself). Calls made inside a FuncLit
+// are attributed to the enclosing declared function, except FuncLits
+// spawned by a `go` statement, which execute on another goroutine and
+// get their own accounting in the analyzers that care (goroleak,
+// mutexhold).
+type Program struct {
+	ModPath string
+	Pkgs    []*Package
+	// Funcs maps every declared function and method in the module to
+	// its node. Stdlib callees appear only as edge targets.
+	Funcs map[*types.Func]*FuncInfo
+}
+
+// FuncInfo is one declared function or method in the module.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls are the resolved outgoing call sites, in source order.
+	Calls []Call
+	// Callers are the module functions with a resolved call to this one.
+	Callers []*FuncInfo
+}
+
+// Call is one resolved call site.
+type Call struct {
+	Site   *ast.CallExpr
+	Callee *types.Func
+	// InGoroutine marks a call lexically inside a `go func(){...}`
+	// literal of the enclosing declaration: it runs on another
+	// goroutine, so facts about "what this function does when called"
+	// must skip it.
+	InGoroutine bool
+}
+
+// BuildProgram constructs the call graph for the loaded packages.
+func BuildProgram(modPath string, pkgs []*Package) *Program {
+	p := &Program{ModPath: modPath, Pkgs: pkgs, Funcs: map[*types.Func]*FuncInfo{}}
+	for _, pkg := range pkgs {
+		funcDecls(pkg.Files, func(decl *ast.FuncDecl) {
+			fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			p.Funcs[fn] = &FuncInfo{Fn: fn, Decl: decl, Pkg: pkg}
+		})
+	}
+	for _, fi := range p.Funcs {
+		collectCalls(fi.Pkg.Info, fi.Decl.Body, false, &fi.Calls)
+	}
+	for _, fi := range p.Funcs {
+		for _, c := range fi.Calls {
+			if callee, ok := p.Funcs[c.Callee]; ok {
+				callee.Callers = append(callee.Callers, fi)
+			}
+		}
+	}
+	return p
+}
+
+// collectCalls gathers resolved call sites under n, tracking whether
+// the walk is inside a go-statement FuncLit.
+func collectCalls(info *types.Info, n ast.Node, inGo bool, out *[]Call) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Arguments evaluate on the spawning goroutine; the call
+			// itself (or the literal's body) does not.
+			for _, arg := range n.Call.Args {
+				collectCalls(info, arg, inGo, out)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				collectCalls(info, lit.Body, true, out)
+			} else if fn := calleeOf(info, n.Call); fn != nil {
+				*out = append(*out, Call{Site: n.Call, Callee: fn, InGoroutine: true})
+			}
+			return false
+		case *ast.CallExpr:
+			if fn := calleeOf(info, n); fn != nil {
+				*out = append(*out, Call{Site: n, Callee: fn, InGoroutine: inGo})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// sortedFuncs returns the module functions in a deterministic order
+// (package path, then source position), so analyzer output does not
+// depend on map iteration.
+func (p *Program) sortedFuncs() []*FuncInfo {
+	fis := make([]*FuncInfo, 0, len(p.Funcs))
+	for _, fi := range p.Funcs {
+		fis = append(fis, fi)
+	}
+	sort.Slice(fis, func(i, j int) bool {
+		a, b := fis[i], fis[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	return fis
+}
+
+// closure computes the least set of module functions containing every
+// function for which seed reports true, closed under "calls a member":
+// facts flow from callee to caller, so the result answers "which
+// functions (transitively) do X". Calls inside go-statement literals do
+// not propagate — the spawned work happens on another goroutine, not as
+// part of the caller's own execution.
+func (p *Program) closure(seed func(*FuncInfo) bool) map[*types.Func]bool {
+	member := map[*types.Func]bool{}
+	var work []*FuncInfo
+	for _, fi := range p.sortedFuncs() {
+		if seed(fi) {
+			member[fi.Fn] = true
+			work = append(work, fi)
+		}
+	}
+	for len(work) > 0 {
+		fi := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range fi.Callers {
+			if member[caller.Fn] {
+				continue
+			}
+			if callsOnOwnGoroutine(caller, fi.Fn) {
+				member[caller.Fn] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return member
+}
+
+// callsOnOwnGoroutine reports whether caller has a resolved call to
+// callee that is not inside a go-statement literal.
+func callsOnOwnGoroutine(caller *FuncInfo, callee *types.Func) bool {
+	for _, c := range caller.Calls {
+		if c.Callee == callee && !c.InGoroutine {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableFrom walks the call graph callee-ward from the given roots
+// and returns, for every module function reachable from a root, the
+// function that first reached it (roots map to themselves). The parent
+// chain reconstructs one example call path back to a root.
+func (p *Program) reachableFrom(roots []*FuncInfo) map[*types.Func]*types.Func {
+	parent := map[*types.Func]*types.Func{}
+	var queue []*FuncInfo
+	for _, r := range roots {
+		if _, ok := parent[r.Fn]; !ok {
+			parent[r.Fn] = r.Fn
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, c := range fi.Calls {
+			callee, ok := p.Funcs[c.Callee]
+			if !ok {
+				continue
+			}
+			if _, seen := parent[callee.Fn]; seen {
+				continue
+			}
+			parent[callee.Fn] = fi.Fn
+			queue = append(queue, callee)
+		}
+	}
+	return parent
+}

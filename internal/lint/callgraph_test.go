@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixtureProgram loads one testdata package and builds its program.
+func loadFixtureProgram(t *testing.T, dir, ipath string) *Program {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir), ipath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildProgram(modulePathOf([]*Package{pkg}), []*Package{pkg})
+}
+
+// funcByName finds a module function by bare name.
+func funcByName(t *testing.T, prog *Program, name string) *types.Func {
+	t.Helper()
+	var found *types.Func
+	for fn := range prog.Funcs {
+		if fn.Name() == name {
+			if found != nil {
+				t.Fatalf("ambiguous function name %q", name)
+			}
+			found = fn
+		}
+	}
+	if found == nil {
+		t.Fatalf("no function named %q in program", name)
+	}
+	return found
+}
+
+// TestCallGraphEdges checks direct-call resolution and goroutine
+// attribution on the goroleak fixture: StartConsumer's `go consume(...)`
+// must be recorded as a call with InGoroutine set, and work → spin must
+// be a plain edge with the reverse Callers link.
+func TestCallGraphEdges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture typechecking compiles stdlib dependencies from source")
+	}
+	prog := loadFixtureProgram(t, "goroleak", "protoclust/internal/service/fixture")
+
+	startConsumer := funcByName(t, prog, "StartConsumer")
+	consume := funcByName(t, prog, "consume")
+	var goCall *Call
+	for i, c := range prog.Funcs[startConsumer].Calls {
+		if c.Callee == consume {
+			goCall = &prog.Funcs[startConsumer].Calls[i]
+		}
+	}
+	if goCall == nil {
+		t.Fatal("StartConsumer has no recorded call to consume")
+	}
+	if !goCall.InGoroutine {
+		t.Error("go consume(...) not marked InGoroutine")
+	}
+
+	work := funcByName(t, prog, "work")
+	spin := funcByName(t, prog, "spin")
+	edge := false
+	for _, c := range prog.Funcs[work].Calls {
+		if c.Callee == spin && !c.InGoroutine {
+			edge = true
+		}
+	}
+	if !edge {
+		t.Error("work -> spin edge missing or misattributed to a goroutine")
+	}
+	back := false
+	for _, caller := range prog.Funcs[spin].Callers {
+		if caller.Fn == work {
+			back = true
+		}
+	}
+	if !back {
+		t.Error("spin's Callers missing work")
+	}
+}
+
+// TestClosureAndReachability exercises the two fact-propagation
+// directions on the mutexhold fixture. closure (callee→caller) must
+// propagate waitSignal's channel block to its caller WaitUnderLock but
+// not to unrelated methods; reachableFrom (caller→callee) must record a
+// parent chain from the root to waitSignal.
+func TestClosureAndReachability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture typechecking compiles stdlib dependencies from source")
+	}
+	prog := loadFixtureProgram(t, "mutexhold", "protoclust/fixture/mutexhold")
+
+	waitSignal := funcByName(t, prog, "waitSignal")
+	waitUnderLock := funcByName(t, prog, "WaitUnderLock")
+	nested := funcByName(t, prog, "Nested")
+
+	blocks := prog.closure(func(fi *FuncInfo) bool {
+		return hasBlockingChanOp(fi.Pkg.Info, fi.Decl.Body)
+	})
+	if !blocks[waitSignal] {
+		t.Error("closure missing seed waitSignal")
+	}
+	if !blocks[waitUnderLock] {
+		t.Error("closure did not propagate waitSignal's channel block to caller WaitUnderLock")
+	}
+	if blocks[nested] {
+		t.Error("closure over-propagated to Nested, which never touches a channel")
+	}
+
+	parent := prog.reachableFrom([]*FuncInfo{prog.Funcs[waitUnderLock]})
+	if _, ok := parent[waitSignal]; !ok {
+		t.Fatal("reachableFrom missing waitSignal")
+	}
+	if parent[waitSignal] != waitUnderLock {
+		t.Errorf("parent of waitSignal = %v, want WaitUnderLock", parent[waitSignal])
+	}
+	if _, ok := parent[nested]; ok {
+		t.Error("reachableFrom includes Nested, which the root never calls")
+	}
+}

@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is an intraprocedural control-flow graph over one function body.
+// Blocks hold "atomic" nodes only: simple statements and the decision
+// expressions of compound statements (an if's condition, a for's
+// condition, a switch's tag). Compound statements are decomposed into
+// blocks and edges, with two exceptions recorded as marker nodes so
+// flow analyzers can see them:
+//
+//   - a *ast.RangeStmt appears in its loop-head block (its X, Key and
+//     Value are evaluated there; the body lives in the successor), and
+//   - a *ast.SelectStmt appears in the block that reaches it (each comm
+//     clause becomes its own successor block whose first node is the
+//     comm statement).
+//
+// Analyzers walking block nodes must therefore use walkShallow, which
+// does not descend into the bodies of those markers or into FuncLit
+// bodies (function literals execute elsewhere; analyze them as
+// separate bodies).
+type CFG struct {
+	// Blocks in creation order. Blocks[0] is the entry; the dedicated
+	// exit block is reachable from every return path.
+	Blocks []*Block
+	Exit   *Block
+}
+
+// Block is one straight-line run of atomic nodes.
+type Block struct {
+	ID    int
+	Kind  string // "entry", "exit", "if.then", "for.head", "select.comm", ...
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// cfgBuilder carries the under-construction graph plus the jump
+// targets currently in scope.
+type cfgBuilder struct {
+	g    *CFG
+	cur  *Block // nil when the current point is unreachable
+	exit *Block
+
+	// break/continue target stacks; label is "" for unlabeled scopes.
+	breaks    []jumpTarget
+	continues []jumpTarget
+	// label pending for the next loop/switch/select statement.
+	pendingLabel string
+}
+
+type jumpTarget struct {
+	label string
+	block *Block
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	entry := b.newBlock("entry")
+	b.exit = &Block{Kind: "exit"}
+	b.g.Exit = b.exit
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.exit)
+	}
+	b.exit.ID = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.exit)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{ID: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends an atomic node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Simple statement: assign, expr, send, inc/dec, go, defer,
+		// decl, empty. Appended wholesale; none contain nested control
+		// flow except through FuncLits, which walkShallow skips.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	join := &Block{Kind: "if.join"}
+
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	join.ID = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+
+	join := &Block{Kind: "for.join"}
+	var post *Block
+	backTo := head
+	if s.Post != nil {
+		post = &Block{Kind: "for.post"}
+		backTo = post
+	}
+	b.pushLoop(label, join, backTo)
+
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, backTo)
+
+	if post != nil {
+		post.ID = len(b.g.Blocks)
+		b.g.Blocks = append(b.g.Blocks, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	}
+	b.popLoop()
+
+	if s.Cond != nil {
+		b.edge(head, join)
+	}
+	join.ID = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s) // marker: X/Key/Value evaluated here; walkShallow skips Body
+
+	join := &Block{Kind: "range.join"}
+	b.pushLoop(label, join, head)
+
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.popLoop()
+
+	b.edge(head, join)
+	join.ID = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	join := &Block{Kind: "switch.join"}
+	b.pushBreak(label, join)
+
+	hasDefault := false
+	var clauses []*Block
+	var bodies [][]ast.Stmt
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		clauses = append(clauses, blk)
+		bodies = append(bodies, cc.Body)
+	}
+	for i, blk := range clauses {
+		b.cur = blk
+		b.caseBody(bodies[i], clauses, i, join)
+	}
+	b.popBreak()
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	join.ID = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, join)
+	b.cur = join
+}
+
+// caseBody lowers one case clause body, routing a trailing fallthrough
+// to the next clause block.
+func (b *cfgBuilder) caseBody(body []ast.Stmt, clauses []*Block, i int, join *Block) {
+	for _, st := range body {
+		if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if i+1 < len(clauses) {
+				b.edge(b.cur, clauses[i+1])
+			}
+			b.cur = nil
+			return
+		}
+		b.stmt(st)
+	}
+	b.edge(b.cur, join)
+	b.cur = nil
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	join := &Block{Kind: "switch.join"}
+	b.pushBreak(label, join)
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.popBreak()
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	join.ID = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.add(s) // marker: the blocking decision point; clauses are successors
+	head := b.cur
+	join := &Block{Kind: "select.join"}
+	b.pushBreak(label, join)
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		kind := "select.comm"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.popBreak()
+	join.ID = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			b.edge(b.cur, t)
+		} else {
+			b.edge(b.cur, b.exit)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			b.edge(b.cur, t)
+		} else {
+			b.edge(b.cur, b.exit)
+		}
+		b.cur = nil
+	case token.GOTO:
+		// Conservative: treat as leaving the function. Target labels
+		// would need a second pass; the module has no goto today.
+		b.edge(b.cur, b.exit)
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled in caseBody; a stray one ends the block.
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, jumpTarget{"", brk})
+	b.continues = append(b.continues, jumpTarget{"", cont})
+	if label != "" {
+		b.breaks = append(b.breaks, jumpTarget{label, brk})
+		b.continues = append(b.continues, jumpTarget{label, cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = popTargets(b.breaks)
+	b.continues = popTargets(b.continues)
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, jumpTarget{"", brk})
+	if label != "" {
+		b.breaks = append(b.breaks, jumpTarget{label, brk})
+	}
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breaks = popTargets(b.breaks)
+}
+
+// popTargets removes the innermost unlabeled target plus its optional
+// labeled alias pushed alongside it.
+func popTargets(ts []jumpTarget) []jumpTarget {
+	if n := len(ts); n > 0 && ts[n-1].label != "" {
+		ts = ts[:n-1]
+	}
+	if len(ts) > 0 {
+		ts = ts[:len(ts)-1]
+	}
+	return ts
+}
+
+// findTarget returns the innermost matching jump target: the last
+// unlabeled entry for label == "", or the entry with that label.
+func findTarget(ts []jumpTarget, label string) *Block {
+	for i := len(ts) - 1; i >= 0; i-- {
+		if ts[i].label == label {
+			return ts[i].block
+		}
+	}
+	return nil
+}
+
+// walkShallow visits root and its children but does not descend into
+// regions that execute in another CFG block or another goroutine: the
+// bodies of marker RangeStmt/SelectStmt nodes, and FuncLit bodies. The
+// callback's return value gates descent, as in ast.Inspect.
+func walkShallow(root ast.Node, f func(ast.Node) bool) {
+	switch n := root.(type) {
+	case *ast.RangeStmt:
+		if !f(n) {
+			return
+		}
+		for _, e := range []ast.Expr{n.Key, n.Value, n.X} {
+			if e != nil {
+				walkShallow(e, f)
+			}
+		}
+	case *ast.SelectStmt:
+		f(n)
+	default:
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				f(n)
+				return false
+			}
+			return f(n)
+		})
+	}
+}
+
+// String renders the CFG in a stable one-line-per-block form used by
+// the golden tests:
+//
+//	b0 entry: x := 0 → b1
+//	b1 for.head: x < n → b2 b4
+func (g *CFG) String(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.ID, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " [%s]", renderNode(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.ID)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// renderNode prints one atomic node with whitespace collapsed. Marker
+// nodes print only their heads, since their bodies live in other
+// blocks.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		head := "range " + renderNode(fset, n.X)
+		if n.Key != nil {
+			head = renderNode(fset, n.Key) + " := " + head
+		}
+		return head
+	case *ast.SelectStmt:
+		return "select"
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

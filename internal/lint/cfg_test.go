@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses src (a package clause plus one function) and
+// builds the CFG of the last declared function.
+func buildTestCFG(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(file.Decls) - 1; i >= 0; i-- {
+		if fn, ok := file.Decls[i].(*ast.FuncDecl); ok && fn.Body != nil {
+			return BuildCFG(fn.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// TestCFGGolden pins the block decomposition of the shapes the dataflow
+// analyzers depend on: loop back edges, defer as an atomic node (the
+// mutexhold analyzer must see a deferred Unlock without clearing the
+// held set), and select comm clauses as distinct successor blocks.
+func TestCFGGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "for_loop_with_continue",
+			src: `package p
+func f(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		total += i
+	}
+	return total
+}`,
+			want: `
+b0 entry: [total := 0] [i := 0] -> b1
+b1 for.head: [i < n] -> b2 b6
+b2 for.body: [i%2 == 0] -> b3 b4
+b3 if.then: -> b5
+b4 if.join: [total += i] -> b5
+b5 for.post: [i++] -> b1
+b6 for.join: [return total] -> b7
+b7 exit:
+`,
+		},
+		{
+			name: "defer_stays_atomic",
+			src: `package p
+func f(mu interface{ Lock(); Unlock() }, work func() error) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}`,
+			want: `
+b0 entry: [mu.Lock()] [defer mu.Unlock()] [err := work()] [err != nil] -> b1 b2
+b1 if.then: [return err] -> b3
+b2 if.join: [return nil] -> b3
+b3 exit:
+`,
+		},
+		{
+			name: "select_clauses_become_blocks",
+			src: `package p
+func f(ch chan int, done chan struct{}) int {
+	for {
+		select {
+		case v := <-ch:
+			return v
+		case <-done:
+			return 0
+		default:
+		}
+	}
+}`,
+			want: `
+b0 entry: -> b1
+b1 for.head: -> b2
+b2 for.body: [select] -> b3 b4 b5
+b3 select.comm: [v := <-ch] [return v] -> b8
+b4 select.comm: [<-done] [return 0] -> b8
+b5 select.default: -> b6
+b6 select.join: -> b1
+b7 for.join: -> b8
+b8 exit:
+`,
+		},
+		{
+			name: "range_marker_in_head",
+			src: `package p
+func f(m map[string]int) int {
+	total := 0
+	for k, v := range m {
+		_ = k
+		total += v
+	}
+	return total
+}`,
+			want: `
+b0 entry: [total := 0] -> b1
+b1 range.head: [k := range m] -> b2 b3
+b2 range.body: [_ = k] [total += v] -> b1
+b3 range.join: [return total] -> b4
+b4 exit:
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, fset := buildTestCFG(t, tc.src)
+			got := strings.TrimSpace(g.String(fset))
+			want := strings.TrimSpace(tc.want)
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

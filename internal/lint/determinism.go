@@ -5,21 +5,21 @@ import (
 	"go/types"
 )
 
-// Determinism forbids wall-clock reads, the global math/rand source,
-// and map iteration in the packages whose outputs must be bit-stable
-// across runs: the clustering core, the golden-trace harness, the
-// evaluation metrics, and the report writers. The golden records pin
-// ε, k, and F¼ to tolerance bands — nondeterminism in these packages
-// silently widens those bands until they stop catching regressions.
+// Determinism forbids wall-clock reads and the global math/rand source
+// in the packages whose outputs must be bit-stable across runs: the
+// clustering core, the golden-trace harness, the evaluation metrics,
+// and the report writers. The golden records pin ε, k, and F¼ to
+// tolerance bands — nondeterminism in these packages silently widens
+// those bands until they stop catching regressions.
 //
-// Map iteration is flagged unconditionally because even "harmless"
-// accumulation over a map is order-sensitive for floating-point sums.
-// Iterate over detmap.SortedKeys(m) (or another sorted key slice)
-// instead, or suppress with a reason when order provably cannot reach
-// the result (e.g. integer counting).
+// Map iteration order is covered by the interprocedural detflow
+// analyzer, which flags a map range only when its order can actually
+// reach report composition or a hashing witness through the call
+// graph; the syntactic per-package check that used to live here
+// flagged every map range regardless of whether the order escaped.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc: "forbid time.Now/time.Since, the global math/rand source, and map iteration " +
+	Doc: "forbid time.Now/time.Since and the global math/rand source " +
 		"in result-producing packages (internal/core, golden, eval, report, sweep)",
 	Applies: scopedTo(
 		"protoclust/internal/core",
@@ -63,14 +63,6 @@ func runDeterminism(pass *Pass) {
 					if ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
 						pass.Reportf(n.Pos(), "rand.%s draws from the shared global source; inject a seeded *rand.Rand instead", fn.Name())
 					}
-				}
-			case *ast.RangeStmt:
-				tv, ok := pass.Info.Types[n.X]
-				if !ok {
-					return true
-				}
-				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-					pass.Reportf(n.Pos(), "map iteration order is nondeterministic; range over detmap.SortedKeys (or another sorted key slice)")
 				}
 			}
 			return true

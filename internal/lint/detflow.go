@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DetFlow is the interprocedural determinism-taint analyzer. The
+// pipeline's contract is byte-identical output for identical input —
+// reports, golden records, cache keys, and the SHA-256 completion
+// digests that deduplicate distributed shard results all depend on it.
+// Go map iteration order is randomized per run, so any map range whose
+// visit order can influence one of those outputs is a nondeterminism
+// bug even when every individual value is deterministic.
+//
+// Sources are range-over-map statements that bind the key or value.
+// A source is sanitized when the ranging function establishes an
+// order afterwards: a keyless `for range m` (only the count is used),
+// or a sort call (sort.* / slices.Sort*) lexically after the range in
+// the same function — the detmap.SortedKeys idiom. Sinks are the
+// report-composition layer (internal/report and the root package's
+// Report method) and every function that feeds a hashing witness
+// (direct calls into crypto/sha256). A finding fires at the range
+// statement when its enclosing function is reachable from a sink
+// along the static call graph, and the message carries one concrete
+// call path as evidence.
+//
+// This subsumes the old syntactic map-range check in the determinism
+// analyzer, which flagged every map range in scoped packages whether
+// or not the order could escape.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "Interprocedural determinism taint: flags range-over-map statements whose " +
+		"iteration order can reach report composition or a SHA-256 determinism " +
+		"witness through the call graph. Sort the keys first (detmap.SortedKeys) " +
+		"or use a keyless `for range m` when only the count matters.",
+	RunModule: runDetFlow,
+}
+
+func runDetFlow(pass *ModulePass) {
+	prog := pass.Prog
+
+	var sinks []*FuncInfo
+	for _, fi := range prog.sortedFuncs() {
+		if isDetSink(prog, fi) {
+			sinks = append(sinks, fi)
+		}
+	}
+	parent := prog.reachableFrom(sinks)
+
+	for _, fi := range prog.sortedFuncs() {
+		if !pass.applies(fi.Pkg.Path) {
+			continue
+		}
+		if _, reachable := parent[fi.Fn]; !reachable {
+			continue
+		}
+		for _, rs := range unsanitizedMapRanges(fi.Pkg.Info, fi.Decl.Body) {
+			pass.Reportf(rs.For,
+				"map iteration order can reach deterministic output (call path: %s); "+
+					"sort the keys (detmap.SortedKeys) or range without binding them",
+				callPath(parent, fi.Fn))
+		}
+	}
+}
+
+// isDetSink classifies fi as a determinism sink: report composition or
+// hashing.
+func isDetSink(prog *Program, fi *FuncInfo) bool {
+	path, name := fi.Pkg.Path, fi.Fn.Name()
+	if strings.HasPrefix(path, prog.ModPath+"/internal/report") {
+		return true
+	}
+	if path == prog.ModPath && name == "Report" {
+		return true
+	}
+	for _, c := range fi.Calls {
+		if p := c.Callee.Pkg(); p != nil && p.Path() == "crypto/sha256" {
+			return true
+		}
+	}
+	return false
+}
+
+// unsanitizedMapRanges returns the map ranges in body that bind the
+// key or value and are not followed by a sort call in the same
+// function. The sort-after test is lexical, which matches the
+// collect-then-sort idiom this module uses; an early return between
+// the range and the sort would evade it, so reviewers still matter.
+func unsanitizedMapRanges(info *types.Info, body *ast.BlockStmt) []*ast.RangeStmt {
+	var sortEnds []int
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeOf(info, call); fn != nil && isSortCall(fn) {
+				sortEnds = append(sortEnds, int(call.Pos()))
+			}
+		}
+		return true
+	})
+	sort.Ints(sortEnds)
+
+	var out []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if rs.Key == nil {
+			return true // keyless range: only the length is observed
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Sanitized if any sort call starts after the range ends.
+		i := sort.SearchInts(sortEnds, int(rs.End()))
+		if i < len(sortEnds) {
+			return true
+		}
+		out = append(out, rs)
+		return true
+	})
+	return out
+}
+
+// isSortCall matches the stdlib ordering establishes: package sort and
+// the slices.Sort* family.
+func isSortCall(fn *types.Func) bool {
+	p := fn.Pkg()
+	if p == nil {
+		return false
+	}
+	switch p.Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// callPath renders the sink→source chain recorded by reachableFrom.
+func callPath(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for {
+		names = append(names, funcLabel(fn))
+		p := parent[fn]
+		if p == nil || p == fn {
+			break
+		}
+		fn = p
+	}
+	// parent chains point source→sink; print sink→…→source.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}

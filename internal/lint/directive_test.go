@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDirectiveValidation loads a fixture whose directives are broken
+// in the two recognized ways — a misspelled analyzer name and a missing
+// reason — and checks that each surfaces as a finding under the
+// framework's "directive" pseudo-analyzer while the findings those
+// directives meant to silence stay active.
+func TestDirectiveValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture typechecking compiles stdlib dependencies from source")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic path sits inside the determinism analyzer's scope so
+	// the time.Now calls produce the findings the directives target.
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "directive"), "protoclust/internal/core/directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run([]*Package{pkg}, []*Analyzer{Determinism})
+
+	var unknownName, noReason, activeDeterminism int
+	for _, f := range res.Findings {
+		switch {
+		case f.Analyzer == DirectiveAnalyzerName && strings.Contains(f.Message, "unknown analyzer"):
+			unknownName++
+			if !strings.Contains(f.Message, `"determinsm"`) {
+				t.Errorf("unknown-analyzer finding does not quote the typo: %s", f)
+			}
+		case f.Analyzer == DirectiveAnalyzerName && strings.Contains(f.Message, "no reason"):
+			noReason++
+		case f.Analyzer == "determinism":
+			activeDeterminism++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if unknownName != 1 {
+		t.Errorf("want 1 unknown-analyzer directive finding, got %d", unknownName)
+	}
+	if noReason != 1 {
+		t.Errorf("want 1 reasonless directive finding, got %d", noReason)
+	}
+	if activeDeterminism != 2 {
+		t.Errorf("want 2 active determinism findings (broken directives suppress nothing), got %d", activeDeterminism)
+	}
+	if len(res.Suppressed) != 0 {
+		t.Errorf("want no suppressed findings, got %d: %v", len(res.Suppressed), res.Suppressed)
+	}
+}

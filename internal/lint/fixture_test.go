@@ -24,6 +24,10 @@ var fixtureCases = []struct {
 	{"nanguard", "protoclust/fixture/nanguard", NaNGuard, 1},
 	{"ctxflow", "protoclust/fixture/ctxflow", CtxFlow, 1},
 	{"errdiscard", "protoclust/fixture/errdiscard", ErrDiscard, 1},
+	{"mutexhold", "protoclust/fixture/mutexhold", MutexHold, 1},
+	{"goroleak", "protoclust/internal/service/fixture", GoroLeak, 1},
+	{"detflow", "protoclust/fixture/detflow", DetFlow, 1},
+	{"idxoverflow", "protoclust/internal/dbscan/fixture", IdxOverflow, 1},
 }
 
 // wantRe matches a want annotation: a comment of the form

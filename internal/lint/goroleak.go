@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement in the long-lived packages —
+// the service, the shard queue, the sweep harness, the durable job
+// log, the tilestore, and the daemon/worker binaries — to have a
+// cancellation path: somewhere in the spawned function's transitive
+// call tree there must be a channel receive, a range over a channel, a
+// select with a receive case, or a ctx.Done()/ctx.Err() call. A
+// goroutine with none of those can only ever exit by running to
+// completion on its own, which in a server is a leak (or a shutdown
+// hang) waiting for load to expose it.
+//
+// Deliberate fire-and-forget goroutines (e.g. a WaitGroup.Wait bridge
+// that closes a done channel) are annotated at the spawn site with
+// //lint:ignore goroleak <why it terminates>.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "Flags `go` statements in long-lived packages whose spawned function has " +
+		"no reachable cancellation path (ctx/done select, channel receive, or " +
+		"channel range). Annotate deliberate fire-and-forget spawns with " +
+		"//lint:ignore goroleak and the reason the goroutine terminates.",
+	Applies: scopedTo(
+		"protoclust/internal/service",
+		"protoclust/internal/shard",
+		"protoclust/internal/sweep",
+		"protoclust/internal/jobstore",
+		"protoclust/internal/dissim/tilestore",
+		"protoclust/cmd/protoclustd",
+		"protoclust/cmd/protoclust-worker",
+	),
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(pass *ModulePass) {
+	prog := pass.Prog
+	// hasCancel: functions that themselves contain a cancellation
+	// construct, closed under "calls a member" (callee-to-caller), so
+	// membership means "a cancellation wait is reachable from here".
+	hasCancel := prog.closure(func(fi *FuncInfo) bool {
+		return hasCancelConstruct(fi.Pkg.Info, fi.Decl.Body)
+	})
+
+	for _, fi := range prog.sortedFuncs() {
+		if !pass.applies(fi.Pkg.Path) {
+			continue
+		}
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtHasCancelPath(prog, info, gs, hasCancel) {
+				return true
+			}
+			pass.Reportf(gs.Go, "goroutine has no cancellation path: nothing in its call tree "+
+				"receives from a channel, ranges over one, or selects on ctx/done")
+			return true
+		})
+	}
+}
+
+// goStmtHasCancelPath reports whether the spawned function — a literal
+// or a resolved declared function — reaches a cancellation construct.
+// Unresolvable spawn targets (function values) are given the benefit
+// of the doubt.
+func goStmtHasCancelPath(prog *Program, info *types.Info, gs *ast.GoStmt, hasCancel map[*types.Func]bool) bool {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if hasCancelConstruct(info, lit.Body) {
+			return true
+		}
+		// The literal's direct calls: cancellation may live one or
+		// more calls down.
+		var calls []Call
+		collectCalls(info, lit.Body, false, &calls)
+		for _, c := range calls {
+			if hasCancel[c.Callee] {
+				return true
+			}
+		}
+		return false
+	}
+	fn := calleeOf(info, gs.Call)
+	if fn == nil {
+		return true
+	}
+	if _, known := prog.Funcs[fn]; !known {
+		// Spawning a stdlib or unanalyzed function; nothing to check.
+		return true
+	}
+	return hasCancel[fn]
+}
+
+// hasCancelConstruct reports whether the body directly contains a
+// cancellation wait: a channel receive, a range over a channel, a
+// select with at least one receive case, or a call to ctx.Done or
+// ctx.Err. Nested `go` statements are skipped — a child goroutine's
+// cancellation path does not stop this one.
+func hasCancelConstruct(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChanType(info.TypeOf(n.X)) {
+				found = true
+				return false
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					continue
+				}
+				if _, isSend := cc.Comm.(*ast.SendStmt); !isSend {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeOf(info, n); fn != nil && isContextMethod(fn) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextMethod matches context.Context.Done and .Err.
+func isContextMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Done" || fn.Name() == "Err"
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IdxOverflow guards the condensed-matrix and tile index arithmetic.
+// Three shapes of silent wraparound have bitten n(n−1)/2 layouts in
+// the wild, and this module leans on all three:
+//
+//  1. triangular-number arithmetic, x*y/2 over non-constant ints —
+//     the product wraps long before the quotient would;
+//  2. row*width+col linear indexes written directly inside an index or
+//     slice expression, where both factors are runtime values; and
+//  3. narrowing integer conversions (int→uint32, int→uint16, ...) of
+//     non-constant values in the codec and vote-triangle paths.
+//
+// The checked forms live in internal/vecmath (CheckedTriNum,
+// CheckedMulAdd, CheckedCondensedOff, CheckedUint32/16), which panic
+// on violation and are exempt here. Hot loops that cannot afford a
+// helper hoist the product into a plain assignment (rule 2 only looks
+// inside index/slice expressions) or carry a reasoned //lint:ignore.
+var IdxOverflow = &Analyzer{
+	Name: "idxoverflow",
+	Doc: "Flags unchecked n*(n-1)/2 triangular arithmetic, row*width+col index " +
+		"expressions with two runtime factors, and narrowing integer conversions " +
+		"in the matrix/tile/coassoc index math. Route them through the " +
+		"vecmath.Checked* helpers, hoist the product, or annotate with a bound proof.",
+	Applies: scopedTo(
+		"protoclust/internal/dbscan",
+		"protoclust/internal/dissim",
+		"protoclust/internal/shard",
+		"protoclust/internal/sweep",
+		"protoclust/internal/vecmath",
+	),
+	Run: runIdxOverflow,
+}
+
+func runIdxOverflow(pass *Pass) {
+	funcDecls(pass.Files, func(decl *ast.FuncDecl) {
+		// The checked helpers themselves are the designated home of
+		// this arithmetic.
+		if pass.Path == "protoclust/internal/vecmath" && strings.HasPrefix(decl.Name.Name, "Checked") {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkTriangular(pass, n)
+			case *ast.IndexExpr:
+				checkIndexMul(pass, n.Index)
+			case *ast.SliceExpr:
+				checkIndexMul(pass, n.Low)
+				checkIndexMul(pass, n.High)
+				checkIndexMul(pass, n.Max)
+			case *ast.CallExpr:
+				checkNarrowing(pass, n)
+			}
+			return true
+		})
+	})
+}
+
+// checkTriangular flags x*y/2 where the numerator is a product of
+// non-constant integers: the triangular-number shape whose product
+// overflows before the division can save it.
+func checkTriangular(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.QUO || !isIntConstant(pass.Info, e.Y, 2) {
+		return
+	}
+	mul, ok := ast.Unparen(e.X).(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		return
+	}
+	if !isNonConstInt(pass.Info, mul.X) || !isNonConstInt(pass.Info, mul.Y) {
+		return
+	}
+	pass.Reportf(e.Pos(), "unchecked triangular-number arithmetic %s; use vecmath.CheckedTriNum "+
+		"or vecmath.CheckedCondensedOff", renderExpr(e))
+}
+
+// checkIndexMul flags a multiplication of two runtime integers inside
+// an index or slice bound: the row*width+col shape. Products with a
+// constant factor (stride codecs like buf[i*4:]) are exempt; so are
+// products hoisted into a named variable before the indexing.
+func checkIndexMul(pass *Pass, idx ast.Expr) {
+	if idx == nil {
+		return
+	}
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		mul, ok := n.(*ast.BinaryExpr)
+		if !ok || mul.Op != token.MUL {
+			return true
+		}
+		if isNonConstInt(pass.Info, mul.X) && isNonConstInt(pass.Info, mul.Y) {
+			pass.Reportf(mul.Pos(), "unchecked index arithmetic %s with two runtime factors; "+
+				"use vecmath.CheckedMulAdd or hoist the product with a bound check", renderExpr(mul))
+			return false
+		}
+		return true
+	})
+}
+
+// checkNarrowing flags integer conversions that can silently truncate:
+// a non-constant operand converted to a strictly narrower integer
+// type. Conversions of masked operands (T(x & mask) with mask fitting
+// T) are exempt.
+func checkNarrowing(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || dst.Info()&types.IsInteger == 0 {
+		return
+	}
+	arg := call.Args[0]
+	atv, ok := pass.Info.Types[arg]
+	if !ok || atv.Value != nil { // constant conversions are checked by the compiler
+		return
+	}
+	src, ok := atv.Type.Underlying().(*types.Basic)
+	if !ok || src.Info()&types.IsInteger == 0 {
+		return
+	}
+	dw, sw := intWidth(dst), intWidth(src)
+	// Only strictly narrower targets: same-width sign flips (e.g. the
+	// uint64(len(b)) overflow-safe comparison idiom) cannot truncate.
+	if dw >= sw || maskedToFit(pass.Info, arg, dw) {
+		return
+	}
+	pass.Reportf(call.Pos(), "narrowing integer conversion %s of a runtime value (%s -> %s) can "+
+		"silently truncate; use a vecmath.Checked* conversion or bounds-check first",
+		renderExpr(call), src.Name(), dst.Name())
+}
+
+// intWidth returns the bit width of a basic integer type, with the
+// platform-sized int/uint/uintptr counted as 64 — the analyzer guards
+// the 64-bit production targets.
+func intWidth(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// maskedToFit reports whether arg is `x & mask` (or `x % m`) with a
+// constant bound that provably fits width bits.
+func maskedToFit(info *types.Info, arg ast.Expr, width int) bool {
+	be, ok := ast.Unparen(arg).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var bound ast.Expr
+	switch be.Op {
+	case token.AND:
+		bound = be.Y
+		if info.Types[be.X].Value != nil {
+			bound = be.X
+		}
+	case token.REM:
+		bound = be.Y
+	case token.SHR:
+		// x >> k keeps high bits; not a bound.
+		return false
+	default:
+		return false
+	}
+	v := info.Types[bound].Value
+	if v == nil || v.Kind() != constant.Int {
+		return false
+	}
+	max, ok := constant.Uint64Val(v)
+	if !ok {
+		return false
+	}
+	if width >= 64 {
+		return true
+	}
+	return max < 1<<uint(width)
+}
+
+func isIntConstant(info *types.Info, e ast.Expr, want int64) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == want
+}
+
+// isNonConstInt reports whether e is integer-typed with no constant
+// value.
+func isNonConstInt(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// renderExpr prints a short source form of e for diagnostics.
+func renderExpr(e ast.Expr) string {
+	return exprLabel(e)
+}

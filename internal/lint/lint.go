@@ -25,10 +25,13 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer is one lint check. Run inspects a typechecked package via
-// the Pass and reports findings through pass.Reportf.
+// Analyzer is one lint check. Per-package analyzers set Run, which
+// inspects one typechecked package via the Pass; module analyzers set
+// RunModule instead, which sees every package at once plus the call
+// graph. Exactly one of the two must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in reports and in //lint:ignore
 	// directives. Lower-case, no spaces.
@@ -36,10 +39,14 @@ type Analyzer struct {
 	// Doc is a one-paragraph description shown by `protoclustvet -list`.
 	Doc string
 	// Applies reports whether the analyzer should run on the package
-	// with the given import path. A nil Applies runs everywhere.
+	// with the given import path. A nil Applies runs everywhere. For
+	// module analyzers it scopes which packages' functions may be
+	// reported on, not which packages feed the call graph.
 	Applies func(pkgPath string) bool
-	// Run performs the check.
+	// Run performs a per-package check.
 	Run func(pass *Pass)
+	// RunModule performs a whole-module dataflow check.
+	RunModule func(pass *ModulePass)
 }
 
 // Pass carries one typechecked package through one analyzer.
@@ -66,6 +73,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries the whole typechecked module through one module
+// analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Prog     *Program
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// applies reports whether findings in the given package are in the
+// analyzer's scope.
+func (p *ModulePass) applies(pkgPath string) bool {
+	return p.Analyzer.Applies == nil || p.Analyzer.Applies(pkgPath)
+}
+
 // Finding is one reported lint violation.
 type Finding struct {
 	Analyzer string `json:"analyzer"`
@@ -90,17 +125,58 @@ type Result struct {
 	// so tooling (and the fixture tests) can audit what the directives
 	// hide.
 	Suppressed []Finding `json:"suppressed,omitempty"`
+	// Timing is the wall-clock cost per analyzer, in report order, so
+	// analyzer cost regressions are visible in CI.
+	Timing []AnalyzerTiming `json:"timing,omitempty"`
 }
 
-// Run executes every analyzer whose Applies accepts the package, for
-// each loaded package, and partitions the findings by the suppression
-// directives found in the package sources.
+// AnalyzerTiming is the cumulative wall-clock cost of one analyzer
+// across every package (and, for module analyzers, the module run).
+type AnalyzerTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"millis"`
+}
+
+// DirectiveAnalyzerName labels the findings the framework itself emits
+// for malformed //lint:ignore directives (unknown analyzer names).
+// These findings are not suppressible: a directive that misspells an
+// analyzer silently suppresses nothing, so the typo must surface.
+const DirectiveAnalyzerName = "directive"
+
+// Run executes every analyzer over the loaded packages — per-package
+// analyzers on each package their Applies accepts, module analyzers
+// once over the whole set with the call graph — and partitions the
+// findings by the suppression directives found in the sources.
+// Suppression directives naming an analyzer that does not exist in the
+// full catalogue produce their own findings under
+// DirectiveAnalyzerName.
 func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 	res := &Result{}
+	elapsed := map[string]time.Duration{}
+
+	// One merged suppression table: files are unique across packages,
+	// and module analyzers report across package boundaries.
+	sup := &suppressions{
+		lines: map[string]map[string]map[int]bool{},
+		files: map[string]map[string]bool{},
+	}
 	for _, pkg := range pkgs {
-		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		sup.merge(collectSuppressions(pkg.Fset, pkg.Files))
+		validateDirectives(res, pkg.Fset, pkg.Files)
+	}
+	reporterFor := func(name string) func(Finding) {
+		return func(f Finding) {
+			if sup.covers(name, f.File, f.Line) {
+				res.Suppressed = append(res.Suppressed, f)
+				return
+			}
+			res.Findings = append(res.Findings, f)
+		}
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(pkg.Path) {
+			if a.Run == nil || (a.Applies != nil && !a.Applies(pkg.Path)) {
 				continue
 			}
 			pass := &Pass{
@@ -110,20 +186,112 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				report:   reporterFor(a.Name),
 			}
-			pass.report = func(f Finding) {
-				if sup.covers(a.Name, f.File, f.Line) {
-					res.Suppressed = append(res.Suppressed, f)
-					return
-				}
-				res.Findings = append(res.Findings, f)
-			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
+	}
+
+	var modAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modAnalyzers = append(modAnalyzers, a)
+		}
+	}
+	if len(modAnalyzers) > 0 && len(pkgs) > 0 {
+		start := time.Now()
+		prog := BuildProgram(modulePathOf(pkgs), pkgs)
+		buildCost := time.Since(start) / time.Duration(len(modAnalyzers))
+		for _, a := range modAnalyzers {
+			pass := &ModulePass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Prog:     prog,
+				report:   reporterFor(a.Name),
+			}
+			start := time.Now()
+			a.RunModule(pass)
+			elapsed[a.Name] += time.Since(start) + buildCost
+		}
+	}
+
+	for _, a := range analyzers {
+		res.Timing = append(res.Timing, AnalyzerTiming{
+			Analyzer: a.Name,
+			Millis:   float64(elapsed[a.Name]) / float64(time.Millisecond),
+		})
 	}
 	sortFindings(res.Findings)
 	sortFindings(res.Suppressed)
 	return res
+}
+
+// modulePathOf infers the module path from the loaded package paths:
+// the shortest path is either the module root package or a first-level
+// subpackage whose parent is the module path.
+func modulePathOf(pkgs []*Package) string {
+	mod := pkgs[0].Path
+	for _, p := range pkgs[1:] {
+		for !samePathTree(mod, p.Path) {
+			i := strings.LastIndex(mod, "/")
+			if i < 0 {
+				return mod
+			}
+			mod = mod[:i]
+		}
+	}
+	return mod
+}
+
+func samePathTree(mod, path string) bool {
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}
+
+// validateDirectives reports //lint:ignore and //lint:file-ignore
+// directives whose analyzer names do not exist in the full catalogue —
+// a typo there silently suppresses nothing, which is worse than a loud
+// failure. Validation runs against All (plus DirectiveAnalyzerName)
+// rather than the analyzers selected for this run, so `-analyzers
+// floatcmp` does not flag every other directive in the tree.
+func validateDirectives(res *Result, fset *token.FileSet, files []*ast.File) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					rest, ok = strings.CutPrefix(c.Text, "//lint:file-ignore ")
+				}
+				if !ok {
+					continue
+				}
+				names, reason := splitDirective(rest)
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					res.Findings = append(res.Findings, Finding{
+						Analyzer: DirectiveAnalyzerName,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "lint directive has no reason; it suppresses nothing",
+					})
+					continue
+				}
+				for _, name := range names {
+					if name != DirectiveAnalyzerName && ByName(name) == nil {
+						res.Findings = append(res.Findings, Finding{
+							Analyzer: DirectiveAnalyzerName,
+							File:     pos.Filename,
+							Line:     pos.Line,
+							Col:      pos.Column,
+							Message:  fmt.Sprintf("lint directive names unknown analyzer %q; it suppresses nothing", name),
+						})
+					}
+				}
+			}
+		}
+	}
 }
 
 func sortFindings(fs []Finding) {

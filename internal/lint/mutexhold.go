@@ -1,0 +1,476 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MutexHold flags operations that can block — or take unbounded time —
+// while a sync.Mutex or sync.RWMutex is held: channel sends and
+// receives, selects without a default, Lock on a second mutex, and
+// file/network I/O, whether performed directly or through a call whose
+// transitive closure does any of the above. Holding a lock across such
+// an operation is how the shard queue, the tilestore LRU, and the
+// service job table turn a slow disk or a full channel into a stalled
+// fleet.
+//
+// The check is a forward may-analysis over the intraprocedural CFG:
+// the set of mutexes possibly held at each point is propagated through
+// Lock/RLock/TryLock and Unlock/RUnlock calls (a deferred Unlock keeps
+// the mutex held to the end of the function, which is the point), and
+// every hazard reached with a non-empty held set is reported. Blocking
+// and I/O facts for callees come from a callee-to-caller closure over
+// the module call graph; calls through function values or interfaces
+// are not resolved, so the analyzer can miss, but what it reports is
+// backed by a concrete call chain. Channel operations inside a select
+// that has a default case are non-blocking and exempt, as is close().
+var MutexHold = &Analyzer{
+	Name: "mutexhold",
+	Doc: "Flags channel operations, network/file I/O, and second-mutex acquisition " +
+		"while a sync.Mutex/RWMutex is held, including transitively through calls. " +
+		"Move the slow work outside the critical section, or annotate deliberate " +
+		"hold-across-I/O designs (e.g. a serialized durable log) with //lint:ignore.",
+	RunModule: runMutexHold,
+}
+
+func runMutexHold(pass *ModulePass) {
+	prog := pass.Prog
+	blocksOnChan := prog.closure(func(fi *FuncInfo) bool {
+		return hasBlockingChanOp(fi.Pkg.Info, fi.Decl.Body)
+	})
+	doesIO := prog.closure(func(fi *FuncInfo) bool {
+		return callsIODirectly(fi)
+	})
+
+	for _, fi := range prog.sortedFuncs() {
+		if !pass.applies(fi.Pkg.Path) {
+			continue
+		}
+		mh := &mutexHoldCheck{
+			pass:         pass,
+			prog:         prog,
+			info:         fi.Pkg.Info,
+			blocksOnChan: blocksOnChan,
+			doesIO:       doesIO,
+		}
+		mh.checkBody(fi.Decl.Body)
+		// Function literals get their own pass: their bodies are not in
+		// the enclosing CFG, and goroutine bodies lock mutexes too.
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				mh.checkBody(lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// mutexHoldCheck runs the held-mutex dataflow over one body.
+type mutexHoldCheck struct {
+	pass         *ModulePass
+	prog         *Program
+	info         *types.Info
+	blocksOnChan map[*types.Func]bool
+	doesIO       map[*types.Func]bool
+}
+
+// heldSet maps the mutex's defining object to the source label used in
+// diagnostics (e.g. "s.mu").
+type heldSet map[types.Object]string
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeInto unions h into dst, reporting whether dst grew.
+func (h heldSet) mergeInto(dst heldSet) bool {
+	grew := false
+	for k, v := range h {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			grew = true
+		}
+	}
+	return grew
+}
+
+func (mh *mutexHoldCheck) checkBody(body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	// Fixpoint: in[b] = union of out[preds]; transfer applies
+	// Lock/Unlock in node order.
+	in := make([]heldSet, len(g.Blocks))
+	for i := range in {
+		in[i] = heldSet{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range g.Blocks {
+			out := in[blk.ID].clone()
+			for _, n := range blk.Nodes {
+				mh.transfer(n, out, nil)
+			}
+			for _, s := range blk.Succs {
+				if out.mergeInto(in[s.ID]) {
+					changed = true
+				}
+			}
+		}
+	}
+	// Reporting pass with the stabilized entry states.
+	for _, blk := range g.Blocks {
+		held := in[blk.ID].clone()
+		// The first node of a select.comm block is the comm statement;
+		// its blocking-ness was judged at the SelectStmt marker in the
+		// predecessor block, so do not report it again here.
+		skipComm := blk.Kind == "select.comm"
+		for i, n := range blk.Nodes {
+			var report func(pos token.Pos, format string, args ...any)
+			if !(skipComm && i == 0) {
+				report = mh.pass.Reportf
+			}
+			mh.transfer(n, held, report)
+		}
+	}
+}
+
+// transfer updates the held set for one atomic node and, when report
+// is non-nil, emits hazards encountered while the set is non-empty.
+func (mh *mutexHoldCheck) transfer(n ast.Node, held heldSet, report func(token.Pos, string, ...any)) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// A deferred Unlock runs at return, so it must not clear the
+		// held set here; deferred hazards run after the function's own
+		// critical section and are out of scope.
+		return
+	}
+	if _, ok := n.(*ast.GoStmt); ok {
+		// The spawned body runs elsewhere (and is analyzed as its own
+		// FuncLit body with an empty held set).
+		return
+	}
+	walkShallow(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if report != nil && len(held) > 0 {
+				report(n.Arrow, "channel send while holding %s", holdLabels(held))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && report != nil && len(held) > 0 {
+				report(n.OpPos, "channel receive while holding %s", holdLabels(held))
+			}
+		case *ast.SelectStmt:
+			if report != nil && len(held) > 0 && !selectHasDefault(n) {
+				report(n.Select, "select without default while holding %s", holdLabels(held))
+			}
+		case *ast.RangeStmt:
+			if report != nil && len(held) > 0 && isChanType(mh.info.TypeOf(n.X)) {
+				report(n.For, "range over channel while holding %s", holdLabels(held))
+			}
+		case *ast.CallExpr:
+			mh.transferCall(n, held, report)
+		}
+		return true
+	})
+}
+
+func (mh *mutexHoldCheck) transferCall(call *ast.CallExpr, held heldSet, report func(token.Pos, string, ...any)) {
+	fn := calleeOf(mh.info, call)
+	if fn == nil {
+		return
+	}
+	if kind := mutexMethod(fn); kind != "" {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		key := mh.mutexKey(sel.X)
+		label := exprLabel(sel.X)
+		switch kind {
+		case "lock":
+			if report != nil && len(held) > 0 {
+				if _, same := held[key]; same && key != nil {
+					report(call.Pos(), "locks %s twice (self-deadlock)", label)
+				} else {
+					report(call.Pos(), "acquires %s while holding %s (lock-order hazard)", label, holdLabels(held))
+				}
+			}
+			if key != nil {
+				held[key] = label
+			}
+		case "unlock":
+			if key != nil {
+				delete(held, key)
+			}
+		}
+		return
+	}
+	if report == nil || len(held) == 0 {
+		return
+	}
+	switch {
+	case isBlockingSyncWait(fn):
+		report(call.Pos(), "call to %s blocks while holding %s", funcLabel(fn), holdLabels(held))
+	case isStdlibIO(fn):
+		report(call.Pos(), "call to %s does I/O while holding %s", funcLabel(fn), holdLabels(held))
+	case mh.blocksOnChan[fn]:
+		report(call.Pos(), "call to %s (transitively blocks on a channel) while holding %s",
+			funcLabel(fn), holdLabels(held))
+	case mh.doesIO[fn]:
+		report(call.Pos(), "call to %s (transitively does file/network I/O) while holding %s",
+			funcLabel(fn), holdLabels(held))
+	}
+}
+
+// mutexKey resolves the object identifying the locked mutex: the
+// variable or field the receiver expression names. A nil key means the
+// expression is too dynamic to track (e.g. an element of a slice).
+func (mh *mutexHoldCheck) mutexKey(recv ast.Expr) types.Object {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		if o := mh.info.Uses[e]; o != nil {
+			return o
+		}
+		return mh.info.Defs[e]
+	case *ast.SelectorExpr:
+		return mh.info.Uses[e.Sel]
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return mh.mutexKey(e.X)
+		}
+	case *ast.StarExpr:
+		return mh.mutexKey(e.X)
+	}
+	return nil
+}
+
+// mutexMethod classifies fn as a sync mutex acquire ("lock"), release
+// ("unlock"), or neither.
+func mutexMethod(fn *types.Func) string {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return "lock"
+	case "Unlock", "RUnlock":
+		return "unlock"
+	}
+	return ""
+}
+
+// isBlockingSyncWait matches the sync primitives that park the calling
+// goroutine indefinitely.
+func isBlockingSyncWait(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return fn.Name() == "Wait" // WaitGroup.Wait, Cond.Wait
+}
+
+// ioPackages are treated as I/O wholesale: any call into them is a
+// latency hazard under a lock.
+var ioPackages = map[string]bool{
+	"net":      true,
+	"net/http": true,
+}
+
+// osIOFuncs are the package-level os functions classified as file
+// I/O. Cheap environment accessors (Getenv, Getpid, ...) are not
+// listed.
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Link": true,
+	"Mkdir": true, "MkdirAll": true, "Stat": true, "Lstat": true,
+	"Truncate": true, "Chmod": true, "Symlink": true, "ReadLink": true,
+}
+
+// isStdlibIO classifies a stdlib callee as file or network I/O.
+func isStdlibIO(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if ioPackages[path] || strings.HasPrefix(path, "net/") {
+		return true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	hasRecv := sig != nil && sig.Recv() != nil
+	switch path {
+	case "os":
+		if !hasRecv {
+			return osIOFuncs[fn.Name()]
+		}
+		return recvNamed(sig) == "File" // (*os.File).Read/Write/Sync/...
+	case "bufio":
+		if hasRecv {
+			switch fn.Name() {
+			case "Flush", "Read", "ReadString", "ReadBytes", "ReadRune",
+				"Write", "WriteString", "WriteByte", "WriteRune", "ReadSlice", "ReadLine":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func recvNamed(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// callsIODirectly reports whether fi's body (goroutine literals
+// excluded) contains a direct stdlib I/O call.
+func callsIODirectly(fi *FuncInfo) bool {
+	for _, c := range fi.Calls {
+		if !c.InGoroutine && isStdlibIO(c.Callee) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBlockingChanOp reports whether the body performs a blocking
+// channel operation on its own goroutine: a send or receive outside a
+// select with default, a select without default, or a range over a
+// channel. Bodies of `go` statements are skipped — the spawned
+// goroutine blocks, not the caller.
+func hasBlockingChanOp(info *types.Info, body *ast.BlockStmt) bool {
+	blocking := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if blocking {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				return false
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					blocking = true
+					return false
+				}
+				// Non-blocking select: the comm operations do not
+				// block, but the clause bodies still run here.
+				for _, c := range n.Body.List {
+					for _, st := range c.(*ast.CommClause).Body {
+						walk(st)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				blocking = true
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocking = true
+					return false
+				}
+			case *ast.RangeStmt:
+				if isChanType(info.TypeOf(n.X)) {
+					blocking = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return blocking
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// holdLabels renders the held mutexes in a stable order.
+func holdLabels(held heldSet) string {
+	labels := make([]string, 0, len(held))
+	for _, l := range held {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return strings.Join(labels, ", ")
+}
+
+// exprLabel prints a receiver expression compactly for diagnostics.
+func exprLabel(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "mutex"
+	}
+	return strings.Join(strings.Fields(buf.String()), "")
+}
+
+// funcLabel names a callee with its package path.
+func funcLabel(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + ".(*" + n.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}

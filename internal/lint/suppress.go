@@ -40,6 +40,23 @@ func (s *suppressions) addFile(analyzer, file string) {
 	s.files[analyzer][file] = true
 }
 
+// merge folds another package's suppressions into s. File paths are
+// unique across packages, so merging is a plain union.
+func (s *suppressions) merge(o *suppressions) {
+	for analyzer, files := range o.lines {
+		for file, lines := range files {
+			for line := range lines {
+				s.addLine(analyzer, file, line)
+			}
+		}
+	}
+	for analyzer, files := range o.files {
+		for file := range files {
+			s.addFile(analyzer, file)
+		}
+	}
+}
+
 // collectSuppressions scans every comment in the package for lint
 // directives. A line directive
 //

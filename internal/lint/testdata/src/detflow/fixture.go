@@ -1,0 +1,90 @@
+// Package fixture seeds detflow violations for the analyzer tests.
+// Loaded alone, the module path collapses to this package's own import
+// path, so the package-level Report function is a sink exactly like the
+// root package's Report method in the real module; Digest is a sink
+// through its crypto/sha256 call.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+)
+
+// summarize ranges a map binding the key, and its output flows into
+// Digest's hash — tainted.
+func summarize(m map[string]int) []byte {
+	var out []byte
+	for k, v := range m { // want `map iteration order can reach deterministic output`
+		out = append(out, k...)
+		out = append(out, byte(v))
+	}
+	return out
+}
+
+// sortedSummarize establishes an order after the range — the
+// detmap.SortedKeys idiom. No finding.
+func sortedSummarize(m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, k...)
+		out = append(out, byte(m[k]))
+	}
+	return out
+}
+
+// count observes only the length via a keyless range. No finding.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// legacyOrder is reachable from the sink but carries a reasoned
+// directive; the finding lands in the suppressed set.
+func legacyOrder(m map[string]int) []byte {
+	var out []byte
+	//lint:ignore detflow fixture: deliberate suppressed example of order-dependent output
+	for k := range m {
+		out = append(out, k...)
+	}
+	return out
+}
+
+// Digest is a hashing sink: everything it (transitively) calls must
+// iterate deterministically.
+func Digest(m map[string]int) string {
+	if count(m) == 0 {
+		return ""
+	}
+	payload := append(summarize(m), sortedSummarize(m)...)
+	payload = append(payload, legacyOrder(m)...)
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Report is a sink by name (the root package's report composer); its
+// own map range is tainted directly.
+func Report(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order can reach deterministic output`
+		s += k
+	}
+	return s
+}
+
+// Orphan ranges a map but no sink can reach it. No finding.
+func Orphan(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package fixture seeds malformed //lint:ignore directives for the
+// framework's directive validation: a misspelled analyzer name and a
+// reasonless directive both suppress nothing, so each must surface as
+// an unsuppressible finding — alongside the finding the author thought
+// they had silenced.
+package fixture
+
+import "time"
+
+// TypoedName misspells the analyzer, so the wall-clock finding below
+// stays active and the directive itself is flagged.
+func TypoedName() time.Time {
+	//lint:ignore determinsm the misspelling means this suppresses nothing
+	return time.Now()
+}
+
+// MissingReason names the right analyzer but gives no reason, which the
+// framework rejects: an unexplained suppression is unreviewable.
+func MissingReason() time.Time {
+	//lint:ignore determinism
+	return time.Now()
+}

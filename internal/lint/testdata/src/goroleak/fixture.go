@@ -1,0 +1,82 @@
+// Package fixture seeds goroleak violations for the analyzer tests. It
+// is loaded under a synthetic import path inside the analyzer's scope
+// (protoclust/internal/service/...); see fixture_test.go.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// spin runs forever with no cancellation construct anywhere.
+func spin(counter *atomic.Int64) {
+	for {
+		counter.Add(1)
+	}
+}
+
+// work has no cancellation construct either.
+func work(counter *atomic.Int64) {
+	counter.Add(1)
+	spin(counter)
+}
+
+// StartSpinner spawns a declared function with no cancellation path.
+func StartSpinner(counter *atomic.Int64) {
+	go spin(counter) // want `goroutine has no cancellation path`
+}
+
+// StartWorker spawns a literal whose call tree never waits on anything.
+func StartWorker(counter *atomic.Int64) {
+	go func() { // want `goroutine has no cancellation path`
+		work(counter)
+	}()
+}
+
+// consume drains a channel; ranging over it is a cancellation path
+// (close the channel to stop it).
+func consume(ch chan int, counter *atomic.Int64) {
+	for v := range ch {
+		counter.Add(int64(v))
+	}
+}
+
+// StartConsumer spawns a cancellable declared function. No finding.
+func StartConsumer(ch chan int, counter *atomic.Int64) {
+	go consume(ch, counter)
+}
+
+// StartWaiter spawns a literal that selects on ctx. No finding.
+func StartWaiter(ctx context.Context, counter *atomic.Int64) {
+	go func() {
+		select {
+		case <-ctx.Done():
+			counter.Add(1)
+		}
+	}()
+}
+
+// StartIndirect spawns a literal whose cancellation wait lives one call
+// down. No finding.
+func StartIndirect(ch chan int, counter *atomic.Int64) {
+	go func() {
+		consume(ch, counter)
+	}()
+}
+
+// StartOpaque spawns a function value; the target is unresolvable, so
+// it gets the benefit of the doubt. No finding.
+func StartOpaque(fn func()) {
+	go fn()
+}
+
+// StartBridge is the annotated fire-and-forget shape: the WaitGroup
+// bridge terminates when the pool drains, which the directive records.
+func StartBridge(wg *sync.WaitGroup, done chan struct{}) {
+	//lint:ignore goroleak fixture: the bridge exits when the pool drains and the spawner blocks on done
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}

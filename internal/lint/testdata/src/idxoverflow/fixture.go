@@ -1,0 +1,52 @@
+// Package fixture seeds idxoverflow violations for the analyzer tests.
+// It is loaded under a synthetic import path inside the analyzer's
+// scope (protoclust/internal/dbscan/...); see fixture_test.go.
+package fixture
+
+// TriNum is the unchecked triangular-number shape: the product wraps
+// before the division can save it.
+func TriNum(n int) int {
+	return n * (n - 1) / 2 // want `unchecked triangular-number arithmetic`
+}
+
+// At writes the row*width+col shape directly inside the index.
+func At(m []float64, i, w, j int) float64 {
+	return m[i*w+j] // want `unchecked index arithmetic`
+}
+
+// Encode narrows a runtime int to uint32 without a bound check.
+func Encode(n int) uint32 {
+	return uint32(n) // want `narrowing integer conversion`
+}
+
+// AtHoisted hoists the product into a named variable, the sanctioned
+// hot-loop shape (the hoist site is where the bound proof lives). No
+// finding.
+func AtHoisted(m []float64, i, w, j int) float64 {
+	row := i * w
+	return m[row+j]
+}
+
+// Stride has a constant factor; codec strides like buf[i*4:] are
+// exempt. No finding.
+func Stride(b []byte, i int) []byte {
+	return b[i*4:]
+}
+
+// Low16 masks the operand to fit the target width. No finding.
+func Low16(x int) uint16 {
+	return uint16(x & 0xffff)
+}
+
+// ToU64 is a same-width sign flip — the overflow-safe comparison
+// idiom, which cannot truncate. No finding.
+func ToU64(n int) uint64 {
+	return uint64(n)
+}
+
+// PairCount carries a reasoned directive; the finding lands in the
+// suppressed set.
+func PairCount(n int) int {
+	//lint:ignore idxoverflow fixture: callers bound n at 1<<20, so the product fits in 41 bits
+	return n * (n - 1) / 2
+}

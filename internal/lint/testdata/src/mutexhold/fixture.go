@@ -1,0 +1,98 @@
+// Package fixture seeds mutexhold violations for the analyzer tests:
+// blocking channel operations, stdlib I/O, and second-mutex
+// acquisition while a sync.Mutex is held — directly and through one
+// level of calls.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+// Box is a mutex-guarded value with a notification channel.
+type Box struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	val   int
+	ch    chan int
+}
+
+// SendUnderLock sends on a channel inside the critical section.
+func (b *Box) SendUnderLock() {
+	b.mu.Lock()
+	b.ch <- b.val // want `channel send while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// ReceiveUnderDeferredLock holds to end of function via defer, so the
+// receive is inside the critical section.
+func (b *Box) ReceiveUnderDeferredLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `channel receive while holding b\.mu`
+}
+
+// WriteUnderLock does file I/O inside the critical section.
+func (b *Box) WriteUnderLock(path string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.WriteFile(path, data, 0o644) // want `call to os\.WriteFile does I/O while holding b\.mu`
+}
+
+// Relock locks the same mutex twice.
+func (b *Box) Relock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `locks b\.mu twice \(self-deadlock\)`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Nested acquires a second mutex under the first.
+func (b *Box) Nested() {
+	b.mu.Lock()
+	b.other.Lock() // want `acquires b\.other while holding b\.mu \(lock-order hazard\)`
+	b.other.Unlock()
+	b.mu.Unlock()
+}
+
+// waitSignal blocks on a channel; callers holding a lock inherit the
+// hazard transitively.
+func waitSignal(ch chan struct{}) {
+	<-ch
+}
+
+// WaitUnderLock calls a function that transitively blocks on a channel.
+func (b *Box) WaitUnderLock(ch chan struct{}) {
+	b.mu.Lock()
+	waitSignal(ch) // want `transitively blocks on a channel\) while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// SendAfterUnlock is the sanctioned shape: the blocking operation runs
+// outside the critical section. No finding.
+func (b *Box) SendAfterUnlock() {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// TrySendUnderLock uses a select with a default case, which cannot
+// block. No finding.
+func (b *Box) TrySendUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- b.val:
+	default:
+	}
+}
+
+// SuppressedSync documents a deliberate hold-across-fsync (the durable
+// log pattern); the directive turns the finding into a suppression.
+func (b *Box) SuppressedSync(f *os.File) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore mutexhold fixture: serialized durable log holds across the sync by design
+	return f.Sync()
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"protoclust/internal/core"
+	"protoclust/internal/detmap"
 	"protoclust/internal/netmsg"
 )
 
@@ -197,7 +198,11 @@ func counterRule(c *core.Cluster) (Label, float64, string, bool) {
 		bySrc[s.Msg.SrcAddr] = append(bySrc[s.Msg.SrcAddr], s)
 	}
 	inOrder, strict, pairs := 0, 0, 0
-	for _, segs := range bySrc {
+	// Sorted source order: the counts are order-insensitive today, but
+	// the deduction feeds the report and must stay bit-stable if the
+	// accumulation ever grows order-sensitive terms.
+	for _, src := range detmap.SortedKeys(bySrc) {
+		segs := bySrc[src]
 		sort.Slice(segs, func(i, j int) bool {
 			return segs[i].Msg.Timestamp.Before(segs[j].Msg.Timestamp)
 		})
@@ -304,8 +309,8 @@ func enumRule(c *core.Cluster) (Label, float64, string, bool) {
 	if len(counts) < 2 || len(counts) > maxEnumValues {
 		return "", 0, "", false
 	}
-	for _, n := range counts {
-		if n < minEnumOccurrencesPerValue {
+	for _, v := range detmap.SortedKeys(counts) {
+		if counts[v] < minEnumOccurrencesPerValue {
 			return "", 0, "", false
 		}
 	}

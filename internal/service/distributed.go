@@ -262,6 +262,7 @@ func (c *coordinator) complete(dj *distJob, jobID string, id int, digest string,
 	for idx := task.TileLo; idx < task.TileHi; idx++ {
 		bi, bj := dj.grid.Coords(idx)
 		n := dj.grid.TileLen(idx)
+		//lint:ignore mutexhold dj.mu is the assembler's serialization point: SetTile mutates unsynchronized assembler state, so its spill I/O cannot move outside the lock, and only competing shard completions ever wait here
 		if err := dj.asm.SetTile(bi, bj, tiles[off:off+n]); err != nil {
 			dj.err = err
 			dj.closed = true

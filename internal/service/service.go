@@ -465,17 +465,25 @@ func (s *Service) Cancel(id string) error {
 		return ErrUnknownJob
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	canceledQueued := false
 	switch j.state {
 	case StateQueued:
 		j.state = StateCanceled
 		j.errMsg = errCanceledByUser.Error()
 		j.finished = time.Now()
-		s.metrics.Canceled.Add(1)
-		s.persist(j, StateCanceled, j.errMsg, false, false)
-		s.log.Info("job canceled while queued", "job", j.id)
+		canceledQueued = true
 	case StateRunning:
 		j.cancel(errCanceledByUser)
+	}
+	j.mu.Unlock()
+	if canceledQueued {
+		// The fsynced job-store append happens outside j.mu so a slow
+		// disk cannot stall Status readers. The queued→canceled edge is
+		// terminal and a worker popping the job only skips it, so no
+		// competing persist can interleave.
+		s.metrics.Canceled.Add(1)
+		s.persist(j, StateCanceled, errCanceledByUser.Error(), false, false)
+		s.log.Info("job canceled while queued", "job", j.id)
 	}
 	return nil
 }
@@ -518,6 +526,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}
 
 	done := make(chan struct{})
+	//lint:ignore goroleak the bridge exits as soon as the worker pool drains; Shutdown blocks on done before returning (force-canceling first if the grace period expires), so the goroutine cannot outlive this call
 	go func() {
 		s.workers.Wait()
 		close(done)
@@ -552,7 +561,6 @@ func (s *Service) worker() {
 		}
 		j.state = StateRunning
 		j.started = time.Now()
-		s.persist(j, StateRunning, "", false, false)
 		timeout := j.spec.Timeout
 		if timeout <= 0 {
 			timeout = s.cfg.DefaultTimeout
@@ -565,6 +573,10 @@ func (s *Service) worker() {
 		}
 		j.cancel = cancel
 		j.mu.Unlock()
+		// Persist the running transition after releasing j.mu: the job
+		// store fsyncs every append, and holding the job lock across
+		// that write would block Status calls for the disk's latency.
+		s.persist(j, StateRunning, "", false, false)
 
 		s.metrics.Running.Add(1)
 		s.run(ctx, j)
@@ -636,24 +648,27 @@ func (s *Service) run(ctx context.Context, j *job) {
 // counters, persistence, and logs.
 func (s *Service) finalize(ctx context.Context, j *job, start time.Time, err error, hit bool, key string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	elapsed := j.finished.Sub(start)
+	var (
+		state        JobState
+		persistState JobState
+		persistMsg   string
+		retryable    bool
+		timings      []protoclust.StageTiming
+	)
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.cacheHit = hit
 		s.metrics.Done.Add(1)
-		s.persist(j, StateDone, "", false, false)
-		s.log.InfoContext(ctx, "job done", "job", j.id, "elapsed", elapsed,
-			"cache_hit", hit, "key", shortKey(key), "stages", timingSummary(j.timings))
+		persistState = StateDone
 	case errors.Is(err, errCanceledByUser),
 		errors.Is(context.Cause(ctx), errCanceledByUser):
 		j.state = StateCanceled
 		j.errMsg = errCanceledByUser.Error()
 		s.metrics.Canceled.Add(1)
-		s.persist(j, StateCanceled, j.errMsg, false, false)
-		s.log.InfoContext(ctx, "job canceled", "job", j.id, "elapsed", elapsed)
+		persistState, persistMsg = StateCanceled, j.errMsg
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
@@ -664,12 +679,28 @@ func (s *Service) finalize(ctx context.Context, j *job, start time.Time, err err
 		if j.retryable {
 			// Killed by shutdown, not by its own fault: persist as queued
 			// so a restart reruns it instead of reporting a failure.
-			s.persist(j, StateQueued, "", false, false)
+			persistState = StateQueued
 		} else {
-			s.persist(j, StateFailed, j.errMsg, false, false)
+			persistState, persistMsg = StateFailed, j.errMsg
 		}
+	}
+	state, retryable, timings = j.state, j.retryable, j.timings
+	j.mu.Unlock()
+
+	// The durable append and the log line run outside j.mu: the job
+	// store fsyncs every record, and Status readers must not wait on
+	// the disk. The state above is terminal, so nothing else persists
+	// this job concurrently.
+	s.persist(j, persistState, persistMsg, false, false)
+	switch state {
+	case StateDone:
+		s.log.InfoContext(ctx, "job done", "job", j.id, "elapsed", elapsed,
+			"cache_hit", hit, "key", shortKey(key), "stages", timingSummary(timings))
+	case StateCanceled:
+		s.log.InfoContext(ctx, "job canceled", "job", j.id, "elapsed", elapsed)
+	default:
 		s.log.WarnContext(ctx, "job failed", "job", j.id, "elapsed", elapsed,
-			"retryable", j.retryable, "err", err)
+			"retryable", retryable, "err", err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"protoclust/internal/canberra"
 	"protoclust/internal/dissim/tilestore"
+	"protoclust/internal/vecmath"
 )
 
 // DefaultTileSize mirrors the tiled backend's grid edge: one tile is
@@ -58,12 +59,12 @@ func NewGrid(n, tileSize int) Grid {
 }
 
 // Tiles returns the number of upper-triangle tile blocks.
-func (g Grid) Tiles() int { return g.NB * (g.NB + 1) / 2 }
+func (g Grid) Tiles() int { return vecmath.CheckedTriNum(g.NB + 1) }
 
 // Index linearizes block (bi, bj), bi ≤ bj — the same mapping the tiled
 // backend uses for its spill slots.
 func (g Grid) Index(bi, bj int) int {
-	return bi*g.NB - bi*(bi-1)/2 + (bj - bi)
+	return vecmath.CheckedMulAdd(bi, g.NB, bj-bi) - vecmath.CheckedTriNum(bi)
 }
 
 // Coords inverts Index.
@@ -197,9 +198,9 @@ func EncodePool(segments [][]byte) []byte {
 		total += 4 + len(s)
 	}
 	out := make([]byte, 0, total)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(segments)))
+	out = binary.LittleEndian.AppendUint32(out, vecmath.CheckedUint32(len(segments)))
 	for _, s := range segments {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = binary.LittleEndian.AppendUint32(out, vecmath.CheckedUint32(len(s)))
 		out = append(out, s...)
 	}
 	return out

@@ -11,6 +11,7 @@ import (
 	"protoclust/internal/dissim"
 	"protoclust/internal/eval"
 	"protoclust/internal/netmsg"
+	"protoclust/internal/vecmath"
 )
 
 // ensembleEpsilon is the co-association dissimilarity cut: a pair
@@ -55,7 +56,7 @@ func newCoassocMatrix(n int, budget int64) (*coassocMatrix, error) {
 		return nil, fmt.Errorf("%w: co-association triangle needs %d bytes, budget is %d",
 			dissim.ErrPoolTooLarge, bytes, budget)
 	}
-	return &coassocMatrix{n: n, votes: make([]uint16, int64(n)*int64(n-1)/2)}, nil
+	return &coassocMatrix{n: n, votes: make([]uint16, vecmath.CheckedTriNum(n))}, nil
 }
 
 // accumulate adds one member labeling's votes: every intra-cluster pair
@@ -63,12 +64,14 @@ func newCoassocMatrix(n int, budget int64) (*coassocMatrix, error) {
 // which never vote.
 func (c *coassocMatrix) accumulate(labels []int) {
 	c.total++
-	for i := 0; i < c.n; i++ {
+	// i stops at n-2: the last row has no j > i partner, and off(i, i+1)
+	// is undefined there.
+	for i := 0; i < c.n-1; i++ {
 		li := labels[i]
 		if li == dbscan.Noise {
 			continue
 		}
-		base := i*(2*c.n-i-1)/2 - i - 1
+		base := vecmath.CheckedCondensedOff(i, i+1, c.n) - i - 1 // off(i, j) - j
 		for j := i + 1; j < c.n; j++ {
 			if labels[j] == li {
 				c.votes[base+j]++
@@ -93,7 +96,7 @@ func (c *coassocMatrix) Dist(i, j int) float64 {
 	if i > j {
 		i, j = j, i
 	}
-	return float64(c.dist(c.votes[i*(2*c.n-i-1)/2+(j-i-1)]))
+	return float64(c.dist(c.votes[vecmath.CheckedCondensedOff(i, j, c.n)]))
 }
 
 // coassocChunk bounds StreamRow span lengths (see CondensedMatrix).
@@ -121,7 +124,7 @@ func (c *coassocMatrix) StreamRow(i int, fn func(lo int, vals []float32)) {
 	fn(i, buf[:1])
 	// Suffix columns j > i: contiguous in the triangle.
 	if i+1 < c.n {
-		start := i * (2*c.n - i - 1) / 2 // off(i, i+1)
+		start := vecmath.CheckedCondensedOff(i, i+1, c.n)
 		for lo := i + 1; lo < c.n; lo += coassocChunk {
 			hi := min(lo+coassocChunk, c.n)
 			for j := lo; j < hi; j++ {
