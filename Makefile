@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-noasm test-race test-service test-oracle golden-check golden-update vet lint bench bench-json bench-scaling smoke-tiled smoke-distributed smoke-sweep eval fuzz serve clean
+.PHONY: all build test test-short test-noasm test-race test-service test-oracle golden-check golden-update vet lint bench bench-json bench-scaling smoke-tiled smoke-distributed smoke-sweep smoke-format eval fuzz serve clean
 
 all: build lint test
 
@@ -64,13 +64,13 @@ test-oracle:
 # against the same records, since every backend must produce
 # bit-identical labels. See docs/testing.md.
 golden-check:
-	$(GO) run ./cmd/goldencheck
+	$(GO) run ./cmd/goldencheck -format
 	$(GO) run ./cmd/goldencheck -backend tiled
 
 # Regenerate the golden records after an intentional pipeline change;
 # review the diff before committing it.
 golden-update:
-	$(GO) run ./cmd/goldencheck -update
+	$(GO) run ./cmd/goldencheck -update -format
 
 # Run the analysis daemon locally. See docs/service.md for the API and
 # a curl walkthrough.
@@ -119,6 +119,14 @@ smoke-distributed:
 # the Pareto front, and a byte-identical report on a second run.
 smoke-sweep:
 	$(GO) run ./cmd/smokesweep
+
+# End-to-end smoke of field-type recognition: templates trained on one
+# golden trace (seed 1) recognize a second trace (seed 2) per protocol.
+# Requires per-protocol type-accuracy and byte-coverage floors, a
+# template save/load round trip, and byte-identical schema JSON across
+# two independent runs.
+smoke-format:
+	$(GO) run ./cmd/smokeformat
 
 # Regenerates Tables I/II, Figures 2/3, and the coverage comparison.
 eval:

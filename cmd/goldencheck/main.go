@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		update  = flag.Bool("update", false, "rewrite the golden records from the current pipeline output")
-		dir     = flag.String("dir", "testdata/golden", "directory holding the golden records")
-		backend = flag.String("backend", "", "dissimilarity-matrix backend: dense, condensed, tiled (default: auto)")
+		update    = flag.Bool("update", false, "rewrite the golden records from the current pipeline output")
+		dir       = flag.String("dir", "testdata/golden", "directory holding the golden records")
+		backend   = flag.String("backend", "", "dissimilarity-matrix backend: dense, condensed, tiled (default: auto)")
+		formatRun = flag.Bool("format", false, "also check the cross-trace field-type recognition records")
 	)
 	flag.Parse()
 
@@ -68,8 +69,54 @@ func main() {
 		fmt.Printf("ok   %s (eps=%.5f k=%d clusters=%d P=%.3f R=%.3f F=%.3f cov=%.3f)\n",
 			spec, rec.Epsilon, rec.K, rec.Clusters, rec.Precision, rec.Recall, rec.FScore, rec.Coverage)
 	}
+	if *formatRun {
+		failed += checkFormats(*dir, *update, tol)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "golden check failed for %d trace(s)\n", failed)
 		os.Exit(1)
 	}
+}
+
+// checkFormats runs the cross-trace recognition set (train on one
+// seed, recognize another) against its golden records, returning the
+// failure count.
+func checkFormats(dir string, update bool, tol golden.Tolerance) int {
+	failed := 0
+	for _, spec := range golden.DefaultFormatTraces() {
+		rec, err := golden.RunFormat(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", spec, err)
+			failed++
+			continue
+		}
+		path := golden.FormatPath(dir, spec)
+		if update {
+			if err := golden.SaveFormat(path, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s: write: %v\n", spec, err)
+				failed++
+				continue
+			}
+			fmt.Printf("wrote %s (templates=%d assigned=%d unknown=%d acc=%.3f cov=%.3f)\n",
+				path, rec.Templates, rec.Assigned, rec.Unknown, rec.TypeAccuracy, rec.ByteCoverage)
+			continue
+		}
+		want, err := golden.LoadFormat(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v (run `goldencheck -update -format` to create the record)\n", spec, err)
+			failed++
+			continue
+		}
+		if violations := golden.CompareFormat(want, rec, tol); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL %s:\n", spec)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %s (templates=%d assigned=%d unknown=%d acc=%.3f cov=%.3f)\n",
+			spec, rec.Templates, rec.Assigned, rec.Unknown, rec.TypeAccuracy, rec.ByteCoverage)
+	}
+	return failed
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"protoclust"
+)
+
+// formatArgs carries the parsed -format/-templates flags into
+// runFormat.
+type formatArgs struct {
+	emit         bool   // -format: write the schema JSON to stdout
+	templatesIn  string // -templates: recognize against this saved set
+	templatesOut string // -templates-out: save the trained set here
+}
+
+// runFormat handles the field-type recognition flags: templates come
+// either from -templates (trained on another trace) or are learned from
+// this analysis; -templates-out persists them; -format classifies the
+// analysis's clusters against the set and emits the message-format
+// schema JSON.
+func runFormat(a *protoclust.Analysis, fa formatArgs, stdout io.Writer) error {
+	var (
+		ts  *protoclust.FieldTemplates
+		err error
+	)
+	if fa.templatesIn != "" {
+		f, err2 := os.Open(fa.templatesIn)
+		if err2 != nil {
+			return err2
+		}
+		ts, err = protoclust.LoadTemplates(f)
+		// Read-only file: a close error carries no data-loss signal.
+		_ = f.Close()
+	} else {
+		ts, err = a.LearnTemplates()
+	}
+	if err != nil {
+		return err
+	}
+
+	if fa.templatesOut != "" {
+		f, err := os.Create(fa.templatesOut)
+		if err != nil {
+			return err
+		}
+		if err := ts.Save(f); err != nil {
+			// The write already failed; the close error adds nothing.
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("save templates: %w", err)
+		}
+	}
+
+	if !fa.emit {
+		return nil
+	}
+	rec, err := a.RecognizeWith(ts)
+	if err != nil {
+		return err
+	}
+	return rec.Schema.WriteJSON(stdout)
+}

@@ -70,6 +70,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		sweepKs    = fs.String("sweep-ks", "", "comma-separated k' axis; 0 = auto kMax (default: 0)")
 		sweepEps   = fs.String("sweep-eps", "", `comma-separated ε-source axis: "knee", "quantile:Q", "fixed:E" (default: knee)`)
 		ensembleOn = fs.Bool("ensemble", false, "with -sweep: co-association ensemble voting per segmenter")
+		ensWeight  = fs.Bool("ensemble-weighted", false, "with -ensemble: weight member votes by sweep score instead of equally")
+
+		formatFlag   = fs.Bool("format", false, "emit a message-format schema JSON (field types recognized via -templates, or self-trained)")
+		templatesIn  = fs.String("templates", "", "recognize against field-type templates loaded from this file (as written by -templates-out)")
+		templatesOut = fs.String("templates-out", "", "train field-type templates on this trace and save them to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,7 +124,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	out := &printer{w: stdout}
-	if !*asJSON {
+	// -json and -format own stdout with machine-readable output.
+	if !*asJSON && !*formatFlag {
 		out.printf("trace: %d messages, %d bytes\n", len(tr.Messages), tr.TotalBytes())
 	}
 
@@ -139,6 +145,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			ks:         *sweepKs,
 			eps:        *sweepEps,
 			ensemble:   *ensembleOn,
+			weighted:   *ensWeight,
 			samples:    *samples,
 			asJSON:     *asJSON,
 		}, stdout)
@@ -166,6 +173,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf("analysis interrupted after %s: %w", time.Since(start).Round(time.Millisecond), err)
 	case err != nil:
 		return err
+	}
+
+	if *formatFlag || *templatesOut != "" {
+		if out.err != nil {
+			return out.err
+		}
+		return runFormat(analysis, formatArgs{
+			emit:         *formatFlag,
+			templatesIn:  *templatesIn,
+			templatesOut: *templatesOut,
+		}, stdout)
 	}
 
 	if *asJSON {

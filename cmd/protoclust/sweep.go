@@ -19,6 +19,7 @@ type sweepArgs struct {
 	ks         string
 	eps        string
 	ensemble   bool
+	weighted   bool
 	samples    int
 	asJSON     bool
 }
@@ -55,10 +56,11 @@ func runSweep(ctx context.Context, tr *protoclust.Trace, opts protoclust.Options
 	}
 
 	rep, err := sweep.Run(ctx, tr, sweep.Options{
-		Grid:         grid,
-		Base:         opts,
-		Ensemble:     a.ensemble,
-		SampleValues: a.samples,
+		Grid:             grid,
+		Base:             opts,
+		Ensemble:         a.ensemble,
+		EnsembleWeighted: a.weighted,
+		SampleValues:     a.samples,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,52 @@
+package eval
+
+// Recognition aggregates byte-weighted recognition outcomes of the
+// train-on-one-trace / recognize-on-another evaluation (the journal
+// extension's Section on type recognition): how many recognized bytes
+// carried the template's ground-truth type, and how much of the trace
+// the recognized fields cover.
+type Recognition struct {
+	// CorrectBytes counts scored bytes whose predicted type matched the
+	// ground truth.
+	CorrectBytes int `json:"correct_bytes"`
+	// ScoredBytes counts classified bytes whose template carried a
+	// ground-truth type to compare against.
+	ScoredBytes int `json:"scored_bytes"`
+	// ClassifiedBytes counts all bytes assigned a non-unknown template.
+	ClassifiedBytes int `json:"classified_bytes"`
+	// TotalBytes is the recognized trace's payload size.
+	TotalBytes int `json:"total_bytes"`
+}
+
+// Observe records one classified segment: n bytes predicted as
+// predicted, with truth as the segment's ground-truth type. A template
+// learned without ground truth predicts "" — counted for coverage but
+// not for accuracy.
+func (r *Recognition) Observe(predicted, truth string, n int) {
+	r.ClassifiedBytes += n
+	if predicted == "" {
+		return
+	}
+	r.ScoredBytes += n
+	if predicted == truth {
+		r.CorrectBytes += n
+	}
+}
+
+// TypeAccuracy is the byte-weighted share of scored bytes whose
+// predicted type matched the ground truth.
+func (r Recognition) TypeAccuracy() float64 {
+	if r.ScoredBytes == 0 {
+		return 0
+	}
+	return float64(r.CorrectBytes) / float64(r.ScoredBytes)
+}
+
+// ByteCoverage is the share of trace bytes covered by classified
+// (non-unknown) fields.
+func (r Recognition) ByteCoverage() float64 {
+	if r.TotalBytes == 0 {
+		return 0
+	}
+	return float64(r.ClassifiedBytes) / float64(r.TotalBytes)
+}

@@ -1,0 +1,36 @@
+package eval
+
+import "testing"
+
+func TestRecognitionObserve(t *testing.T) {
+	var r Recognition
+	r.TotalBytes = 100
+	r.Observe("timestamp", "timestamp", 8) // correct
+	r.Observe("uint32", "ipv4addr", 4)     // wrong type
+	r.Observe("", "chars", 10)             // unscorable template: coverage only
+	if r.ClassifiedBytes != 22 {
+		t.Errorf("ClassifiedBytes = %d, want 22", r.ClassifiedBytes)
+	}
+	if r.ScoredBytes != 12 {
+		t.Errorf("ScoredBytes = %d, want 12", r.ScoredBytes)
+	}
+	if r.CorrectBytes != 8 {
+		t.Errorf("CorrectBytes = %d, want 8", r.CorrectBytes)
+	}
+	if got, want := r.TypeAccuracy(), 8.0/12.0; got != want {
+		t.Errorf("TypeAccuracy = %v, want %v", got, want)
+	}
+	if got, want := r.ByteCoverage(), 0.22; got != want {
+		t.Errorf("ByteCoverage = %v, want %v", got, want)
+	}
+}
+
+func TestRecognitionZeroDenominators(t *testing.T) {
+	var r Recognition
+	if r.TypeAccuracy() != 0 {
+		t.Error("TypeAccuracy of empty recognition not 0")
+	}
+	if r.ByteCoverage() != 0 {
+		t.Error("ByteCoverage of empty recognition not 0")
+	}
+}

@@ -209,6 +209,149 @@ func TestFindMsgLenSynthetic(t *testing.T) {
 	}
 }
 
+// --- threshold boundary tests ---
+//
+// Each heuristic threshold gets a pair of synthetic inputs straddling
+// its boundary: one that lands exactly on (or just above) the
+// threshold and must be accepted, and one just below that must be
+// rejected. Messages are a single byte long so the only candidate
+// field is (offset 0, width 1) — except the length tests, which need
+// wider fields — keeping the statistic under test the only variable.
+
+// tx1 builds a transaction of 1-byte request/response messages.
+func tx1(req, resp byte) transaction {
+	return transaction{
+		req:  &netmsg.Message{Data: []byte{req}},
+		resp: &netmsg.Message{Data: []byte{resp}},
+	}
+}
+
+func noOverlap(int, int) bool { return false }
+
+func TestFindMsgTypeMaxValuesBoundary(t *testing.T) {
+	// Identity request→response map: NMI = 1, so cardinality is the only
+	// discriminator. 10 distinct values sit exactly on maxMsgTypeValues;
+	// 11 exceed it.
+	var accept, reject []transaction
+	for rep := 0; rep < 2; rep++ {
+		for v := 0; v < 10; v++ {
+			accept = append(accept, tx1(byte(v), byte(v)))
+		}
+		for v := 0; v < 11; v++ {
+			reject = append(reject, tx1(byte(v), byte(v)))
+		}
+	}
+	if _, ok := findMsgType(accept, noOverlap); !ok {
+		t.Error("10 distinct values (= maxMsgTypeValues) rejected")
+	}
+	if _, ok := findMsgType(reject, noOverlap); ok {
+		t.Error("11 distinct values (> maxMsgTypeValues) accepted")
+	}
+}
+
+func TestFindMsgTypeMIBoundary(t *testing.T) {
+	// Request values cycle 0..4 (4× each); responses follow a many-to-one
+	// map {0→0, 1→0, 2→1, 3→2, 4→3}: H(X) = log₂5, H(Y) ≈ 1.9219,
+	// H(X,Y) = log₂5, so NMI = H(Y)/H(X,Y) ≈ 0.8277 ≥ 0.8.
+	respOf := map[byte]byte{0: 0, 1: 0, 2: 1, 3: 2, 4: 3}
+	var accept []transaction
+	for rep := 0; rep < 4; rep++ {
+		for v := byte(0); v < 5; v++ {
+			accept = append(accept, tx1(v, respOf[v]))
+		}
+	}
+	if _, ok := findMsgType(accept, noOverlap); !ok {
+		t.Error("NMI ≈ 0.828 (≥ minTypeMI) rejected")
+	}
+	// Four request values (5× each) under {0→0, 1→0, 2→1, 3→2}:
+	// NMI = 1.5/2 = 0.75 < 0.8.
+	respOf2 := map[byte]byte{0: 0, 1: 0, 2: 1, 3: 2}
+	var reject []transaction
+	for rep := 0; rep < 5; rep++ {
+		for v := byte(0); v < 4; v++ {
+			reject = append(reject, tx1(v, respOf2[v]))
+		}
+	}
+	if _, ok := findMsgType(reject, noOverlap); ok {
+		t.Error("NMI = 0.75 (< minTypeMI) accepted")
+	}
+}
+
+// lenCorrTrace builds messages whose 2-byte BE field at offset 0 takes
+// value x (1..5, repeated 4×) while the message length follows ys[x-1].
+func lenCorrTrace(ys [5]int) *netmsg.Trace {
+	tr := &netmsg.Trace{}
+	for rep := 0; rep < 4; rep++ {
+		for x := 1; x <= 5; x++ {
+			data := make([]byte, ys[x-1])
+			data[1] = byte(x)
+			tr.Messages = append(tr.Messages, &netmsg.Message{
+				Data: data, SrcAddr: "10.0.0.1:1", DstAddr: "10.0.0.2:2",
+			})
+		}
+	}
+	return tr
+}
+
+func TestFindMsgLenCorrelationBoundary(t *testing.T) {
+	// Lengths (10,20,30,40,30) against x = 1..5: Pearson r ≈ 0.832 ≥ 0.8.
+	if _, ok := findMsgLen(lenCorrTrace([5]int{10, 20, 30, 40, 30}), noOverlap); !ok {
+		t.Error("r ≈ 0.832 (≥ minLenCorrelation) rejected")
+	}
+	// Lengths (10,20,30,50,30): r ≈ 0.746 < 0.8.
+	if _, ok := findMsgLen(lenCorrTrace([5]int{10, 20, 30, 50, 30}), noOverlap); ok {
+		t.Error("r ≈ 0.746 (< minLenCorrelation) accepted")
+	}
+}
+
+func TestFindTransIDEntropyBoundary(t *testing.T) {
+	// All request/response values match (ratio 1 ≥ minTransMatch), so
+	// entropy decides. Value counts (3,3,2,1,1) over 10 transactions:
+	// H ≈ 2.171, max = log₂10, ratio ≈ 0.654 ≥ 0.6.
+	var accept []transaction
+	for v, count := range []int{3, 3, 2, 1, 1} {
+		for i := 0; i < count; i++ {
+			accept = append(accept, tx1(byte(v), byte(v)))
+		}
+	}
+	if _, ok := findTransID(accept); !ok {
+		t.Error("entropy ratio ≈ 0.654 (≥ minTransEntropy) rejected")
+	}
+	// Counts (3,3,2,2): H ≈ 1.971, ratio ≈ 0.593 < 0.6.
+	var reject []transaction
+	for v, count := range []int{3, 3, 2, 2} {
+		for i := 0; i < count; i++ {
+			reject = append(reject, tx1(byte(v), byte(v)))
+		}
+	}
+	if _, ok := findTransID(reject); ok {
+		t.Error("entropy ratio ≈ 0.593 (< minTransEntropy) accepted")
+	}
+}
+
+func TestFindTransIDMatchBoundary(t *testing.T) {
+	// 20 all-distinct request values (entropy ratio 1): with 18/20
+	// responses echoing the request, the match ratio is exactly
+	// minTransMatch and must pass; 17/20 = 0.85 must not.
+	build := func(matches int) []transaction {
+		var txs []transaction
+		for v := 0; v < 20; v++ {
+			resp := byte(v)
+			if v >= matches {
+				resp = byte(v + 100)
+			}
+			txs = append(txs, tx1(byte(v), resp))
+		}
+		return txs
+	}
+	if _, ok := findTransID(build(18)); !ok {
+		t.Error("match ratio 0.90 (= minTransMatch) rejected")
+	}
+	if _, ok := findTransID(build(17)); ok {
+		t.Error("match ratio 0.85 (< minTransMatch) accepted")
+	}
+}
+
 func TestFindMsgLenSkipsFixedSizeProtocol(t *testing.T) {
 	tr := &netmsg.Trace{}
 	for i := 0; i < 20; i++ {

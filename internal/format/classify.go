@@ -1,0 +1,193 @@
+package format
+
+import (
+	"math"
+
+	"protoclust/internal/core"
+	"protoclust/internal/detmap"
+)
+
+// Match-score component weights. The Markov log-likelihood carries the
+// value-domain evidence; length, byte-range, and cardinality agreement
+// add the structural evidence that survives even when a second capture
+// shows entirely fresh values (counters, timestamps, nonces).
+const (
+	weightMarkov      = 0.35
+	weightLength      = 0.25
+	weightRange       = 0.2
+	weightCardinality = 0.2
+)
+
+// uniformLogP is the per-byte log-probability of a uniform byte source
+// — the floor of the Markov normalization: a template's value model is
+// only informative to the extent it beats this baseline.
+var uniformLogP = -math.Log(256)
+
+// UnknownTemplateID marks a cluster no template claimed.
+const UnknownTemplateID = -1
+
+// UnknownLabel is the fallback type label for unassigned clusters and
+// uncovered message bytes.
+const UnknownLabel = "unknown"
+
+// Assignment is the classification verdict for one cluster.
+type Assignment struct {
+	// ClusterID references the classified cluster.
+	ClusterID int `json:"cluster_id"`
+	// TemplateID is the assigned template's ID, or UnknownTemplateID
+	// when the best score stayed below its template's threshold.
+	TemplateID int `json:"template_id"`
+	// Label is the assigned template's semantics label, or UnknownLabel.
+	Label string `json:"label"`
+	// Confidence is the best match score in [0, 1], reported for
+	// unknown verdicts too (how close the cluster came).
+	Confidence float64 `json:"confidence"`
+}
+
+// Unknown reports whether the cluster matched no template.
+func (a Assignment) Unknown() bool { return a.TemplateID == UnknownTemplateID }
+
+// matchScore scores a cluster summary against the template: the
+// weighted combination of Markov-likelihood, length, byte-range, and
+// cardinality agreement, each in [0, 1].
+func (t *Template) matchScore(st *stats) float64 {
+	return weightMarkov*t.markovAgreement(st) +
+		weightLength*t.lengthAgreement(st) +
+		weightRange*t.rangeAgreement(st) +
+		weightCardinality*t.cardinalityAgreement(st)
+}
+
+// markovAgreement measures how much of the template's typicality
+// advantage over a uniform byte source the observed values retain:
+// (mean − uniform) / (self − uniform), clamped to [0, 1]. An exact
+// replay of the training values scores 1; values no more typical than
+// random bytes score 0. Normalizing against the uniform baseline — not
+// against the self score directly — keeps fresh-but-same-type values
+// (a second capture's counters, addresses, stamps) from being crushed
+// by the training set's memorization advantage.
+func (t *Template) markovAgreement(st *stats) float64 {
+	var sum float64
+	n := 0
+	for _, v := range st.distinct {
+		if len(v) == 0 {
+			continue
+		}
+		sum += t.Model.Score(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return normalizeMarkov(sum/float64(n), t.SelfScore)
+}
+
+// normalizeMarkov maps a mean per-byte log-likelihood onto [0, 1]
+// relative to the template's self score, with the uniform byte source
+// as the zero point.
+func normalizeMarkov(mean, self float64) float64 {
+	adv := self - uniformLogP
+	if adv <= 0 {
+		// The model is no better than uniform on its own values (tiny,
+		// fully random training sets): any value at or above self is a
+		// full match.
+		if mean >= self {
+			return 1
+		}
+		return 0
+	}
+	return math.Min(1, math.Max(0, (mean-uniformLogP)/adv))
+}
+
+// cardinalityAgreement compares the distinct-value ratios of the
+// template's training cluster and the observed cluster: enumerations
+// repeat few values, identifiers are almost all distinct, and a
+// mismatch in that regime is strong evidence against the template.
+func (t *Template) cardinalityAgreement(st *stats) float64 {
+	if t.Occurrences == 0 {
+		return 0
+	}
+	rt := float64(t.DistinctValues) / float64(t.Occurrences)
+	ro := st.distinctRatio()
+	return 1 - math.Abs(rt-ro)
+}
+
+// lengthAgreement is the occurrence-weighted share of observed value
+// lengths that the template's training set also exhibited.
+func (t *Template) lengthAgreement(st *stats) float64 {
+	known := make(map[int]bool, len(t.Lengths))
+	for _, lc := range t.Lengths {
+		known[lc.Length] = true
+	}
+	hit, total := 0, 0
+	for _, l := range detmap.SortedKeys(st.lengths) {
+		total += st.lengths[l]
+		if known[l] {
+			hit += st.lengths[l]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// rangeAgreement is the share of comparable value positions whose
+// observed byte range intersects the template's. Positions beyond
+// either profile are not comparable and do not count.
+func (t *Template) rangeAgreement(st *stats) float64 {
+	p := min(len(t.ByteRanges), len(st.ranges))
+	if p == 0 {
+		return 1
+	}
+	hits := 0
+	for i := 0; i < p; i++ {
+		if t.ByteRanges[i].overlaps(st.ranges[i]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(p)
+}
+
+// classifyStats assigns the best-scoring template whose threshold the
+// score clears; ties keep the earlier (lower-ID) template.
+func (ts *TemplateSet) classifyStats(clusterID int, st *stats) Assignment {
+	a := Assignment{ClusterID: clusterID, TemplateID: UnknownTemplateID, Label: UnknownLabel}
+	best := -1
+	for i := range ts.Templates {
+		if s := ts.Templates[i].matchScore(st); s > a.Confidence {
+			a.Confidence, best = s, i
+		}
+	}
+	if best >= 0 && a.Confidence >= ts.Templates[best].Threshold {
+		a.TemplateID = ts.Templates[best].ID
+		a.Label = ts.Templates[best].Label
+	}
+	return a
+}
+
+// Classify scores one cluster of res against every template and assigns
+// the best match, or the unknown fallback when no template's calibrated
+// threshold is met.
+func (ts *TemplateSet) Classify(res *core.Result, c *core.Cluster) Assignment {
+	return ts.classifyStats(c.ID, clusterStats(res, c))
+}
+
+// ClassifyAll classifies every cluster of a pipeline result, in cluster
+// order.
+func (ts *TemplateSet) ClassifyAll(res *core.Result) []Assignment {
+	out := make([]Assignment, 0, len(res.Clusters))
+	for i := range res.Clusters {
+		out = append(out, ts.Classify(res, &res.Clusters[i]))
+	}
+	return out
+}
+
+// template returns the template with the given ID, or nil.
+func (ts *TemplateSet) template(id int) *Template {
+	for i := range ts.Templates {
+		if ts.Templates[i].ID == id {
+			return &ts.Templates[i]
+		}
+	}
+	return nil
+}

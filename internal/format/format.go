@@ -1,0 +1,400 @@
+// Package format implements field-type template learning,
+// classification, and recognition — the journal extension of the source
+// paper (Kleber & Kargl, "Network Message Field Type Classification and
+// Recognition for Unknown Binary Protocols", arXiv 2301.03584).
+//
+// The base pipeline stops at clustering segments into pseudo data
+// types. This package closes the loop:
+//
+//   - Learn derives one *template* per cluster of a clustered training
+//     trace, combining the semantics deduction label, the valuemodel
+//     order-2 Markov model, and summary statistics (length
+//     distribution, per-position byte ranges, value-set cardinality).
+//   - TemplateSet.Classify scores an unlabeled cluster against every
+//     template (Markov log-likelihood plus length and byte-range
+//     agreement, gated by a per-template calibrated threshold) and
+//     assigns the best match, falling back to "unknown".
+//   - Recognize classifies the clusters of an *unseen* trace against
+//     templates trained on a different trace of the same protocol and
+//     emits a versioned, machine-readable message-format schema:
+//     per-message-type field offsets, lengths, type labels, and
+//     confidences.
+//
+// Determinism contract: for fixed inputs, learned template sets and
+// recognition schemas serialize byte-identically across runs and
+// GOMAXPROCS settings. The package is covered by protoclustvet's
+// determinism analyzer.
+package format
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"protoclust/internal/core"
+	"protoclust/internal/detmap"
+	"protoclust/internal/netmsg"
+	"protoclust/internal/semantics"
+	"protoclust/internal/valuemodel"
+)
+
+// Version is the schema/template-set format version; it gates Load so
+// incompatible files fail loudly instead of misclassifying.
+const Version = "protoclust-format/1"
+
+// maxRangePositions caps the per-position byte-range profile of a
+// template: positions beyond the cap (long char sequences, payload
+// blobs) carry little positional signal and would bloat the template.
+const maxRangePositions = 64
+
+// Threshold calibration bounds. The per-template threshold is the
+// midpoint between a held-out genuine match score and the best impostor
+// score, clamped into [minThreshold, maxThreshold] and kept strictly
+// below the genuine score so same-protocol matches survive.
+const (
+	minThreshold = 0.30
+	maxThreshold = 0.90
+	// thresholdGap is the minimum slack kept between the genuine-match
+	// estimate and the threshold.
+	thresholdGap = 0.02
+)
+
+// ErrNoClusters is returned when template learning gets a result with
+// no clusters.
+var ErrNoClusters = errors.New("format: no clusters to learn templates from")
+
+// ErrVersion is returned when a loaded template set or schema carries
+// an unknown version string.
+var ErrVersion = errors.New("format: unsupported version")
+
+// LengthCount is one entry of a template's length distribution.
+type LengthCount struct {
+	Length int `json:"length"`
+	Count  int `json:"count"`
+}
+
+// ByteRange is the observed [Min, Max] byte interval at one value
+// position.
+type ByteRange struct {
+	Min byte `json:"min"`
+	Max byte `json:"max"`
+}
+
+// overlaps reports whether two byte ranges intersect.
+func (r ByteRange) overlaps(o ByteRange) bool {
+	return r.Min <= o.Max && o.Min <= r.Max
+}
+
+// Template is one learned field-type template: everything needed to
+// decide whether an unlabeled cluster carries the same field type as
+// the training cluster it was derived from.
+type Template struct {
+	// ID is the training cluster's ID.
+	ID int `json:"id"`
+	// Label is the semantics deduction for the training cluster
+	// (constant, enumeration, length-field, ..., unknown).
+	Label string `json:"label"`
+	// LabelConfidence is the deduction rule's confidence.
+	LabelConfidence float64 `json:"label_confidence,omitempty"`
+	// Lengths is the occurrence-weighted value length distribution,
+	// ascending by length.
+	Lengths []LengthCount `json:"lengths"`
+	// ByteRanges profiles the observed byte interval per value position
+	// (capped at maxRangePositions).
+	ByteRanges []ByteRange `json:"byte_ranges,omitempty"`
+	// DistinctValues and Occurrences size the training cluster.
+	DistinctValues int `json:"distinct_values"`
+	Occurrences    int `json:"occurrences"`
+	// SelfScore is the median per-byte Markov log-likelihood of the
+	// training values under Model — the reference point for normalizing
+	// match scores.
+	SelfScore float64 `json:"self_score"`
+	// Threshold is the calibrated minimum match score; clusters scoring
+	// below it are not assigned this template.
+	Threshold float64 `json:"threshold"`
+	// TrueType records the dominant ground-truth field type of the
+	// training cluster when the training trace carried dissections
+	// (byte-weighted majority). Evaluation only; empty otherwise.
+	TrueType string `json:"true_type,omitempty"`
+	// Model is the order-2 Markov value model trained on the cluster's
+	// segment occurrences.
+	Model *valuemodel.Model `json:"model"`
+}
+
+// TemplateSet is a versioned collection of templates learned from one
+// training trace.
+type TemplateSet struct {
+	// Version identifies the serialization format.
+	Version string `json:"version"`
+	// Protocol names the training trace's protocol.
+	Protocol string `json:"protocol"`
+	// Templates holds one template per usable training cluster,
+	// ascending by cluster ID.
+	Templates []Template `json:"templates"`
+}
+
+// stats summarizes one cluster's values for matching: the distinct
+// values, the occurrence-weighted length distribution, and the
+// per-position byte ranges.
+type stats struct {
+	distinct [][]byte
+	lengths  map[int]int
+	ranges   []ByteRange
+	// occ counts the non-empty occurrence values.
+	occ int
+}
+
+// newStats builds the summary from occurrence values (duplicates weight
+// the length distribution) and the distinct values.
+func newStats(occurrences, distinct [][]byte) *stats {
+	st := &stats{distinct: distinct, lengths: make(map[int]int)}
+	for _, v := range occurrences {
+		if len(v) == 0 {
+			continue
+		}
+		st.lengths[len(v)]++
+		st.occ++
+	}
+	for _, v := range distinct {
+		for p := 0; p < len(v) && p < maxRangePositions; p++ {
+			if p == len(st.ranges) {
+				st.ranges = append(st.ranges, ByteRange{Min: v[p], Max: v[p]})
+				continue
+			}
+			if v[p] < st.ranges[p].Min {
+				st.ranges[p].Min = v[p]
+			}
+			if v[p] > st.ranges[p].Max {
+				st.ranges[p].Max = v[p]
+			}
+		}
+	}
+	return st
+}
+
+// clusterStats summarizes one pipeline cluster.
+func clusterStats(res *core.Result, c *core.Cluster) *stats {
+	occ := make([][]byte, 0, len(c.Segments))
+	for _, s := range c.Segments {
+		occ = append(occ, s.Bytes())
+	}
+	distinct := make([][]byte, 0, len(c.UniqueIndexes))
+	for _, idx := range c.UniqueIndexes {
+		distinct = append(distinct, res.Pool.Unique[idx].Bytes())
+	}
+	return newStats(occ, distinct)
+}
+
+// distinctRatio is the distinct-to-occurrence ratio — near 1 for
+// identifier-like populations, near 0 for small enumerations.
+func (st *stats) distinctRatio() float64 {
+	if st.occ == 0 {
+		return 0
+	}
+	r := float64(len(st.distinct)) / float64(st.occ)
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// lengthCounts renders the length distribution ascending by length.
+func (st *stats) lengthCounts() []LengthCount {
+	out := make([]LengthCount, 0, len(st.lengths))
+	for _, l := range detmap.SortedKeys(st.lengths) {
+		out = append(out, LengthCount{Length: l, Count: st.lengths[l]})
+	}
+	return out
+}
+
+// Learn derives one template per cluster of a clustered training trace.
+// tr must be the (deduplicated) trace the result was computed from; its
+// ground-truth dissections, when present, are recorded per template for
+// evaluation. Clusters whose values are all empty train no model and
+// yield no template.
+func Learn(res *core.Result, tr *netmsg.Trace) (*TemplateSet, error) {
+	if res == nil || len(res.Clusters) == 0 {
+		return nil, ErrNoClusters
+	}
+	protocol := ""
+	if tr != nil {
+		protocol = tr.Protocol
+	}
+	ts := &TemplateSet{Version: Version, Protocol: protocol}
+	deductions := semantics.DeduceAll(res)
+	var trainStats []*stats
+	for i := range res.Clusters {
+		c := &res.Clusters[i]
+		st := clusterStats(res, c)
+		values := make([][]byte, 0, len(c.Segments))
+		for _, s := range c.Segments {
+			values = append(values, s.Bytes())
+		}
+		model, err := valuemodel.Train(values)
+		if err != nil {
+			continue // all-empty cluster: nothing to model
+		}
+		t := Template{
+			ID:              c.ID,
+			Label:           string(deductions[i].Label),
+			LabelConfidence: deductions[i].Confidence,
+			Lengths:         st.lengthCounts(),
+			ByteRanges:      st.ranges,
+			DistinctValues:  len(c.UniqueIndexes),
+			Occurrences:     len(c.Segments),
+			SelfScore:       medianScore(model, st.distinct),
+			TrueType:        dominantTrueType(c),
+			Model:           model,
+		}
+		ts.Templates = append(ts.Templates, t)
+		trainStats = append(trainStats, st)
+	}
+	if len(ts.Templates) == 0 {
+		return nil, ErrNoClusters
+	}
+	calibrate(ts, trainStats)
+	return ts, nil
+}
+
+// medianScore is the median Markov score of the distinct training
+// values — more robust against a few atypical values than the mean.
+func medianScore(m *valuemodel.Model, values [][]byte) float64 {
+	scores := make([]float64, 0, len(values))
+	for _, v := range values {
+		if len(v) == 0 {
+			continue
+		}
+		scores = append(scores, m.Score(v))
+	}
+	if len(scores) == 0 {
+		return 0
+	}
+	slices.Sort(scores)
+	return scores[len(scores)/2]
+}
+
+// dominantTrueType returns the byte-weighted majority ground-truth type
+// of a cluster's segments, or "" when no dissections are present. Ties
+// break toward the lexicographically smaller type name.
+func dominantTrueType(c *core.Cluster) string {
+	counts := make(map[string]int)
+	for _, s := range c.Segments {
+		t, _ := s.DominantTrueType()
+		if t == netmsg.TypeUnknown {
+			continue
+		}
+		counts[string(t)] += s.Length
+	}
+	best, bestN := "", 0
+	for _, k := range detmap.SortedKeys(counts) {
+		if counts[k] > bestN {
+			best, bestN = k, counts[k]
+		}
+	}
+	return best
+}
+
+// calibrate sets each template's acceptance threshold to the midpoint
+// between a genuine-match estimate and the best impostor score (every
+// other template's training cluster scored against it), clamped into
+// [minThreshold, maxThreshold] and kept thresholdGap below the genuine
+// estimate so same-protocol matches survive.
+func calibrate(ts *TemplateSet, trainStats []*stats) {
+	for i := range ts.Templates {
+		t := &ts.Templates[i]
+		genuine := genuineEstimate(t, trainStats[i])
+		impostor := 0.0
+		for j := range ts.Templates {
+			if j == i {
+				continue
+			}
+			if s := t.matchScore(trainStats[j]); s > impostor {
+				impostor = s
+			}
+		}
+		thr := (genuine + impostor) / 2
+		if thr > genuine-thresholdGap {
+			thr = genuine - thresholdGap
+		}
+		thr = math.Min(math.Max(thr, minThreshold), maxThreshold)
+		t.Threshold = thr
+	}
+}
+
+// genuineEstimate predicts the score a *fresh* cluster of the same
+// field type would reach against the template. Length, range, and
+// cardinality agreement are taken at full weight (a same-type cluster
+// reproduces them), but the Markov component is cross-validated: a
+// model trained on half of the distinct values scores the other half,
+// measuring how the value model degrades on values it has never seen —
+// exactly the regime recognition operates in. Clusters with a single
+// distinct value (constants) score a full match.
+func genuineEstimate(t *Template, st *stats) float64 {
+	markov := 1.0
+	if len(st.distinct) >= 2 {
+		var train, hold [][]byte
+		for i, v := range st.distinct {
+			if i%2 == 0 {
+				train = append(train, v)
+			} else {
+				hold = append(hold, v)
+			}
+		}
+		if cv, err := valuemodel.Train(train); err == nil {
+			markov = normalizeMarkov(meanScore(cv, hold), medianScore(cv, train))
+		}
+	}
+	return weightMarkov*markov + weightLength + weightRange + weightCardinality
+}
+
+// meanScore is the mean Markov score of the non-empty values.
+func meanScore(m *valuemodel.Model, values [][]byte) float64 {
+	var sum float64
+	n := 0
+	for _, v := range values {
+		if len(v) == 0 {
+			continue
+		}
+		sum += m.Score(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Save writes the template set as indented, newline-terminated,
+// deterministic JSON.
+func (ts *TemplateSet) Save(w io.Writer) error {
+	data, err := json.MarshalIndent(ts, "", "  ")
+	if err != nil {
+		return fmt.Errorf("format: encode templates: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Load reads a template set saved by Save and validates its version.
+func Load(r io.Reader) (*TemplateSet, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("format: read templates: %w", err)
+	}
+	var ts TemplateSet
+	if err := json.Unmarshal(data, &ts); err != nil {
+		return nil, fmt.Errorf("format: parse templates: %w", err)
+	}
+	if ts.Version != Version {
+		return nil, fmt.Errorf("%w: %q (want %q)", ErrVersion, ts.Version, Version)
+	}
+	for i := range ts.Templates {
+		if ts.Templates[i].Model == nil {
+			return nil, fmt.Errorf("format: template %d has no value model", ts.Templates[i].ID)
+		}
+	}
+	return &ts, nil
+}

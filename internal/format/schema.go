@@ -1,0 +1,284 @@
+package format
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"protoclust/internal/core"
+	"protoclust/internal/detmap"
+	"protoclust/internal/eval"
+	"protoclust/internal/netmsg"
+)
+
+// FieldDescriptor is one recognized field in a message layout.
+type FieldDescriptor struct {
+	// Offset and Length delimit the field within the message payload.
+	Offset int `json:"offset"`
+	Length int `json:"length"`
+	// Type is the assigned template's semantics label, or UnknownLabel
+	// for noise, excluded, and gap bytes.
+	Type string `json:"type"`
+	// TemplateID references the assigned template (UnknownTemplateID
+	// for unknown fields).
+	TemplateID int `json:"template_id"`
+	// Confidence is the cluster's classification score (0 for unknown
+	// fields).
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// MessageFormat is one recognized message type: the annotated layout
+// shared by Messages trace messages.
+type MessageFormat struct {
+	// Signature is the layout fingerprint: "length:type" per field,
+	// joined by "|".
+	Signature string `json:"signature"`
+	// Messages counts the (deduplicated) trace messages with this
+	// layout.
+	Messages int `json:"messages"`
+	// Fields is the per-field annotation, ascending by offset and
+	// tiling the message payload.
+	Fields []FieldDescriptor `json:"fields"`
+}
+
+// TemplateSummary references one template from a schema without
+// embedding its value model.
+type TemplateSummary struct {
+	ID              int     `json:"id"`
+	Label           string  `json:"label"`
+	DistinctValues  int     `json:"distinct_values"`
+	Occurrences     int     `json:"occurrences"`
+	Threshold       float64 `json:"threshold"`
+	LabelConfidence float64 `json:"label_confidence,omitempty"`
+}
+
+// Schema is the versioned, machine-readable message-format description
+// produced by recognizing a trace against a learned template set.
+type Schema struct {
+	// Version identifies the serialization format.
+	Version string `json:"version"`
+	// Protocol names the recognized trace; TrainedOn names the template
+	// set's training trace.
+	Protocol  string `json:"protocol"`
+	TrainedOn string `json:"trained_on"`
+	// Messages and TotalBytes describe the (deduplicated) recognized
+	// trace.
+	Messages   int `json:"messages"`
+	TotalBytes int `json:"total_bytes"`
+	// ClassifiedBytes counts payload bytes covered by non-unknown
+	// fields.
+	ClassifiedBytes int `json:"classified_bytes"`
+	// Templates summarizes the template set the recognition used.
+	Templates []TemplateSummary `json:"templates"`
+	// Assignments lists the per-cluster classification verdicts, in
+	// cluster order.
+	Assignments []Assignment `json:"assignments"`
+	// Formats lists the recognized message types, most frequent first
+	// (ties by signature).
+	Formats []MessageFormat `json:"formats"`
+}
+
+// WriteJSON writes the schema as indented, newline-terminated,
+// deterministic JSON — the determinism witness compares these bytes
+// across runs.
+func (s *Schema) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("format: encode schema: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Recognition is the outcome of recognizing one trace against a
+// template set: the schema plus the internal state evaluation needs.
+type Recognition struct {
+	// Schema is the machine-readable result.
+	Schema *Schema
+	// Assignments aliases Schema.Assignments.
+	Assignments []Assignment
+
+	res   *core.Result
+	trace *netmsg.Trace
+	set   *TemplateSet
+}
+
+// Recognize classifies the clusters of a (freshly clustered) trace
+// against templates learned on a different trace of the same protocol
+// and assembles the message-format schema. tr must be the trace res was
+// computed from, after deduplication.
+func Recognize(res *core.Result, tr *netmsg.Trace, ts *TemplateSet) (*Recognition, error) {
+	if res == nil {
+		return nil, ErrNoClusters
+	}
+	if ts == nil || len(ts.Templates) == 0 {
+		return nil, fmt.Errorf("format: empty template set")
+	}
+	assignments := ts.ClassifyAll(res)
+	schema := buildSchema(res, tr, ts, assignments)
+	return &Recognition{
+		Schema:      schema,
+		Assignments: assignments,
+		res:         res,
+		trace:       tr,
+		set:         ts,
+	}, nil
+}
+
+// buildSchema assembles the per-message annotated layouts and groups
+// them into message formats.
+func buildSchema(res *core.Result, tr *netmsg.Trace, ts *TemplateSet, assignments []Assignment) *Schema {
+	s := &Schema{
+		Version:   Version,
+		TrainedOn: ts.Protocol,
+	}
+	if tr != nil {
+		s.Protocol = tr.Protocol
+		s.Messages = len(tr.Messages)
+		s.TotalBytes = tr.TotalBytes()
+	}
+	for i := range ts.Templates {
+		t := &ts.Templates[i]
+		s.Templates = append(s.Templates, TemplateSummary{
+			ID:              t.ID,
+			Label:           t.Label,
+			DistinctValues:  t.DistinctValues,
+			Occurrences:     t.Occurrences,
+			Threshold:       t.Threshold,
+			LabelConfidence: t.LabelConfidence,
+		})
+	}
+	s.Assignments = assignments
+
+	// Per-message field lists: clustered segments carry their cluster's
+	// assignment; noise and excluded segments are unknown fields. The
+	// map is only ever read through per-message lookups in trace order,
+	// never ranged over, so it cannot leak iteration order.
+	fields := make(map[*netmsg.Message][]FieldDescriptor)
+	add := func(seg netmsg.Segment, typ string, id int, conf float64) {
+		fields[seg.Msg] = append(fields[seg.Msg], FieldDescriptor{
+			Offset: seg.Offset, Length: seg.Length,
+			Type: typ, TemplateID: id, Confidence: conf,
+		})
+	}
+	for i := range res.Clusters {
+		a := assignments[i]
+		conf := a.Confidence
+		if a.Unknown() {
+			conf = 0
+		}
+		for _, seg := range res.Clusters[i].Segments {
+			add(seg, a.Label, a.TemplateID, conf)
+			if !a.Unknown() {
+				s.ClassifiedBytes += seg.Length
+			}
+		}
+	}
+	for _, seg := range res.Noise {
+		add(seg, UnknownLabel, UnknownTemplateID, 0)
+	}
+	for _, seg := range res.Excluded {
+		add(seg, UnknownLabel, UnknownTemplateID, 0)
+	}
+
+	// Group messages by layout signature, in trace order, then render
+	// the formats most-frequent first.
+	groups := make(map[string]*MessageFormat)
+	if tr != nil {
+		for _, msg := range tr.Messages {
+			layout := tileMessage(msg, fields[msg])
+			sig := signature(layout)
+			if g, ok := groups[sig]; ok {
+				g.Messages++
+				continue
+			}
+			groups[sig] = &MessageFormat{Signature: sig, Messages: 1, Fields: layout}
+		}
+	}
+	sigs := detmap.SortedKeys(groups)
+	sort.SliceStable(sigs, func(i, j int) bool {
+		return groups[sigs[i]].Messages > groups[sigs[j]].Messages
+	})
+	for _, sig := range sigs {
+		s.Formats = append(s.Formats, *groups[sig])
+	}
+	return s
+}
+
+// tileMessage sorts a message's recognized fields by offset and fills
+// every uncovered byte range with an unknown field, so the layout tiles
+// the payload completely.
+func tileMessage(msg *netmsg.Message, fs []FieldDescriptor) []FieldDescriptor {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Offset != fs[j].Offset {
+			return fs[i].Offset < fs[j].Offset
+		}
+		return fs[i].Length < fs[j].Length
+	})
+	out := make([]FieldDescriptor, 0, len(fs)+2)
+	pos := 0
+	gap := func(end int) {
+		if end > pos {
+			out = append(out, FieldDescriptor{
+				Offset: pos, Length: end - pos,
+				Type: UnknownLabel, TemplateID: UnknownTemplateID,
+			})
+			pos = end
+		}
+	}
+	for _, f := range fs {
+		if f.Offset < pos {
+			continue // overlap (defensive): keep the earlier field
+		}
+		gap(f.Offset)
+		out = append(out, f)
+		pos = f.Offset + f.Length
+	}
+	gap(len(msg.Data))
+	return out
+}
+
+// signature fingerprints a layout as "length:type" per field.
+func signature(fs []FieldDescriptor) string {
+	var b strings.Builder
+	for i, f := range fs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%d:%s", f.Length, f.Type)
+	}
+	if len(fs) == 0 {
+		return "empty"
+	}
+	return b.String()
+}
+
+// Evaluate scores the recognition against the recognized trace's
+// ground-truth dissections: each classified segment's bytes count as
+// correct when its template's recorded training true type matches the
+// segment's dominant true type. Requires templates learned on a trace
+// with ground truth and a recognized trace with dissections; bytes
+// missing either side are counted for coverage only.
+func (r *Recognition) Evaluate() eval.Recognition {
+	var m eval.Recognition
+	if r.trace != nil {
+		m.TotalBytes = r.trace.TotalBytes()
+	}
+	for i := range r.res.Clusters {
+		a := r.Assignments[i]
+		if a.Unknown() {
+			continue
+		}
+		predicted := ""
+		if t := r.set.template(a.TemplateID); t != nil {
+			predicted = t.TrueType
+		}
+		for _, seg := range r.res.Clusters[i].Segments {
+			truth, _ := seg.DominantTrueType()
+			m.Observe(predicted, string(truth), seg.Length)
+		}
+	}
+	return m
+}

@@ -20,11 +20,12 @@ import (
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid time.Now/time.Since and the global math/rand source " +
-		"in result-producing packages (internal/core, golden, eval, report, sweep)",
+		"in result-producing packages (internal/core, golden, eval, format, report, sweep)",
 	Applies: scopedTo(
 		"protoclust/internal/core",
 		"protoclust/internal/golden",
 		"protoclust/internal/eval",
+		"protoclust/internal/format",
 		"protoclust/internal/report",
 		"protoclust/internal/sweep",
 	),

@@ -171,7 +171,12 @@ func lengthRule(c *core.Cluster) (Label, float64, string, bool) {
 func timestampRule(c *core.Cluster) (Label, float64, string, bool) {
 	var xs, ys []float64
 	for _, s := range c.Segments {
-		if s.Msg.Timestamp.IsZero() {
+		// Absent capture times surface either as Go's zero time or as
+		// epoch zero (traces without IP encapsulation, e.g. AWDL/AU
+		// dumps re-stamped by tooling). Neither is a real capture
+		// clock, so a column of them must not correlate into a
+		// timestamp label.
+		if ts := s.Msg.Timestamp; ts.IsZero() || ts.Unix() <= 0 {
 			return "", 0, "", false
 		}
 		v, ok := segValue(s)

@@ -80,6 +80,43 @@ func TestTimestampRule(t *testing.T) {
 	}
 }
 
+// TestTimestampRuleRejectsEpochZeroTimes is the regression test for the
+// absent-capture-time guard: traces without IP encapsulation (AWDL/AU
+// style) surface re-stamped capture times at or around epoch zero —
+// time.Unix(0, n) is NOT time.Time's zero value, so the IsZero guard
+// alone does not catch it. A column of such pseudo-times must not
+// correlate into a timestamp label even when the values track the
+// nanosecond remainders perfectly.
+func TestTimestampRuleRejectsEpochZeroTimes(t *testing.T) {
+	build := func(stamp func(i int) time.Time) *core.Cluster {
+		return clusterOf(20, func(i int) []byte {
+			v := uint32(i * 1000)
+			return []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+		}, func(i int, payload []byte) *netmsg.Message {
+			m := plainMsg(i, payload)
+			m.Timestamp = stamp(i)
+			return m
+		})
+	}
+	epoch := build(func(i int) time.Time { return time.Unix(0, int64(i*1000)) })
+	if _, _, _, ok := timestampRule(epoch); ok {
+		t.Error("timestampRule fired on epoch-zero capture times")
+	}
+	if d := Deduce(epoch); d.Label == LabelTimestamp {
+		t.Errorf("Deduce labeled epoch-zero times as timestamp (detail %q)", d.Detail)
+	}
+	preEpoch := build(func(i int) time.Time { return time.Unix(int64(-1000+i), 0) })
+	if _, _, _, ok := timestampRule(preEpoch); ok {
+		t.Error("timestampRule fired on pre-epoch capture times")
+	}
+	// Sanity: the same value column with genuine capture times still
+	// deduces a timestamp.
+	genuine := build(func(i int) time.Time { return time.Unix(int64(50000+i*1000), 0) })
+	if _, _, _, ok := timestampRule(genuine); !ok {
+		t.Error("timestampRule stopped firing on genuine capture times")
+	}
+}
+
 func TestCounterRule(t *testing.T) {
 	c := clusterOf(20, func(i int) []byte {
 		return []byte{0, byte(i * 2)}

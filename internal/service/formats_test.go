@@ -1,0 +1,225 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"protoclust"
+	"protoclust/internal/format"
+)
+
+func TestFormatThroughService(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2})
+	spec := JobSpec{
+		Proto: "ntp", N: 60, Seed: 2, Segmenter: protoclust.SegmenterTruth,
+		Format: &FormatRequest{TrainProto: "ntp", TrainN: 60, TrainSeed: 1},
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := pollTerminal(t, s, id, 60*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state = %q (err %q), want done", st.State, st.Error)
+	}
+	schema, err := s.FormatResult(id)
+	if err != nil {
+		t.Fatalf("FormatResult: %v", err)
+	}
+	if schema.Version != format.Version {
+		t.Errorf("schema version = %q, want %q", schema.Version, format.Version)
+	}
+	if schema.Protocol != "ntp" || schema.TrainedOn != "ntp" {
+		t.Errorf("protocol/trained_on = %q/%q, want ntp/ntp", schema.Protocol, schema.TrainedOn)
+	}
+	if len(schema.Assignments) == 0 || len(schema.Formats) == 0 {
+		t.Errorf("schema has %d assignments, %d formats; want both non-empty",
+			len(schema.Assignments), len(schema.Formats))
+	}
+	first, err := json.Marshal(schema)
+	if err != nil {
+		t.Fatalf("schema not JSON-serializable: %v", err)
+	}
+
+	// Resubmission must hit the format cache with an identical schema.
+	hitsBefore := s.Metrics().CacheHits.Load()
+	id2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	st2 := pollTerminal(t, s, id2, 30*time.Second)
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("resubmit state = %q cache_hit=%v, want done via cache", st2.State, st2.CacheHit)
+	}
+	if got := s.Metrics().CacheHits.Load(); got != hitsBefore+1 {
+		t.Errorf("CacheHits = %d, want %d", got, hitsBefore+1)
+	}
+	schema2, err := s.FormatResult(id2)
+	if err != nil {
+		t.Fatalf("FormatResult after cache hit: %v", err)
+	}
+	second, err := json.Marshal(schema2)
+	if err != nil {
+		t.Fatalf("cached schema not JSON-serializable: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cached schema differs from the computed one")
+	}
+
+	// The result endpoints are disjoint: Result refuses format jobs and
+	// FormatResult refuses analysis jobs.
+	if _, err := s.Result(id); err == nil || !strings.Contains(err.Error(), "formats") {
+		t.Errorf("Result on format job: err = %v, want redirect to formats endpoint", err)
+	}
+	plain, err := s.Submit(JobSpec{Proto: "ntp", N: 30, Seed: 1, Segmenter: protoclust.SegmenterTruth})
+	if err != nil {
+		t.Fatalf("Submit plain: %v", err)
+	}
+	pollTerminal(t, s, plain, 30*time.Second)
+	if _, err := s.FormatResult(plain); err == nil || !strings.Contains(err.Error(), "not a format job") {
+		t.Errorf("FormatResult on analysis job: err = %v, want not-a-format-job", err)
+	}
+}
+
+func TestFormatSelfRecognition(t *testing.T) {
+	// No training spec: templates come from the job's own trace.
+	s := newTestService(t, Config{Workers: 1})
+	id, err := s.Submit(JobSpec{
+		Proto: "ntp", N: 50, Seed: 1, Segmenter: protoclust.SegmenterTruth,
+		Format: &FormatRequest{},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := pollTerminal(t, s, id, 60*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("state = %q (err %q), want done", st.State, st.Error)
+	}
+	schema, err := s.FormatResult(id)
+	if err != nil {
+		t.Fatalf("FormatResult: %v", err)
+	}
+	for _, a := range schema.Assignments {
+		if a.TemplateID == format.UnknownTemplateID {
+			t.Errorf("self-recognition left cluster %d unknown", a.ClusterID)
+		}
+	}
+}
+
+func TestFormatSubmitValidation(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"unknown train proto", JobSpec{Proto: "ntp", N: 20,
+			Format: &FormatRequest{TrainProto: "nope", TrainN: 20}}},
+		{"missing train n", JobSpec{Proto: "ntp", N: 20,
+			Format: &FormatRequest{TrainProto: "ntp"}}},
+		{"train n without proto", JobSpec{Proto: "ntp", N: 20,
+			Format: &FormatRequest{TrainN: 20}}},
+		{"sweep and format", JobSpec{Proto: "ntp", N: 20,
+			Sweep: &SweepRequest{}, Format: &FormatRequest{}}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Submit(tc.spec); err == nil {
+			t.Errorf("%s: Submit accepted invalid format job", tc.name)
+		}
+	}
+}
+
+func TestFormatHTTPEndToEnd(t *testing.T) {
+	s, srv := newTestServer(t, Config{Workers: 2})
+	body := `{"proto":"ntp","n":50,"seed":2,"segmenter":"truth",
+		"format":{"train_proto":"ntp","train_n":50,"train_seed":1}}`
+	resp, err := http.Post(srv.URL+"/v1/formats", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/formats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, body %s", resp.StatusCode, b)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := s.Status(sub.ID)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.State.Terminal() {
+			if st.State != StateDone {
+				t.Fatalf("format job %s: %s (%s)", sub.ID, st.State, st.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("format job did not finish in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stResp, err := http.Get(fmt.Sprintf("%s/v1/formats/%s", srv.URL, sub.ID))
+	if err != nil || stResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/formats/{id}: %v status=%v", err, stResp.StatusCode)
+	}
+	stResp.Body.Close()
+	resResp, err := http.Get(fmt.Sprintf("%s/v1/formats/%s/result", srv.URL, sub.ID))
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resResp.Body.Close()
+	if resResp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resResp.Body)
+		t.Fatalf("result status = %d, body %s", resResp.StatusCode, b)
+	}
+	var schema struct {
+		Version   string `json:"version"`
+		TrainedOn string `json:"trained_on"`
+		Formats   []any  `json:"formats"`
+	}
+	if err := json.NewDecoder(resResp.Body).Decode(&schema); err != nil {
+		t.Fatalf("decode schema: %v", err)
+	}
+	if schema.Version != format.Version {
+		t.Errorf("version = %q, want %q", schema.Version, format.Version)
+	}
+	if len(schema.Formats) == 0 {
+		t.Error("formats empty in HTTP schema")
+	}
+}
+
+func TestFormatCacheKeySensitivity(t *testing.T) {
+	tr, err := protoclust.GenerateTrace("ntp", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := protoclust.DefaultOptions()
+	base := FormatCacheKey(tr, opts, &FormatRequest{TrainProto: "ntp", TrainN: 50, TrainSeed: 1})
+	variants := []FormatRequest{
+		{},
+		{TrainProto: "dns", TrainN: 50, TrainSeed: 1},
+		{TrainProto: "ntp", TrainN: 60, TrainSeed: 1},
+		{TrainProto: "ntp", TrainN: 50, TrainSeed: 2},
+	}
+	for i, v := range variants {
+		req := v
+		if got := FormatCacheKey(tr, opts, &req); got == base {
+			t.Errorf("variant %d: format cache key collides with base", i)
+		}
+	}
+	if got := FormatCacheKey(tr, opts, &FormatRequest{TrainProto: "ntp", TrainN: 50, TrainSeed: 1}); got != base {
+		t.Error("identical format request produced a different key")
+	}
+}

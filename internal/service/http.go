@@ -50,6 +50,9 @@ type errorResponse struct {
 //	POST   /v1/sweeps        submit a configuration sweep (JSON body)
 //	GET    /v1/sweeps/{id}   sweep job status snapshot
 //	GET    /v1/sweeps/{id}/result  sweep report of a done sweep
+//	POST   /v1/formats       submit a field-type recognition (JSON body)
+//	GET    /v1/formats/{id}  format job status snapshot
+//	GET    /v1/formats/{id}/result  message-format schema of a done job
 //	GET    /healthz          liveness probe
 //	GET    /metrics          Prometheus text exposition
 //	GET    /debug/pprof/     runtime profiles
@@ -70,6 +73,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	mux.HandleFunc("POST /v1/formats", s.handleSubmitFormat)
+	mux.HandleFunc("GET /v1/formats/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/formats/{id}/result", s.handleFormatResult)
 	mux.HandleFunc("GET "+shard.LeasePath, s.handleShardLease)
 	mux.HandleFunc("GET /v1/shards/{job}/pool", s.handleShardPool)
 	mux.HandleFunc("POST /v1/shards/{job}/{id}/result", s.handleShardResult)

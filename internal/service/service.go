@@ -28,6 +28,7 @@ import (
 
 	"protoclust"
 	"protoclust/internal/dissim"
+	"protoclust/internal/format"
 	"protoclust/internal/jobstore"
 	"protoclust/internal/sweep"
 )
@@ -80,6 +81,11 @@ type JobSpec struct {
 	// The result is retrieved via SweepResult / GET /v1/sweeps/{id}/result
 	// instead of Result.
 	Sweep *SweepRequest `json:"sweep,omitempty"`
+	// Format, when non-nil, turns the job into a field-type recognition:
+	// templates learned on the training trace classify this job's trace,
+	// yielding a message-format schema. Retrieved via FormatResult /
+	// GET /v1/formats/{id}/result instead of Result.
+	Format *FormatRequest `json:"format,omitempty"`
 	// Timeout bounds the job's run time; 0 falls back to the service
 	// default.
 	Timeout time.Duration `json:"-"`
@@ -104,6 +110,14 @@ func (sp *JobSpec) Validate() error {
 	}
 	if sp.Sweep != nil {
 		if _, err := sp.Sweep.grid(); err != nil {
+			return err
+		}
+	}
+	if sp.Format != nil {
+		if sp.Sweep != nil {
+			return errors.New("service: job must not set both sweep and format")
+		}
+		if err := sp.Format.validate(); err != nil {
 			return err
 		}
 	}
@@ -203,8 +217,10 @@ type job struct {
 	cacheHit  bool
 	result    *protoclust.Report
 	// sweepResult holds the report of a sweep job (spec.Sweep != nil);
-	// result stays nil for those.
-	sweepResult *sweep.Report
+	// result stays nil for those. formatResult likewise holds the schema
+	// of a format job (spec.Format != nil).
+	sweepResult  *sweep.Report
+	formatResult *format.Schema
 	timings     []protoclust.StageTiming
 	submitted   time.Time
 	started     time.Time
@@ -217,8 +233,9 @@ type job struct {
 type Service struct {
 	cfg        Config
 	log        *slog.Logger
-	cache      *Cache
-	sweepCache *jsonCache[sweep.Report]
+	cache       *Cache
+	sweepCache  *jsonCache[sweep.Report]
+	formatCache *jsonCache[format.Schema]
 	metrics    Metrics
 	store      *jobstore.Store
 	dist       *coordinator
@@ -259,19 +276,21 @@ func New(cfg Config) *Service {
 	if cfg.SpillDir == "" && cfg.CacheDir != "" {
 		cfg.SpillDir = filepath.Join(cfg.CacheDir, "tiles")
 	}
-	sweepDir := ""
+	sweepDir, formatDir := "", ""
 	if cfg.CacheDir != "" {
 		sweepDir = filepath.Join(cfg.CacheDir, "sweeps")
+		formatDir = filepath.Join(cfg.CacheDir, "formats")
 	}
 	s := &Service{
-		cfg:        cfg,
-		log:        cfg.Logger,
-		cache:      NewCache(cfg.CacheEntries, cfg.CacheDir),
-		sweepCache: newJSONCache[sweep.Report](cfg.CacheEntries, sweepDir),
-		store:      cfg.JobStore,
-		queue:      make(chan *job, cfg.QueueSize),
-		jobs:       make(map[string]*job),
-		sweeps:     make(map[string]*sweepProgress),
+		cfg:         cfg,
+		log:         cfg.Logger,
+		cache:       NewCache(cfg.CacheEntries, cfg.CacheDir),
+		sweepCache:  newJSONCache[sweep.Report](cfg.CacheEntries, sweepDir),
+		formatCache: newJSONCache[format.Schema](cfg.CacheEntries, formatDir),
+		store:       cfg.JobStore,
+		queue:       make(chan *job, cfg.QueueSize),
+		jobs:        make(map[string]*job),
+		sweeps:      make(map[string]*sweepProgress),
 	}
 	s.metrics.SetSweepSource(s.sweepProgressSnapshot)
 	// The service root context is deliberately fresh: it outlives any
@@ -446,6 +465,8 @@ func (s *Service) Result(id string) (*protoclust.Report, error) {
 	switch {
 	case j.spec.Sweep != nil:
 		return nil, fmt.Errorf("service: job %s is a sweep; use /v1/sweeps/%s/result", j.id, j.id)
+	case j.spec.Format != nil:
+		return nil, fmt.Errorf("service: job %s is a format job; use /v1/formats/%s/result", j.id, j.id)
 	case !j.state.Terminal():
 		return nil, ErrNotFinished
 	case j.state == StateDone:
@@ -596,6 +617,10 @@ func (s *Service) worker() {
 func (s *Service) run(ctx context.Context, j *job) {
 	if j.spec.Sweep != nil {
 		s.runSweep(ctx, j)
+		return
+	}
+	if j.spec.Format != nil {
+		s.runFormat(ctx, j)
 		return
 	}
 	start := time.Now()

@@ -37,6 +37,9 @@ type SweepRequest struct {
 	EpsSources []string `json:"eps_sources,omitempty"`
 	// Ensemble enables co-association ensemble voting per segmenter.
 	Ensemble bool `json:"ensemble,omitempty"`
+	// Weighted makes ensemble members vote with their sweep score
+	// (F-score under truth, silhouette otherwise) instead of equally.
+	Weighted bool `json:"weighted,omitempty"`
 }
 
 // grid parses and validates the request into a sweep grid.
@@ -92,10 +95,12 @@ func SweepCacheKey(tr *protoclust.Trace, o protoclust.Options, req *SweepRequest
 
 // writeCanonicalSweep appends the grid axes to the canonical encoding.
 // %q renders string slices with quoting, keeping the encoding injective
-// for any segmenter or ε-source spelling.
+// for any segmenter or ε-source spelling. The version prefix ("sweep2"
+// since the weighted-vote field joined) discards older cache entries
+// whose encoding lacked a field.
 func writeCanonicalSweep(h hash.Hash, req *SweepRequest) {
-	fmt.Fprintf(h, "sweep1\x00segs=%q\x00cls=%q\x00ks=%v\x00eps=%q\x00ens=%t\x00",
-		req.Segmenters, req.Clusterers, req.Ks, req.EpsSources, req.Ensemble)
+	fmt.Fprintf(h, "sweep2\x00segs=%q\x00cls=%q\x00ks=%v\x00eps=%q\x00ens=%t\x00wens=%t\x00",
+		req.Segmenters, req.Clusterers, req.Ks, req.EpsSources, req.Ensemble, req.Weighted)
 }
 
 // sweepProgress is one running sweep's completion state, updated by the
@@ -155,11 +160,12 @@ func (s *Service) runSweep(ctx context.Context, j *job) {
 				s.sweeps[j.id] = progress
 				s.sweepMu.Unlock()
 				rep, err = sweep.Run(ctx, tr, sweep.Options{
-					Grid:         grid,
-					Base:         opts,
-					Ensemble:     j.spec.Sweep.Ensemble,
-					Parallelism:  s.cfg.Workers,
-					SampleValues: j.spec.Samples,
+					Grid:             grid,
+					Base:             opts,
+					Ensemble:         j.spec.Sweep.Ensemble,
+					EnsembleWeighted: j.spec.Sweep.Weighted,
+					Parallelism:      s.cfg.Workers,
+					SampleValues:     j.spec.Samples,
 					Progress: func(done, total int) {
 						progress.done.Store(int64(done))
 						progress.total.Store(int64(total))

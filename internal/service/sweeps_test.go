@@ -235,6 +235,7 @@ func TestSweepCacheKeySensitivity(t *testing.T) {
 		{Segmenters: []string{"truth"}, Ks: []int{2}},
 		{Segmenters: []string{"truth"}, EpsSources: []string{"fixed:0.3"}},
 		{Segmenters: []string{"truth"}, Ensemble: true},
+		{Segmenters: []string{"truth"}, Ensemble: true, Weighted: true},
 	}
 	for i, v := range variants {
 		req := v

@@ -135,6 +135,113 @@ func (c *coassocMatrix) StreamRow(i int, fn func(lo int, vals []float32)) {
 	}
 }
 
+// weightedCoassocMatrix is the score-weighted variant of coassocMatrix:
+// each member configuration's votes count with its sweep score (F-score
+// under ground truth, silhouette otherwise) instead of equally, so a
+// strong configuration outvotes a weak one. It keeps the same condensed
+// upper-triangle layout and dbscan.Quantize routing; votes are float64
+// because weights are fractional.
+type weightedCoassocMatrix struct {
+	n     int
+	total float64
+	votes []float64
+}
+
+var (
+	_ dbscan.Matrix      = (*weightedCoassocMatrix)(nil)
+	_ dbscan.RowStreamer = (*weightedCoassocMatrix)(nil)
+)
+
+func newWeightedCoassocMatrix(n int) *weightedCoassocMatrix {
+	return &weightedCoassocMatrix{n: n, votes: make([]float64, vecmath.CheckedTriNum(n))}
+}
+
+// accumulate adds one member labeling with weight w: every
+// intra-cluster pair gains w votes. Accumulation happens sequentially
+// in grid order, so the float sums are bit-stable across runs.
+func (c *weightedCoassocMatrix) accumulate(labels []int, w float64) {
+	c.total += w
+	for i := 0; i < c.n-1; i++ {
+		li := labels[i]
+		if li == dbscan.Noise {
+			continue
+		}
+		base := vecmath.CheckedCondensedOff(i, i+1, c.n) - i - 1 // off(i, j) - j
+		for j := i + 1; j < c.n; j++ {
+			if labels[j] == li {
+				c.votes[base+j] += w
+			}
+		}
+	}
+}
+
+// Len returns the number of points.
+func (c *weightedCoassocMatrix) Len() int { return c.n }
+
+// dist converts a weighted vote mass to the quantized dissimilarity.
+func (c *weightedCoassocMatrix) dist(votes float64) float32 {
+	return dbscan.Quantize(1 - votes/c.total)
+}
+
+// Dist returns the co-association dissimilarity between i and j.
+func (c *weightedCoassocMatrix) Dist(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return float64(c.dist(c.votes[vecmath.CheckedCondensedOff(i, j, c.n)]))
+}
+
+// StreamRow yields row i as quantized float32 spans, mirroring
+// coassocMatrix.StreamRow.
+func (c *weightedCoassocMatrix) StreamRow(i int, fn func(lo int, vals []float32)) {
+	buf := make([]float32, min(coassocChunk, c.n))
+	if i > 0 {
+		o := i - 1 // off(0, i)
+		j := 0
+		for lo := 0; lo < i; lo += coassocChunk {
+			hi := min(lo+coassocChunk, i)
+			for ; j < hi; j++ {
+				buf[j-lo] = c.dist(c.votes[o])
+				o += c.n - j - 2
+			}
+			fn(lo, buf[:hi-lo])
+		}
+	}
+	buf[0] = 0
+	fn(i, buf[:1])
+	if i+1 < c.n {
+		start := vecmath.CheckedCondensedOff(i, i+1, c.n)
+		for lo := i + 1; lo < c.n; lo += coassocChunk {
+			hi := min(lo+coassocChunk, c.n)
+			for j := lo; j < hi; j++ {
+				buf[j-lo] = c.dist(c.votes[start+j-i-1])
+			}
+			fn(lo, buf[:hi-lo])
+		}
+	}
+}
+
+// memberWeight is one member's vote weight in a weighted ensemble: its
+// F-score when ground truth scored the sweep, its silhouette otherwise,
+// clamped to be non-negative (a negative silhouette is worse than
+// uninformative, not negatively informative).
+func memberWeight(r *ConfigResult, truth bool) float64 {
+	if r.Scores == nil {
+		return 0
+	}
+	w := r.Scores.Silhouette
+	if truth {
+		w = r.Scores.FScore
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
 // EnsembleResult is the co-association consensus of one segmenter
 // group.
 type EnsembleResult struct {
@@ -154,6 +261,9 @@ type EnsembleResult struct {
 	// when available.
 	AdjustedRand float64 `json:"adjusted_rand,omitempty"`
 	VMeasure     float64 `json:"v_measure,omitempty"`
+	// Weighted reports whether member votes were weighted by sweep
+	// score instead of equally.
+	Weighted bool `json:"weighted,omitempty"`
 	// LabelsHash is the SHA-256 of the consensus label vector — the
 	// determinism witness: identical across runs and GOMAXPROCS settings.
 	LabelsHash string `json:"labels_hash"`
@@ -166,8 +276,11 @@ type EnsembleResult struct {
 // completed configurations. Returns nil when fewer than two members
 // completed (no consensus to form). Accumulation walks the report in
 // grid order, so the vote matrix — and hence the consensus — is
-// deterministic regardless of fan-out scheduling.
-func ensembleGroup(ctx context.Context, segmenter string, g *group, results []ConfigResult, truth bool) (*EnsembleResult, error) {
+// deterministic regardless of fan-out scheduling. With weighted set,
+// each member votes with its sweep score (see memberWeight) instead of
+// equally; when every member's weight is zero the weighted path
+// degrades to equal votes rather than an empty consensus.
+func ensembleGroup(ctx context.Context, segmenter string, g *group, results []ConfigResult, truth, weighted bool) (*EnsembleResult, error) {
 	var members []int
 	for i := range results {
 		if results[i].Config.Segmenter == segmenter && results[i].Status == StatusOK {
@@ -180,20 +293,41 @@ func ensembleGroup(ctx context.Context, segmenter string, g *group, results []Co
 	if len(members) > int(^uint16(0)) {
 		members = members[:int(^uint16(0))] // uint16 vote counts; unreachable in practice
 	}
-	cm, err := newCoassocMatrix(g.pool.Size(), 0)
-	if err != nil {
-		return nil, err
-	}
-	for _, i := range members {
-		if err := ctx.Err(); err != nil {
+	var votes dbscan.Matrix
+	if weighted {
+		wm := newWeightedCoassocMatrix(g.pool.Size())
+		totalW := 0.0
+		for _, i := range members {
+			totalW += memberWeight(&results[i], truth)
+		}
+		for _, i := range members {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			w := memberWeight(&results[i], truth)
+			if totalW == 0 {
+				w = 1 // degenerate: no member scored above zero
+			}
+			wm.accumulate(results[i].labels, w)
+		}
+		votes = wm
+	} else {
+		cm, err := newCoassocMatrix(g.pool.Size(), 0)
+		if err != nil {
 			return nil, err
 		}
-		cm.accumulate(results[i].labels)
+		for _, i := range members {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cm.accumulate(results[i].labels)
+		}
+		votes = cm
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := dbscan.Cluster(cm, ensembleEpsilon, ensembleMinPts)
+	res, err := dbscan.Cluster(votes, ensembleEpsilon, ensembleMinPts)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +335,7 @@ func ensembleGroup(ctx context.Context, segmenter string, g *group, results []Co
 		Segmenter:  segmenter,
 		Members:    members,
 		Clusters:   res.NumClusters,
+		Weighted:   weighted,
 		Labels:     res.Labels,
 		Silhouette: eval.Silhouette(g.m, res.Labels),
 		LabelsHash: hashLabels(res.Labels),

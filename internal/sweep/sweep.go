@@ -194,6 +194,11 @@ type Options struct {
 	// Ensemble enables co-association ensemble voting per segmenter
 	// group.
 	Ensemble bool
+	// EnsembleWeighted weights each member's ensemble votes by its
+	// sweep score (F-score under ground truth, silhouette otherwise)
+	// instead of equally. Equal voting remains the default; the flag
+	// only matters with Ensemble set.
+	EnsembleWeighted bool
 	// Parallelism bounds concurrent configuration runs; ≤ 0 means
 	// GOMAXPROCS. Matrix builds are never concurrent with configuration
 	// runs of the same group, and the report is identical at any setting.
@@ -431,7 +436,7 @@ func Run(ctx context.Context, tr *protoclust.Trace, o Options) (*Report, error) 
 			if g.err != nil {
 				continue
 			}
-			ens, err := ensembleGroup(ctx, name, g, rep.Configs, truth)
+			ens, err := ensembleGroup(ctx, name, g, rep.Configs, truth, o.EnsembleWeighted)
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, fmt.Errorf("sweep: %w", context.Cause(ctx))

@@ -266,6 +266,135 @@ func TestEnsembleDeterminism(t *testing.T) {
 	}
 }
 
+// TestWeightedEnsembleDeterminism: the score-weighted cut is as
+// deterministic as the equal-weight one — byte-identical reports across
+// repeated serial runs and across serial vs maximal parallelism — and
+// the result is flagged as weighted. Weighted accumulation sums float64
+// votes in grid order, so this also witnesses that fan-out scheduling
+// never reorders the summation.
+func TestWeightedEnsembleDeterminism(t *testing.T) {
+	tr := ntpTrace(t, 50)
+	opts := Options{
+		Grid: Grid{
+			Segmenters: []string{protoclust.SegmenterTruth},
+			Clusterers: []string{"dbscan", "optics"},
+			EpsSources: []EpsSource{{Mode: EpsKnee}, {Mode: EpsQuantile, Quantile: 0.5}},
+		},
+		Base:             truthOptions(),
+		Ensemble:         true,
+		EnsembleWeighted: true,
+	}
+
+	serial := opts
+	serial.Parallelism = 1
+	parallel := opts
+	parallel.Parallelism = 8
+
+	j1, rep1 := sweepJSON(t, tr, serial)
+	j2, _ := sweepJSON(t, tr, serial)
+	j3, _ := sweepJSON(t, tr, parallel)
+	if j1 != j2 {
+		t.Error("weighted report differs across two serial runs")
+	}
+	if j1 != j3 {
+		t.Error("weighted report differs between Parallelism=1 and Parallelism=8")
+	}
+	if len(rep1.Ensembles) != 1 {
+		t.Fatalf("ensembles = %d, want 1", len(rep1.Ensembles))
+	}
+	ens := rep1.Ensembles[0]
+	if !ens.Weighted {
+		t.Error("ensemble not flagged as weighted")
+	}
+	if len(ens.Labels) == 0 || ens.LabelsHash != hashLabels(ens.Labels) {
+		t.Error("weighted ensemble labels hash does not match the label vector")
+	}
+
+	// The default path must stay equal-weight and unflagged.
+	equal := opts
+	equal.EnsembleWeighted = false
+	_, repEq := sweepJSON(t, tr, equal)
+	if len(repEq.Ensembles) != 1 || repEq.Ensembles[0].Weighted {
+		t.Error("equal-weight ensemble unexpectedly flagged as weighted")
+	}
+}
+
+// TestWeightedCoassocMatchesEqualUnderUniformWeights: with every member
+// voting at the same weight, the weighted matrix produces the same
+// quantized dissimilarities as the uint16 matrix — the weighted cut is
+// a strict generalization, not a different geometry.
+func TestWeightedCoassocMatchesEqualUnderUniformWeights(t *testing.T) {
+	labelings := [][]int{
+		{0, 0, 1, 1, -1, 2},
+		{0, 1, 1, 0, 0, -1},
+		{0, 0, 0, 1, 1, 1},
+	}
+	n := 6
+	cm, err := newCoassocMatrix(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := newWeightedCoassocMatrix(n)
+	for _, l := range labelings {
+		cm.accumulate(l)
+		wm.accumulate(l, 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if cm.Dist(i, j) != wm.Dist(i, j) {
+				t.Errorf("Dist(%d, %d): equal %v, weighted %v", i, j, cm.Dist(i, j), wm.Dist(i, j))
+			}
+		}
+		var eq, wt []float32
+		cm.StreamRow(i, func(lo int, vals []float32) { eq = append(eq, vals...) })
+		wm.StreamRow(i, func(lo int, vals []float32) { wt = append(wt, vals...) })
+		if len(eq) != n || len(wt) != n {
+			t.Fatalf("row %d: stream lengths %d, %d, want %d", i, len(eq), len(wt), n)
+		}
+		for j := range eq {
+			if eq[j] != wt[j] {
+				t.Errorf("StreamRow(%d)[%d]: equal %v, weighted %v", i, j, eq[j], wt[j])
+			}
+		}
+	}
+}
+
+// TestWeightedCoassocFavorsHeavyVoter: a dominant-weight member decides
+// pairs the light members disagree on.
+func TestWeightedCoassocFavorsHeavyVoter(t *testing.T) {
+	wm := newWeightedCoassocMatrix(2)
+	wm.accumulate([]int{0, 0}, 0.9) // strong member: together
+	wm.accumulate([]int{0, 1}, 0.1) // weak member: apart
+	if d := wm.Dist(0, 1); d >= ensembleEpsilon {
+		t.Errorf("Dist = %v, want < %v (heavy voter said together)", d, ensembleEpsilon)
+	}
+	wm2 := newWeightedCoassocMatrix(2)
+	wm2.accumulate([]int{0, 0}, 0.1)
+	wm2.accumulate([]int{0, 1}, 0.9)
+	if d := wm2.Dist(0, 1); d < ensembleEpsilon {
+		t.Errorf("Dist = %v, want ≥ %v (heavy voter said apart)", d, ensembleEpsilon)
+	}
+}
+
+// TestMemberWeight pins the weight source: F-score under truth,
+// silhouette otherwise, never negative, zero when unscored.
+func TestMemberWeight(t *testing.T) {
+	r := ConfigResult{Scores: &Scores{FScore: 0.8, Silhouette: 0.3}}
+	if w := memberWeight(&r, true); w != 0.8 {
+		t.Errorf("truth weight = %v, want 0.8", w)
+	}
+	if w := memberWeight(&r, false); w != 0.3 {
+		t.Errorf("internal weight = %v, want 0.3", w)
+	}
+	neg := ConfigResult{Scores: &Scores{Silhouette: -0.4}}
+	if w := memberWeight(&neg, false); w != 0 {
+		t.Errorf("negative silhouette weight = %v, want 0", w)
+	}
+	if w := memberWeight(&ConfigResult{}, true); w != 0 {
+		t.Errorf("unscored weight = %v, want 0", w)
+	}
+}
+
 // TestSweepCancellation: a pre-cancelled context aborts the fan-out and
 // surfaces the context error.
 func TestSweepCancellation(t *testing.T) {

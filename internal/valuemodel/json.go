@@ -1,0 +1,127 @@
+package valuemodel
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The JSON form of a model serializes the internal count maps as sorted
+// slices so the encoding is deterministic: the format package persists
+// models inside field-type template sets, and those files must be
+// byte-identical across runs. Contexts and values are hex-encoded
+// because they are raw byte strings, not necessarily valid UTF-8.
+
+type modelJSON struct {
+	Transitions []transitionJSON `json:"transitions"`
+	Lengths     []lengthJSON     `json:"lengths"`
+	Values      []string         `json:"values"`
+}
+
+type transitionJSON struct {
+	// Context is the hex encoding of the raw context key ("@0"-style
+	// positional contexts included).
+	Context string      `json:"context"`
+	Counts  []countJSON `json:"counts"`
+}
+
+type countJSON struct {
+	Byte  int `json:"byte"`
+	Count int `json:"count"`
+}
+
+type lengthJSON struct {
+	Length int `json:"length"`
+	Count  int `json:"count"`
+}
+
+// MarshalJSON encodes the model deterministically: transitions sorted
+// by raw context, next-byte counts by byte value, lengths ascending,
+// training values in lexicographic byte order.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{
+		Transitions: make([]transitionJSON, 0, len(m.transitions)),
+		Lengths:     make([]lengthJSON, 0, len(m.lengths)),
+		Values:      make([]string, 0, len(m.values)),
+	}
+	ctxs := make([]string, 0, len(m.transitions))
+	for c := range m.transitions {
+		ctxs = append(ctxs, c)
+	}
+	sort.Strings(ctxs)
+	for _, c := range ctxs {
+		nexts := m.transitions[c]
+		t := transitionJSON{Context: hex.EncodeToString([]byte(c)), Counts: make([]countJSON, 0, len(nexts))}
+		bs := make([]int, 0, len(nexts))
+		for b := range nexts {
+			bs = append(bs, int(b))
+		}
+		sort.Ints(bs)
+		for _, b := range bs {
+			t.Counts = append(t.Counts, countJSON{Byte: b, Count: nexts[byte(b)]})
+		}
+		out.Transitions = append(out.Transitions, t)
+	}
+	for _, l := range m.Lengths() {
+		out.Lengths = append(out.Lengths, lengthJSON{Length: l, Count: m.lengths[l]})
+	}
+	vals := make([]string, 0, len(m.values))
+	for v := range m.values {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	for _, v := range vals {
+		out.Values = append(out.Values, hex.EncodeToString([]byte(v)))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON rebuilds a model from its serialized form. The length
+// observation total is recomputed from the length counts.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("valuemodel: parse model: %w", err)
+	}
+	m.transitions = make(map[string]map[byte]int, len(in.Transitions))
+	m.lengths = make(map[int]int, len(in.Lengths))
+	m.values = make(map[string]bool, len(in.Values))
+	m.totalLen = 0
+	for _, t := range in.Transitions {
+		ctx, err := hex.DecodeString(t.Context)
+		if err != nil {
+			return fmt.Errorf("valuemodel: bad context %q: %w", t.Context, err)
+		}
+		nexts := make(map[byte]int, len(t.Counts))
+		for _, c := range t.Counts {
+			if c.Byte < 0 || c.Byte > 255 {
+				return fmt.Errorf("valuemodel: byte %d out of range", c.Byte)
+			}
+			if c.Count <= 0 {
+				return fmt.Errorf("valuemodel: non-positive transition count %d", c.Count)
+			}
+			nexts[byte(c.Byte)] = c.Count
+		}
+		m.transitions[string(ctx)] = nexts
+	}
+	for _, l := range in.Lengths {
+		if l.Length <= 0 || l.Count <= 0 {
+			return fmt.Errorf("valuemodel: bad length entry (%d, %d)", l.Length, l.Count)
+		}
+		m.lengths[l.Length] = l.Count
+		m.totalLen += l.Count
+	}
+	for _, v := range in.Values {
+		raw, err := hex.DecodeString(v)
+		if err != nil {
+			return fmt.Errorf("valuemodel: bad value %q: %w", v, err)
+		}
+		m.values[string(raw)] = true
+	}
+	if m.totalLen == 0 {
+		return errors.New("valuemodel: model has no length observations")
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package valuemodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, err := Train([][]byte{
+		{0x63, 0x82, 0x53, 0x63},
+		{0x63, 0x82, 0x53, 0x63},
+		{0x01, 0x02},
+		{0xff, 0xfe, 0xfd, 0xfc, 0xfb},
+		{'a', 'b', 'c'},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// Behavioral equivalence: scores, membership, lengths.
+	for _, v := range [][]byte{{0x63, 0x82, 0x53, 0x63}, {0x01, 0x02}, {'a', 'b', 'c'}, {9, 9, 9}} {
+		if m.Score(v) != back.Score(v) {
+			t.Errorf("Score(%x) = %v before, %v after round trip", v, m.Score(v), back.Score(v))
+		}
+		if m.Seen(v) != back.Seen(v) {
+			t.Errorf("Seen(%x) changed across round trip", v)
+		}
+	}
+	if got, want := back.Lengths(), m.Lengths(); len(got) != len(want) {
+		t.Fatalf("Lengths = %v, want %v", got, want)
+	}
+	if back.totalLen != m.totalLen {
+		t.Errorf("totalLen = %d, want %d", back.totalLen, m.totalLen)
+	}
+}
+
+// TestJSONDeterministic requires byte-identical encodings across
+// repeated marshals — template sets embedding models inherit this.
+func TestJSONDeterministic(t *testing.T) {
+	values := [][]byte{}
+	for i := 0; i < 64; i++ {
+		values = append(values, []byte{byte(i * 7), byte(i * 13), byte(i * 29)})
+	}
+	m, err := Train(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("marshal %d produced different bytes", i)
+		}
+	}
+	var back Model
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	reenc, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, reenc) {
+		t.Error("marshal → unmarshal → marshal is not byte-stable")
+	}
+}
+
+func TestJSONRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"transitions":[{"context":"zz","counts":[]}],"lengths":[{"length":1,"count":1}],"values":[]}`,
+		`{"transitions":[],"lengths":[{"length":0,"count":1}],"values":[]}`,
+		`{"transitions":[],"lengths":[{"length":1,"count":-1}],"values":[]}`,
+		`{"transitions":[{"context":"4030","counts":[{"byte":300,"count":1}]}],"lengths":[{"length":1,"count":1}],"values":[]}`,
+		`{"transitions":[],"lengths":[],"values":["00"]}`,
+		`{"transitions":[],"lengths":[{"length":1,"count":1}],"values":["zz"]}`,
+	}
+	for _, c := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("accepted corrupt model %s", c)
+		}
+	}
+}

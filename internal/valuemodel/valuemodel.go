@@ -42,15 +42,15 @@ type Model struct {
 	totalLen int
 }
 
-// ErrNoValues is returned when a model is trained on no values.
+// ErrNoValues is returned when a model is trained on no usable values.
 var ErrNoValues = errors.New("valuemodel: no training values")
 
 // Train learns a model from a cluster's values. Duplicate values may be
-// passed to weight frequent values more strongly.
+// passed to weight frequent values more strongly. Empty values carry no
+// signal — no bytes, no length mass — and are ignored; when nothing
+// usable remains (nil input, empty slice, or only empty values), Train
+// returns ErrNoValues.
 func Train(values [][]byte) (*Model, error) {
-	if len(values) == 0 {
-		return nil, ErrNoValues
-	}
 	m := &Model{
 		transitions: make(map[string]map[byte]int),
 		lengths:     make(map[int]int),
@@ -73,6 +73,9 @@ func Train(values [][]byte) (*Model, error) {
 			nexts[v[i]]++
 		}
 	}
+	// The single no-values gate: covers the empty slice and the
+	// all-empty-values case alike, since only non-empty values add
+	// length mass.
 	if m.totalLen == 0 {
 		return nil, ErrNoValues
 	}

@@ -20,8 +20,44 @@ func TestTrainErrors(t *testing.T) {
 	if _, err := Train(nil); !errors.Is(err, ErrNoValues) {
 		t.Errorf("nil training err = %v", err)
 	}
+	if _, err := Train([][]byte{}); !errors.Is(err, ErrNoValues) {
+		t.Errorf("zero-length slice training err = %v", err)
+	}
 	if _, err := Train([][]byte{{}}); !errors.Is(err, ErrNoValues) {
 		t.Errorf("empty-values training err = %v", err)
+	}
+	// All-empty input must take the same ErrNoValues path as no input:
+	// empty values are documented to be ignored, so nothing remains.
+	if _, err := Train([][]byte{{}, {}, nil, {}}); !errors.Is(err, ErrNoValues) {
+		t.Errorf("all-empty training err = %v", err)
+	}
+}
+
+// TestTrainIgnoresEmptyValues pins the mixed case: empty values among
+// real ones contribute neither length mass nor transitions, so the
+// model is identical to one trained without them.
+func TestTrainIgnoresEmptyValues(t *testing.T) {
+	mixed, err := Train([][]byte{{}, {1, 2}, nil, {1, 2, 3}, {}})
+	if err != nil {
+		t.Fatalf("mixed training: %v", err)
+	}
+	clean, err := Train([][]byte{{1, 2}, {1, 2, 3}})
+	if err != nil {
+		t.Fatalf("clean training: %v", err)
+	}
+	if got, want := mixed.Lengths(), clean.Lengths(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Lengths = %v, want %v", got, want)
+	}
+	if mixed.totalLen != clean.totalLen {
+		t.Errorf("totalLen = %d, want %d", mixed.totalLen, clean.totalLen)
+	}
+	if mixed.Seen([]byte{}) {
+		t.Error("empty value reported as seen")
+	}
+	for _, v := range [][]byte{{1, 2}, {1, 2, 3}} {
+		if mixed.Score(v) != clean.Score(v) {
+			t.Errorf("Score(%v) differs between mixed and clean models", v)
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"protoclust/internal/core"
 	"protoclust/internal/eval"
 	"protoclust/internal/fieldhunter"
+	"protoclust/internal/format"
 	"protoclust/internal/msgtype"
 	"protoclust/internal/netmsg"
 	"protoclust/internal/pcap"
@@ -438,6 +439,47 @@ func (p *PseudoType) TrainValueModel() (*ValueModel, error) {
 		values = append(values, s.Bytes())
 	}
 	return valuemodel.Train(values)
+}
+
+// Field-type classification and recognition (the paper's first
+// future-work direction): templates trained on one clustered trace
+// recognize the field types of another.
+type (
+	// FieldTemplates is a set of per-cluster field-type templates — a
+	// semantics label, an order-2 Markov value model, and summary
+	// statistics per template — trained from a clustered trace.
+	FieldTemplates = format.TemplateSet
+	// FieldTemplate is one template of a FieldTemplates set.
+	FieldTemplate = format.Template
+	// FormatSchema is the versioned machine-readable message-format
+	// schema recognition emits.
+	FormatSchema = format.Schema
+	// FormatRecognition is the outcome of recognizing a trace's fields
+	// against a template set: the schema plus per-cluster assignments.
+	FormatRecognition = format.Recognition
+	// FormatAssignment maps one cluster to a template (or unknown).
+	FormatAssignment = format.Assignment
+)
+
+// LearnTemplates trains field-type templates from this analysis's
+// clusters. The returned set can be saved with its Save method and
+// later applied to a different trace's analysis via RecognizeWith.
+func (a *Analysis) LearnTemplates() (*FieldTemplates, error) {
+	return format.Learn(a.result, a.trace)
+}
+
+// RecognizeWith classifies this analysis's clusters against templates
+// (typically trained on a different trace of the same protocol) and
+// tiles every message into a field layout, yielding the message-format
+// schema. Clusters matching no template above its calibrated threshold
+// are reported as unknown rather than mislabeled.
+func (a *Analysis) RecognizeWith(ts *FieldTemplates) (*FormatRecognition, error) {
+	return format.Recognize(a.result, a.trace, ts)
+}
+
+// LoadTemplates reads a template set saved by FieldTemplates.Save.
+func LoadTemplates(r io.Reader) (*FieldTemplates, error) {
+	return format.Load(r)
 }
 
 // MessageTypes is the outcome of message-type clustering.
